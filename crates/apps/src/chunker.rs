@@ -1,0 +1,177 @@
+//! File-sync chunking for eTrain Cloud.
+//!
+//! A cloud-storage app syncing a multi-megabyte file should not submit it
+//! as one request: a single huge transfer blocks the radio long past any
+//! heartbeat tail and leaves nothing to piggyback later. Chunking splits
+//! the file into bounded requests so successive chunks can ride
+//! *successive* trains — the transfer stretches over several heartbeat
+//! cycles but every chunk's tail is a heartbeat's tail. This mirrors how
+//! real sync clients (and the paper's eTrain Cloud) upload in parts.
+
+use etrain_core::{CargoClient, CoreError, RequestId, TransmitRequest};
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+use serde::{Deserialize, Serialize};
+
+/// A file to synchronize, split into bounded chunks.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_apps::FileSync;
+///
+/// let sync = FileSync::new(1_048_576, 262_144); // 1 MiB in 256 KiB chunks
+/// assert_eq!(sync.chunk_count(), 4);
+/// assert_eq!(sync.chunk_sizes().iter().sum::<u64>(), 1_048_576);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSync {
+    total_bytes: u64,
+    chunk_bytes: u64,
+}
+
+impl FileSync {
+    /// Describes a sync of `total_bytes` in chunks of at most
+    /// `chunk_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(total_bytes: u64, chunk_bytes: u64) -> Self {
+        assert!(total_bytes > 0, "file must be non-empty");
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        FileSync {
+            total_bytes,
+            chunk_bytes,
+        }
+    }
+
+    /// Total file size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Maximum chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.total_bytes.div_ceil(self.chunk_bytes) as usize
+    }
+
+    /// The chunk sizes in upload order (all `chunk_bytes` except a
+    /// possibly smaller final chunk).
+    pub fn chunk_sizes(&self) -> Vec<u64> {
+        let full = (self.total_bytes / self.chunk_bytes) as usize;
+        let mut sizes = vec![self.chunk_bytes; full];
+        let rest = self.total_bytes % self.chunk_bytes;
+        if rest > 0 {
+            sizes.push(rest);
+        }
+        sizes
+    }
+
+    /// Submits every chunk to the live eTrain system as an upload request,
+    /// returning the request ids in order. The scheduler is then free to
+    /// spread the chunks over several trains.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] encountered; chunks already
+    /// submitted stay queued (the sync can be resumed by re-submitting the
+    /// rest).
+    pub fn submit_all(&self, client: &CargoClient) -> Result<Vec<RequestId>, CoreError> {
+        self.chunk_sizes()
+            .into_iter()
+            .map(|size| client.submit(TransmitRequest::upload(size)))
+            .collect()
+    }
+
+    /// Converts the sync to a simulator packet trace: all chunks arrive at
+    /// `start_s` (the moment the user saves the file), ids from `first_id`.
+    pub fn to_packets(&self, app: CargoAppId, start_s: f64, first_id: u64) -> Vec<Packet> {
+        self.chunk_sizes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, size)| Packet {
+                id: first_id + i as u64,
+                app,
+                arrival_s: start_s,
+                size_bytes: size,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_core::{CoreConfig, ETrainCore};
+    use etrain_sched::{AppProfile, CostProfile};
+
+    #[test]
+    fn exact_division_has_no_tail_chunk() {
+        let sync = FileSync::new(1000, 250);
+        assert_eq!(sync.chunk_sizes(), vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn remainder_becomes_final_chunk() {
+        let sync = FileSync::new(1000, 300);
+        assert_eq!(sync.chunk_sizes(), vec![300, 300, 300, 100]);
+        assert_eq!(sync.chunk_count(), 4);
+    }
+
+    #[test]
+    fn single_chunk_when_file_is_small() {
+        let sync = FileSync::new(10, 1000);
+        assert_eq!(sync.chunk_sizes(), vec![10]);
+    }
+
+    #[test]
+    fn to_packets_preserves_total() {
+        let sync = FileSync::new(123_456, 10_000);
+        let packets = sync.to_packets(CargoAppId(2), 42.0, 7);
+        assert_eq!(
+            packets.iter().map(|p| p.size_bytes).sum::<u64>(),
+            123_456
+        );
+        assert_eq!(packets[0].id, 7);
+        assert!(packets.iter().all(|p| p.arrival_s == 42.0));
+    }
+
+    #[test]
+    fn chunks_ride_successive_trains_through_the_core() {
+        // A 300 KB file in 100 KB chunks; one train every 100 s; k = 1 so
+        // each train carries exactly one chunk.
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 1e9,
+            k: Some(1),
+            slot_s: 1.0,
+            startup_grace_s: 600.0,
+        });
+        let train = core.register_train("QQ");
+        let cloud = core.register_cargo(AppProfile::new("Cloud", CostProfile::cloud(600.0)));
+        core.on_heartbeat(train, 0.0).unwrap();
+
+        let sync = FileSync::new(300_000, 100_000);
+        for size in sync.chunk_sizes() {
+            core.submit(cloud, etrain_core::TransmitRequest::upload(size), 10.0)
+                .unwrap();
+        }
+        let mut per_train = Vec::new();
+        for t in [100.0, 200.0, 300.0] {
+            per_train.push(core.on_heartbeat(train, t).unwrap().len());
+        }
+        assert_eq!(per_train, vec![1, 1, 1], "one chunk per train at k = 1");
+        assert_eq!(core.pending_requests(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = FileSync::new(10, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Models of the paper's three cargo applications.
+
+use etrain_sched::{AppProfile, CostProfile};
+use etrain_trace::rng::TruncatedNormal;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's cargo apps a model represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CargoKind {
+    /// eTrain Mail — "one of the most widely used type of mobile
+    /// applications".
+    Mail,
+    /// Luna Weibo — "the representation of SNS applications".
+    Weibo,
+    /// eTrain Cloud — "applications that need to transmit large amount of
+    /// delay-tolerant data".
+    Cloud,
+}
+
+impl std::fmt::Display for CargoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CargoKind::Mail => "Mail",
+            CargoKind::Weibo => "Weibo",
+            CargoKind::Cloud => "Cloud",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One cargo application: its eTrain registration profile and its
+/// request-size model.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_apps::{CargoAppModel, CargoKind};
+///
+/// let mail = CargoAppModel::mail();
+/// assert_eq!(mail.kind, CargoKind::Mail);
+/// assert_eq!(mail.profile.name, "Mail");
+/// assert_eq!(mail.size_model.min(), 1_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CargoAppModel {
+    /// Which app this is.
+    pub kind: CargoKind,
+    /// The delay-cost profile the app registers with eTrain.
+    pub profile: AppProfile,
+    /// The app's packet-size distribution (paper Sec. VI-A).
+    pub size_model: TruncatedNormal,
+}
+
+impl CargoAppModel {
+    /// eTrain Mail: profile f1 (free until the deadline, then linear),
+    /// deadline 300 s, sizes mean 5 KB / min 1 KB.
+    pub fn mail() -> Self {
+        CargoAppModel {
+            kind: CargoKind::Mail,
+            profile: AppProfile::new("Mail", CostProfile::mail(300.0)),
+            size_model: TruncatedNormal::from_mean_min(5_000.0, 1_000.0),
+        }
+    }
+
+    /// Luna Weibo: profile f2 (linear until the deadline, then constant),
+    /// deadline 120 s, sizes mean 2 KB / min 100 B.
+    pub fn weibo() -> Self {
+        CargoAppModel {
+            kind: CargoKind::Weibo,
+            profile: AppProfile::new("Weibo", CostProfile::weibo(120.0)),
+            size_model: TruncatedNormal::from_mean_min(2_000.0, 100.0),
+        }
+    }
+
+    /// eTrain Cloud: profile f3 (linear, then 3× steeper), deadline
+    /// 600 s, sizes mean 100 KB / min 10 KB.
+    pub fn cloud() -> Self {
+        CargoAppModel {
+            kind: CargoKind::Cloud,
+            profile: AppProfile::new("Cloud", CostProfile::cloud(600.0)),
+            size_model: TruncatedNormal::from_mean_min(100_000.0, 10_000.0),
+        }
+    }
+
+    /// All three models in the paper's order (Mail, Weibo, Cloud —
+    /// matching [`AppProfile::paper_defaults`]).
+    pub fn paper_trio() -> Vec<CargoAppModel> {
+        vec![
+            CargoAppModel::mail(),
+            CargoAppModel::weibo(),
+            CargoAppModel::cloud(),
+        ]
+    }
+
+    /// Returns this model with a different deadline (controlled
+    /// experiments override deadlines, e.g. Weibo 30 s in Fig. 11).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.profile.cost = self.profile.cost.with_deadline(deadline_s);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trio_matches_scheduler_defaults() {
+        let models = CargoAppModel::paper_trio();
+        let profiles = AppProfile::paper_defaults();
+        for (model, profile) in models.iter().zip(&profiles) {
+            assert_eq!(&model.profile, profile);
+        }
+    }
+
+    #[test]
+    fn size_models_match_paper_table() {
+        assert_eq!(CargoAppModel::mail().size_model.mean(), 5_000.0);
+        assert_eq!(CargoAppModel::weibo().size_model.min(), 100.0);
+        assert_eq!(CargoAppModel::cloud().size_model.mean(), 100_000.0);
+    }
+
+    #[test]
+    fn deadline_override() {
+        let weibo = CargoAppModel::weibo().with_deadline(30.0);
+        assert_eq!(weibo.profile.cost.deadline_s(), 30.0);
+        assert_eq!(weibo.kind, CargoKind::Weibo);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CargoKind::Cloud.to_string(), "Cloud");
+    }
+}

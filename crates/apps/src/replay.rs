@@ -1,0 +1,239 @@
+//! User-trace replay: the paper's controlled-experiment methodology.
+//!
+//! The paper records user behaviour as `(User ID, Behavior type, Time,
+//! Packet Size)` tuples and replays them on instrumented phones with and
+//! without eTrain (Sec. VI-D). This module provides both replay paths of
+//! the reproduction:
+//!
+//! - [`replay_through_core`] — drive a trace through the *live*
+//!   [`ETrainCore`] system (heartbeats from train-app specs, 1-second
+//!   ticks, requests from upload records) and collect the decisions;
+//! - [`to_packets`] — convert a trace to a simulator packet trace, so the
+//!   energy of the replay can be measured by `etrain-sim` (used by the
+//!   Fig. 11 reproduction).
+
+use etrain_core::{CoreConfig, ETrainCore, TransmitDecision, TransmitRequest};
+use etrain_trace::heartbeats::TrainAppSpec;
+use etrain_trace::packets::Packet;
+use etrain_trace::user::{AppUseTrace, BehaviorType};
+use etrain_trace::CargoAppId;
+
+use crate::model::CargoAppModel;
+
+/// Outcome of replaying one app-use trace through the live system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Decisions in the order they were made.
+    pub decisions: Vec<TransmitDecision>,
+    /// Upload records still undecided when the trace ended.
+    pub undelivered: usize,
+    /// Mean scheduling delay over decided requests, in seconds.
+    pub mean_delay_s: f64,
+    /// Fraction of decided requests that piggybacked on a heartbeat.
+    pub piggyback_ratio: f64,
+    /// Heartbeats that departed during the replay.
+    pub heartbeats: usize,
+}
+
+/// Replays `trace` through a fresh [`ETrainCore`]: the trace's upload
+/// records become transmit requests of a cargo app registered with
+/// `model`'s profile; `trains` supply the heartbeat departures; the core
+/// ticks every second for `trace.duration_s`, plus a final drain tick after
+/// the last train of the horizon.
+///
+/// Browse records carry no uplink data and are skipped, matching the
+/// paper's replay ("replays the user traces ... record the energy
+/// consumption").
+pub fn replay_through_core(
+    trace: &AppUseTrace,
+    model: &CargoAppModel,
+    trains: &[TrainAppSpec],
+    config: CoreConfig,
+) -> ReplayOutcome {
+    let mut core = ETrainCore::new(config);
+    let train_ids: Vec<_> = trains
+        .iter()
+        .map(|spec| core.register_train(spec.name.clone()))
+        .collect();
+    let app = core.register_cargo(model.profile.clone());
+
+    // Merge heartbeat departures and upload submissions into one ordered
+    // event list, then drive the core with 1 s ticks in between.
+    let horizon = trace.duration_s;
+    let mut events: Vec<(f64, Event)> = Vec::new();
+    for (spec, &id) in trains.iter().zip(&train_ids) {
+        for t in spec.pattern.departure_times(spec.phase_s, horizon) {
+            events.push((t, Event::Heartbeat(id)));
+        }
+    }
+    for record in &trace.records {
+        if record.behavior == BehaviorType::Upload {
+            events.push((record.time_s, Event::Upload(record.size_bytes)));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut decisions = Vec::new();
+    let mut submitted = 0usize;
+    let mut next_tick = 0.0f64;
+    for (t, event) in events {
+        while next_tick < t {
+            decisions.extend(core.tick(next_tick).expect("monotone ticks"));
+            next_tick += 1.0;
+        }
+        match event {
+            Event::Heartbeat(id) => {
+                decisions.extend(core.on_heartbeat(id, t).expect("registered train"));
+            }
+            Event::Upload(size) => {
+                submitted += 1;
+                core.submit(app, TransmitRequest::upload(size.max(1)), t)
+                    .expect("registered cargo app");
+            }
+        }
+    }
+    while next_tick <= horizon {
+        decisions.extend(core.tick(next_tick).expect("monotone ticks"));
+        next_tick += 1.0;
+    }
+
+    let decided = decisions.len();
+    let mean_delay_s = if decided > 0 {
+        decisions.iter().map(TransmitDecision::delay_s).sum::<f64>() / decided as f64
+    } else {
+        0.0
+    };
+    let piggybacked = decisions
+        .iter()
+        .filter(|d| d.piggybacked_on.is_some())
+        .count();
+    let heartbeats = trains
+        .iter()
+        .map(|spec| spec.pattern.departure_times(spec.phase_s, horizon).len())
+        .sum();
+    ReplayOutcome {
+        piggyback_ratio: if decided > 0 {
+            piggybacked as f64 / decided as f64
+        } else {
+            0.0
+        },
+        undelivered: submitted - decided,
+        mean_delay_s,
+        decisions,
+        heartbeats,
+    }
+}
+
+enum Event {
+    Heartbeat(etrain_trace::TrainAppId),
+    Upload(u64),
+}
+
+/// Converts a user trace's upload records into a simulator packet trace
+/// for cargo app `app` (ids dense from 0, sorted by time).
+pub fn to_packets(trace: &AppUseTrace, app: CargoAppId) -> Vec<Packet> {
+    let mut packets: Vec<Packet> = trace
+        .records
+        .iter()
+        .filter(|r| r.behavior == BehaviorType::Upload)
+        .map(|r| Packet {
+            id: 0,
+            app,
+            arrival_s: r.time_s,
+            size_bytes: r.size_bytes.max(1),
+        })
+        .collect();
+    packets.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    for (i, p) in packets.iter_mut().enumerate() {
+        p.id = i as u64;
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_trace::user::{generate_app_use, Activeness};
+
+    fn trace() -> AppUseTrace {
+        generate_app_use(1, Activeness::Moderate, 9).normalized_to(600.0)
+    }
+
+    #[test]
+    fn replay_decides_every_upload() {
+        let outcome = replay_through_core(
+            &trace(),
+            &CargoAppModel::weibo(),
+            &TrainAppSpec::paper_trio(),
+            CoreConfig::default(),
+        );
+        assert_eq!(outcome.undelivered, 0);
+        assert_eq!(
+            outcome.decisions.len(),
+            trace().upload_count(),
+            "every upload gets a decision"
+        );
+        assert!(outcome.heartbeats >= 6, "600 s of the paper trio");
+    }
+
+    #[test]
+    fn high_theta_replay_piggybacks_mostly() {
+        let config = CoreConfig {
+            theta: 50.0,
+            ..CoreConfig::default()
+        };
+        let outcome = replay_through_core(
+            &trace(),
+            &CargoAppModel::weibo(),
+            &TrainAppSpec::paper_trio(),
+            config,
+        );
+        assert_eq!(outcome.undelivered, 0);
+        assert!(
+            outcome.piggyback_ratio > 0.9,
+            "with a high gate, almost everything rides trains (got {})",
+            outcome.piggyback_ratio
+        );
+        assert!(outcome.mean_delay_s > 5.0);
+    }
+
+    #[test]
+    fn no_trains_degenerates_to_immediate() {
+        let outcome = replay_through_core(
+            &trace(),
+            &CargoAppModel::weibo(),
+            &[],
+            CoreConfig::default(),
+        );
+        assert_eq!(outcome.undelivered, 0);
+        assert_eq!(outcome.piggyback_ratio, 0.0);
+        assert!(outcome.mean_delay_s < 2.0);
+        assert_eq!(outcome.heartbeats, 0);
+    }
+
+    #[test]
+    fn to_packets_keeps_only_uploads() {
+        let t = trace();
+        let packets = to_packets(&t, CargoAppId(1));
+        assert_eq!(packets.len(), t.upload_count());
+        assert!(packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        for (i, p) in packets.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+            assert_eq!(p.app, CargoAppId(1));
+            assert!(p.size_bytes >= 1);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = || {
+            replay_through_core(
+                &trace(),
+                &CargoAppModel::weibo(),
+                &TrainAppSpec::paper_trio(),
+                CoreConfig::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

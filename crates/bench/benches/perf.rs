@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! the tail-energy model, Algorithm 1's greedy selection, the cycle
+//! detector, and a full end-to-end simulation slice.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use etrain_hb::CycleDetector;
+use etrain_radio::{analytic_extra_energy_j, tail_energy_j, RadioParams, Transmission};
+use etrain_sched::{AppProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext};
+use etrain_sim::{Scenario, SchedulerKind};
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+
+fn bench_tail_energy(c: &mut Criterion) {
+    let params = RadioParams::galaxy_s4_3g();
+    c.bench_function("radio/tail_energy_closed_form", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += tail_energy_j(&params, std::hint::black_box(i as f64 * 0.3));
+            }
+            acc
+        })
+    });
+
+    let txs: Vec<Transmission> = (0..200)
+        .map(|i| Transmission::new(i as f64 * 7.0, 0.5))
+        .collect();
+    c.bench_function("radio/analytic_schedule_200tx", |b| {
+        b.iter(|| analytic_extra_energy_j(&params, std::hint::black_box(&txs), 2_000.0))
+    });
+}
+
+fn loaded_scheduler(pending: usize) -> ETrainScheduler {
+    let mut sched = ETrainScheduler::new(
+        ETrainConfig {
+            theta: 0.0,
+            k: Some(pending), // bounded k forces the greedy path
+            slot_s: 1.0,
+        },
+        AppProfile::paper_trio(60.0),
+    );
+    for i in 0..pending {
+        let packet = Packet {
+            id: i as u64,
+            app: CargoAppId(i % 3),
+            arrival_s: i as f64 * 0.1,
+            size_bytes: 2_000,
+        };
+        sched
+            .on_arrival(packet, packet.arrival_s)
+            .expect("registered app");
+    }
+    sched
+}
+
+fn bench_greedy_selection(c: &mut Criterion) {
+    let ctx = SlotContext {
+        now_s: 100.0,
+        heartbeat_departing: true,
+        predicted_bandwidth_bps: 450_000.0,
+        trains_alive: true,
+    };
+    for pending in [16usize, 64, 256] {
+        c.bench_function(&format!("sched/algorithm1_greedy_{pending}pending"), |b| {
+            b.iter_batched(
+                || loaded_scheduler(pending),
+                |mut sched| sched.on_slot(&ctx),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_cycle_detector(c: &mut Criterion) {
+    let mut detector = CycleDetector::with_history(64);
+    for i in 0..64 {
+        detector.observe(i as f64 * 270.0 + (i % 3) as f64);
+    }
+    c.bench_function("hb/detect_fixed_cycle_64obs", |b| {
+        b.iter(|| std::hint::black_box(&detector).detect())
+    });
+    c.bench_function("hb/predict_until_1h", |b| {
+        b.iter(|| std::hint::black_box(&detector).predict_until(17_280.0, 20_880.0))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("scenario_600s_etrain", |b| {
+        b.iter(|| {
+            Scenario::paper_default()
+                .duration_secs(600)
+                .scheduler(SchedulerKind::ETrain {
+                    theta: 0.5,
+                    k: None,
+                })
+                .seed(3)
+                .run()
+        })
+    });
+    group.bench_function("scenario_600s_baseline", |b| {
+        b.iter(|| {
+            Scenario::paper_default()
+                .duration_secs(600)
+                .scheduler(SchedulerKind::Baseline)
+                .seed(3)
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tail_energy,
+    bench_greedy_selection,
+    bench_cycle_detector,
+    bench_end_to_end
+);
+criterion_main!(benches);

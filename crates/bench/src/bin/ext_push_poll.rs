@@ -1,0 +1,6 @@
+//! Reproduction binary for experiment `ext_push_poll` — see DESIGN.md for
+//! the artifact it generates. Pass `--quick` for a fast smoke run.
+
+fn main() {
+    etrain_bench::run_binary("ext_push_poll");
+}

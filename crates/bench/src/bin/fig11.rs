@@ -1,0 +1,6 @@
+//! Reproduction binary for experiment `fig11` — see DESIGN.md for the
+//! paper artifact it regenerates. Pass `--quick` for a fast smoke run.
+
+fn main() {
+    etrain_bench::run_binary("fig11");
+}

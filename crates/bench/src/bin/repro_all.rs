@@ -1,0 +1,12 @@
+//! Runs every reproduction experiment in paper order and prints all
+//! tables. Pass `--quick` for a fast smoke run of the whole suite.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for experiment in etrain_bench::registry() {
+        println!("# {} — {}", experiment.id, experiment.artifact);
+        for table in (experiment.run)(quick) {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! # etrain-bench — per-figure/table reproduction harness
+//!
+//! One experiment module per table and figure of the paper's evaluation,
+//! each printing the same rows/series the paper reports. Every experiment
+//! is exposed both as a library function (so integration tests can
+//! smoke-run it) and as a binary:
+//!
+//! ```text
+//! cargo run -p etrain-bench --release --bin fig7a          # full fidelity
+//! cargo run -p etrain-bench --release --bin fig7a -- --quick
+//! cargo run -p etrain-bench --release --bin repro_all      # everything
+//! ```
+//!
+//! `--quick` shrinks horizons/sweeps for CI-speed smoke runs; the shapes
+//! remain, the absolute numbers lose precision.
+//!
+//! The mapping from experiment id to paper artifact lives in `DESIGN.md`;
+//! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+
+use etrain_sim::Table;
+
+/// An experiment that reproduces one paper artifact.
+pub struct Experiment {
+    /// Short id (`fig7a`, `table1`, ...).
+    pub id: &'static str,
+    /// The paper artifact it reproduces.
+    pub artifact: &'static str,
+    /// Runs the experiment; `quick` trades fidelity for speed.
+    pub run: fn(quick: bool) -> Vec<Table>,
+}
+
+/// All experiments in paper order, followed by the ablations.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1a",
+            artifact: "Fig. 1(a): 4-hour standby energy vs number of IM apps",
+            run: experiments::fig1a::run,
+        },
+        Experiment {
+            id: "fig1b",
+            artifact: "Fig. 1(b): heartbeat size and timing of three IM apps",
+            run: experiments::fig1b::run,
+        },
+        Experiment {
+            id: "fig2",
+            artifact: "Fig. 2: piggybacking toy example (five 5 KB e-mails)",
+            run: experiments::fig2::run,
+        },
+        Experiment {
+            id: "fig3",
+            artifact: "Fig. 3: heartbeat cycles with data traffic; NetEase doubling",
+            run: experiments::fig3::run,
+        },
+        Experiment {
+            id: "table1",
+            artifact: "Table 1: detected heartbeat cycles per app and device",
+            run: experiments::table1::run,
+        },
+        Experiment {
+            id: "fig4",
+            artifact: "Fig. 4: instantaneous power across RRC states for one heartbeat",
+            run: experiments::fig4::run,
+        },
+        Experiment {
+            id: "fig6",
+            artifact: "Fig. 6: delay-cost profile functions f1, f2, f3",
+            run: experiments::fig6::run,
+        },
+        Experiment {
+            id: "fig7a",
+            artifact: "Fig. 7(a): impact of the cost bound Θ",
+            run: experiments::fig7a::run,
+        },
+        Experiment {
+            id: "fig7b",
+            artifact: "Fig. 7(b): E-D panel for k = 2..16",
+            run: experiments::fig7b::run,
+        },
+        Experiment {
+            id: "fig8a",
+            artifact: "Fig. 8(a): E-D panel, eTrain vs PerES vs eTime vs baseline",
+            run: experiments::fig8a::run,
+        },
+        Experiment {
+            id: "fig8b",
+            artifact: "Fig. 8(b): energy vs arrival rate λ at matched delay",
+            run: experiments::fig8b::run,
+        },
+        Experiment {
+            id: "fig10a",
+            artifact: "Fig. 10(a): controlled experiment, impact of train apps",
+            run: experiments::fig10a::run,
+        },
+        Experiment {
+            id: "fig10b",
+            artifact: "Fig. 10(b): controlled experiment, impact of Θ",
+            run: experiments::fig10b::run,
+        },
+        Experiment {
+            id: "fig10c",
+            artifact: "Fig. 10(c): controlled experiment, impact of the deadline",
+            run: experiments::fig10c::run,
+        },
+        Experiment {
+            id: "fig11",
+            artifact: "Fig. 11: energy saving by user activeness",
+            run: experiments::fig11::run,
+        },
+        Experiment {
+            id: "ablate_k",
+            artifact: "Ablation: finite k vs the paper's deployed k = infinity",
+            run: experiments::ablate_k::run,
+        },
+        Experiment {
+            id: "ablate_jitter",
+            artifact: "Ablation: heartbeat jitter sensitivity",
+            run: experiments::ablate_jitter::run,
+        },
+        Experiment {
+            id: "ablate_prediction",
+            artifact: "Ablation: oracle bandwidth for PerES/eTime",
+            run: experiments::ablate_prediction::run,
+        },
+        Experiment {
+            id: "ablate_radio",
+            artifact: "Ablation: 3G long tails vs WiFi-like short tails",
+            run: experiments::ablate_radio::run,
+        },
+        Experiment {
+            id: "ablate_dormancy",
+            artifact: "Ablation: eTrain vs fast dormancy (promotion cost)",
+            run: experiments::ablate_dormancy::run,
+        },
+        Experiment {
+            id: "offline_gap",
+            artifact: "Extension: online eTrain vs the Sec. III offline optimum",
+            run: experiments::offline_gap::run,
+        },
+        Experiment {
+            id: "capture_study",
+            artifact: "Extension: Sec. II-B capture analysis (Wireshark methodology)",
+            run: experiments::capture_study::run,
+        },
+        Experiment {
+            id: "ext_day",
+            artifact: "Extension: 24-hour diurnal battery projection (3G vs LTE DRX)",
+            run: experiments::ext_day::run,
+        },
+        Experiment {
+            id: "ext_grid",
+            artifact: "Extension: energy-saving surface over the Theta x lambda grid",
+            run: experiments::ext_grid::run,
+        },
+        Experiment {
+            id: "ext_push_poll",
+            artifact: "Extension: push-fetch over heartbeats vs polling",
+            run: experiments::ext_push_poll::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+/// Binary entry point shared by all `src/bin/*.rs` wrappers: runs the
+/// experiment and prints its tables. CLI flags: `--quick` shrinks the run;
+/// `--csv DIR` additionally writes each table as
+/// `DIR/<experiment>_<index>.csv` for plotting.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the registry (binaries are generated from it),
+/// or if `--csv` is given without a directory or the directory cannot be
+/// written.
+pub fn run_binary(id: &str) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| args.get(i + 1).expect("--csv needs a directory").clone());
+
+    let experiment = find(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    println!("# {} — {}", experiment.id, experiment.artifact);
+    if quick {
+        println!("# (quick mode: reduced horizons/sweeps)");
+    }
+    let tables = (experiment.run)(quick);
+    for table in &tables {
+        println!("{table}");
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("creating the --csv directory");
+        for (index, table) in tables.iter().enumerate() {
+            let path = format!("{dir}/{id}_{index}.csv");
+            std::fs::write(&path, table.to_csv()).expect("writing the CSV file");
+            println!("# wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The eTrain Broadcast module: one-to-many decision delivery.
+//!
+//! The Android implementation uses `BroadcastReceiver` because "broadcast
+//! is more efficient for one-to-many communications, which is the case for
+//! eTrain" (paper Sec. V-1). This is the in-process equivalent: every
+//! subscriber gets its own unbounded channel and every published message is
+//! cloned to all of them.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A broadcast bus: clone-to-all pub/sub over crossbeam channels.
+///
+/// Subscribers that have been dropped are pruned lazily on publish.
+/// The bus itself is cheap to share behind an `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_core::Bus;
+///
+/// let bus: Bus<u32> = Bus::new();
+/// let a = bus.subscribe();
+/// let b = bus.subscribe();
+/// bus.publish(7);
+/// assert_eq!(a.recv().unwrap(), 7);
+/// assert_eq!(b.recv().unwrap(), 7);
+/// ```
+#[derive(Debug)]
+pub struct Bus<T> {
+    subscribers: Mutex<Vec<Sender<T>>>,
+}
+
+impl<T: Clone> Bus<T> {
+    /// Creates a bus with no subscribers.
+    pub fn new() -> Self {
+        Bus {
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new subscriber and returns its receiving end.
+    pub fn subscribe(&self) -> Receiver<T> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes `message` to every live subscriber, returning how many
+    /// received it. Disconnected subscribers are removed.
+    pub fn publish(&self, message: T) -> usize {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(message.clone()).is_ok());
+        subs.len()
+    }
+
+    /// Number of live subscribers (stale ones are only pruned on publish,
+    /// so this is an upper bound between publishes).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+impl<T: Clone> Default for Bus<T> {
+    fn default() -> Self {
+        Bus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_to_all_subscribers() {
+        let bus: Bus<&'static str> = Bus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        assert_eq!(bus.publish("hello"), 2);
+        assert_eq!(a.recv().unwrap(), "hello");
+        assert_eq!(b.recv().unwrap(), "hello");
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus: Bus<u8> = Bus::new();
+        let a = bus.subscribe();
+        {
+            let _b = bus.subscribe();
+        } // dropped immediately
+        assert_eq!(bus.publish(1), 1);
+        assert_eq!(a.recv().unwrap(), 1);
+        assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_fine() {
+        let bus: Bus<u8> = Bus::new();
+        assert_eq!(bus.publish(1), 0);
+    }
+
+    #[test]
+    fn messages_queue_per_subscriber() {
+        let bus: Bus<u8> = Bus::new();
+        let rx = bus.subscribe();
+        bus.publish(1);
+        bus.publish(2);
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bus_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Bus<u64>>();
+    }
+}

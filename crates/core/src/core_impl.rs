@@ -1,0 +1,603 @@
+//! The deterministic (sans-IO) eTrain core: Heartbeat Monitor + Scheduler
+//! wired together, driven by explicit timestamps.
+
+use std::collections::HashMap;
+
+use etrain_hb::{HeartbeatMonitor, TrainStatus};
+use etrain_sched::{AppProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext};
+use etrain_trace::packets::Packet;
+use etrain_trace::{CargoAppId, TrainAppId};
+
+use crate::error::CoreError;
+use crate::request::{RequestId, TransmitDecision, TransmitRequest};
+
+/// Configuration of the deterministic core.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreConfig {
+    /// The delay-cost bound Θ of Algorithm 1.
+    pub theta: f64,
+    /// Packets piggybacked per heartbeat; `None` = the paper's k = ∞.
+    pub k: Option<usize>,
+    /// Scheduler slot length in seconds.
+    pub slot_s: f64,
+    /// Grace period after a train registers during which it counts as
+    /// alive even before its first observed heartbeat, in seconds.
+    pub startup_grace_s: f64,
+}
+
+impl Default for CoreConfig {
+    /// Θ = 0.2, k = ∞, 1 s slots (the paper's deployed settings) and a
+    /// 10-minute startup grace.
+    fn default() -> Self {
+        CoreConfig {
+            theta: 0.2,
+            k: None,
+            slot_s: 1.0,
+            startup_grace_s: 600.0,
+        }
+    }
+}
+
+/// Cumulative counters of a running eTrain core — the operational
+/// statistics a deployment dashboard would chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CoreStats {
+    /// Requests submitted since startup.
+    pub submitted: usize,
+    /// Decisions issued since startup.
+    pub decided: usize,
+    /// Decisions that piggybacked on a heartbeat.
+    pub piggybacked: usize,
+    /// Requests cancelled before a decision.
+    pub cancelled: usize,
+    /// Heartbeats observed across all train apps.
+    pub heartbeats: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    id: RequestId,
+    submitted_at_s: f64,
+    deadline_override_s: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct TrainRecord {
+    name: String,
+    registered_at_s: f64,
+}
+
+/// The deterministic eTrain system core.
+///
+/// Drive it with four calls, all carrying explicit timestamps (monotone
+/// non-decreasing):
+///
+/// - [`ETrainCore::register_train`] / [`ETrainCore::register_cargo`] —
+///   app registration (cargo apps register their delay-cost profile);
+/// - [`ETrainCore::on_heartbeat`] — a train app transmitted a heartbeat
+///   (the Xposed-hook trigger); runs a heartbeat slot of Algorithm 1 and
+///   returns the piggybacking decisions;
+/// - [`ETrainCore::submit`] — a cargo app requests a transmission;
+/// - [`ETrainCore::tick`] — a regular scheduler slot.
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct ETrainCore {
+    config: CoreConfig,
+    profiles: Vec<AppProfile>,
+    scheduler: ETrainScheduler,
+    monitor: HeartbeatMonitor,
+    trains: Vec<TrainRecord>,
+    pending: HashMap<u64, PendingRequest>,
+    stashed_decisions: Vec<TransmitDecision>,
+    stats: CoreStats,
+    next_packet_id: u64,
+    next_request_id: u64,
+    now_s: f64,
+}
+
+impl ETrainCore {
+    /// Creates a core with no registered apps.
+    pub fn new(config: CoreConfig) -> Self {
+        ETrainCore {
+            scheduler: ETrainScheduler::new(
+                ETrainConfig {
+                    theta: config.theta,
+                    k: config.k,
+                    slot_s: config.slot_s,
+                },
+                Vec::new(),
+            ),
+            config,
+            profiles: Vec::new(),
+            monitor: HeartbeatMonitor::new(),
+            trains: Vec::new(),
+            pending: HashMap::new(),
+            stashed_decisions: Vec::new(),
+            stats: CoreStats::default(),
+            next_packet_id: 0,
+            next_request_id: 0,
+            now_s: 0.0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The current system time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Number of requests waiting for a transmission decision.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative operational counters since startup.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Registers a train app. Heartbeats must reference the returned id.
+    pub fn register_train(&mut self, name: impl Into<String>) -> TrainAppId {
+        let id = TrainAppId(self.trains.len());
+        self.trains.push(TrainRecord {
+            name: name.into(),
+            registered_at_s: self.now_s,
+        });
+        id
+    }
+
+    /// Registers a cargo app with its delay-cost profile, as Android apps
+    /// do when subscribing to eTrain's service (paper Sec. V-3).
+    ///
+    /// Pending requests of previously registered apps are preserved.
+    pub fn register_cargo(&mut self, profile: AppProfile) -> CargoAppId {
+        let id = CargoAppId(self.profiles.len());
+        self.profiles.push(profile);
+        // Rebuild the scheduler with the widened profile set, carrying over
+        // every pending packet with its original arrival time.
+        let mut rebuilt = ETrainScheduler::new(
+            ETrainConfig {
+                theta: self.config.theta,
+                k: self.config.k,
+                slot_s: self.config.slot_s,
+            },
+            self.profiles.clone(),
+        );
+        let mut carried: Vec<Packet> = Vec::with_capacity(self.pending.len());
+        for (&packet_id, _meta) in &self.pending {
+            // Recover the packet from the old scheduler's queues.
+            for app_idx in 0..self.profiles.len().saturating_sub(1) {
+                if let Some(p) = self.scheduler.force_release(CargoAppId(app_idx), packet_id) {
+                    carried.push(p);
+                    break;
+                }
+            }
+        }
+        carried.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        for p in carried {
+            rebuilt
+                .on_arrival(p, p.arrival_s)
+                .expect("carried packet's app is registered");
+        }
+        self.scheduler = rebuilt;
+        id
+    }
+
+    /// Name of a registered train app.
+    pub fn train_name(&self, train: TrainAppId) -> Option<&str> {
+        self.trains.get(train.index()).map(|t| t.name.as_str())
+    }
+
+    /// Submits a transmission request for `app` at time `now_s`, returning
+    /// its id. Decisions are delivered from [`ETrainCore::tick`] /
+    /// [`ETrainCore::on_heartbeat`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownCargoApp`] for unregistered apps and
+    /// [`CoreError::TimeWentBackwards`] if `now_s` precedes the system
+    /// clock.
+    pub fn submit(
+        &mut self,
+        app: CargoAppId,
+        request: TransmitRequest,
+        now_s: f64,
+    ) -> Result<RequestId, CoreError> {
+        self.advance_clock(now_s)?;
+        if app.index() >= self.profiles.len() {
+            return Err(CoreError::UnknownCargoApp { app });
+        }
+        let packet_id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        self.stats.submitted += 1;
+
+        let packet = Packet {
+            id: packet_id,
+            app,
+            arrival_s: now_s,
+            size_bytes: request.size_bytes,
+        };
+        self.pending.insert(
+            packet_id,
+            PendingRequest {
+                id,
+                submitted_at_s: now_s,
+                deadline_override_s: request.deadline_s,
+            },
+        );
+        let released = self
+            .scheduler
+            .on_arrival(packet, now_s)
+            .map_err(|_| CoreError::UnknownCargoApp { app })?;
+        // eTrain always defers on arrival, but honor the trait contract:
+        // anything released immediately is stashed for the next tick.
+        let stashed: Vec<TransmitDecision> = released
+            .into_iter()
+            .map(|p| self.decision_for(p, now_s, None))
+            .collect();
+        self.stashed_decisions.extend(stashed);
+        Ok(id)
+    }
+
+    /// Notifies the core that `train` transmitted a heartbeat at `now_s`
+    /// (the paper's Xposed trigger) and runs a heartbeat slot of
+    /// Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTrainApp`] for unregistered trains and
+    /// [`CoreError::TimeWentBackwards`] for non-monotone timestamps.
+    pub fn on_heartbeat(
+        &mut self,
+        train: TrainAppId,
+        now_s: f64,
+    ) -> Result<Vec<TransmitDecision>, CoreError> {
+        self.advance_clock(now_s)?;
+        if train.index() >= self.trains.len() {
+            return Err(CoreError::UnknownTrainApp { train });
+        }
+        self.monitor.observe(train, now_s);
+        self.stats.heartbeats += 1;
+        Ok(self.run_slot(now_s, Some(train)))
+    }
+
+    /// Runs a regular scheduler slot at `now_s` and returns the decisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TimeWentBackwards`] for non-monotone
+    /// timestamps.
+    pub fn tick(&mut self, now_s: f64) -> Result<Vec<TransmitDecision>, CoreError> {
+        self.advance_clock(now_s)?;
+        Ok(self.run_slot(now_s, None))
+    }
+
+    /// Cancels a pending request (the user deleted a queued post, or the
+    /// data became stale before any train departed). Returns `true` if the
+    /// request was still pending and is now withdrawn, `false` if it was
+    /// already decided or never existed — cancellation after a decision is
+    /// a no-op because the cargo app may already be transmitting.
+    pub fn cancel(&mut self, request: RequestId) -> bool {
+        let Some((&packet_id, _)) = self
+            .pending
+            .iter()
+            .find(|(_, meta)| meta.id == request)
+        else {
+            return false;
+        };
+        for app_idx in 0..self.profiles.len() {
+            if self
+                .scheduler
+                .force_release(CargoAppId(app_idx), packet_id)
+                .is_some()
+            {
+                self.pending.remove(&packet_id);
+                self.stats.cancelled += 1;
+                return true;
+            }
+        }
+        // Metadata existed but the packet was not in any waiting queue —
+        // an immediate release is parked in the stashed-decisions path;
+        // withdraw it from there too.
+        let before = self.stashed_decisions.len();
+        self.stashed_decisions.retain(|d| d.request != request);
+        if self.stashed_decisions.len() != before {
+            self.pending.remove(&packet_id);
+            self.stats.cancelled += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the scheduler currently considers any train app alive.
+    pub fn trains_alive(&self, now_s: f64) -> bool {
+        self.trains.iter().enumerate().any(|(idx, record)| {
+            match self.monitor.status(TrainAppId(idx), now_s) {
+                TrainStatus::Alive => true,
+                TrainStatus::Dead => false,
+                TrainStatus::Undetermined => {
+                    now_s - record.registered_at_s <= self.config.startup_grace_s
+                }
+            }
+        })
+    }
+
+    /// The next predicted train departure strictly after `now_s`, if the
+    /// monitor has learned a cycle.
+    pub fn next_train_departure(&self, now_s: f64) -> Option<(TrainAppId, f64)> {
+        self.monitor.next_departure(now_s)
+    }
+
+    fn advance_clock(&mut self, now_s: f64) -> Result<(), CoreError> {
+        if now_s < self.now_s {
+            return Err(CoreError::TimeWentBackwards {
+                now_s: self.now_s,
+                supplied_s: now_s,
+            });
+        }
+        self.now_s = now_s;
+        Ok(())
+    }
+
+    fn run_slot(&mut self, now_s: f64, heartbeat: Option<TrainAppId>) -> Vec<TransmitDecision> {
+        let mut decisions = std::mem::take(&mut self.stashed_decisions);
+
+        // Per-request deadline overrides: force-release anything that would
+        // violate its own deadline by waiting one more slot.
+        let critical: Vec<(u64, CargoAppId)> = self
+            .pending
+            .iter()
+            .filter_map(|(&packet_id, meta)| {
+                let deadline = meta.deadline_override_s?;
+                if now_s + self.config.slot_s - meta.submitted_at_s >= deadline {
+                    Some(packet_id)
+                } else {
+                    None
+                }
+            })
+            .flat_map(|packet_id| {
+                (0..self.profiles.len()).map(move |app| (packet_id, CargoAppId(app)))
+            })
+            .collect();
+        for (packet_id, app) in critical {
+            if let Some(p) = self.scheduler.force_release(app, packet_id) {
+                decisions.push(self.decision_for(p, now_s, None));
+            }
+        }
+
+        let ctx = SlotContext {
+            now_s,
+            heartbeat_departing: heartbeat.is_some(),
+            predicted_bandwidth_bps: 0.0, // Algorithm 1 is channel-oblivious
+            trains_alive: self.trains_alive(now_s),
+        };
+        let released: Vec<TransmitDecision> = self
+            .scheduler
+            .on_slot(&ctx)
+            .into_iter()
+            .map(|p| self.decision_for(p, now_s, heartbeat))
+            .collect();
+        decisions.extend(released);
+        decisions
+    }
+
+    fn decision_for(
+        &mut self,
+        packet: Packet,
+        now_s: f64,
+        piggybacked_on: Option<TrainAppId>,
+    ) -> TransmitDecision {
+        let meta = self
+            .pending
+            .remove(&packet.id)
+            .expect("released packet has pending metadata");
+        self.stats.decided += 1;
+        if piggybacked_on.is_some() {
+            self.stats.piggybacked += 1;
+        }
+        TransmitDecision {
+            request: meta.id,
+            app: packet.app,
+            size_bytes: packet.size_bytes,
+            decided_at_s: now_s,
+            submitted_at_s: meta.submitted_at_s,
+            piggybacked_on,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_sched::CostProfile;
+
+    fn core() -> (ETrainCore, TrainAppId, CargoAppId) {
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 5.0, // high gate: only heartbeats release in tests
+            k: None,
+            slot_s: 1.0,
+            startup_grace_s: 600.0,
+        });
+        let train = core.register_train("WeChat");
+        let cargo = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        (core, train, cargo)
+    }
+
+    #[test]
+    fn request_rides_the_next_train() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(5_000), 10.0)
+            .unwrap();
+        assert!(core.tick(11.0).unwrap().is_empty());
+        assert_eq!(core.pending_requests(), 1);
+
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        let d = decisions[0];
+        assert_eq!(d.request, id);
+        assert_eq!(d.piggybacked_on, Some(train));
+        assert_eq!(d.delay_s(), 260.0);
+        assert_eq!(core.pending_requests(), 0);
+    }
+
+    #[test]
+    fn unknown_apps_are_rejected() {
+        let (mut core, _, _) = core();
+        let err = core
+            .submit(CargoAppId(7), TransmitRequest::upload(1), 0.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownCargoApp { .. }));
+        let err = core.on_heartbeat(TrainAppId(7), 0.0).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownTrainApp { .. }));
+    }
+
+    #[test]
+    fn time_must_be_monotone() {
+        let (mut core, _, cargo) = core();
+        core.submit(cargo, TransmitRequest::upload(1), 50.0).unwrap();
+        let err = core
+            .submit(cargo, TransmitRequest::upload(1), 10.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TimeWentBackwards { .. }));
+    }
+
+    #[test]
+    fn per_request_deadline_override_forces_release() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        core.submit(
+            cargo,
+            TransmitRequest::upload(100).with_deadline(20.0),
+            5.0,
+        )
+        .unwrap();
+        assert!(core.tick(10.0).unwrap().is_empty());
+        // At t=24 the next slot would pass the 20 s override (5 + 20 = 25).
+        let decisions = core.tick(24.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].piggybacked_on, None);
+    }
+
+    #[test]
+    fn dead_trains_flush_pending_requests() {
+        let (mut core, train, cargo) = core();
+        // Teach the monitor a 100 s cycle.
+        for j in 0..4 {
+            core.on_heartbeat(train, j as f64 * 100.0).unwrap();
+        }
+        core.submit(cargo, TransmitRequest::upload(100), 350.0)
+            .unwrap();
+        // The train dies (no heartbeat for >2.5 cycles): requests flush.
+        let decisions = core.tick(900.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert!(!core.trains_alive(900.0));
+    }
+
+    #[test]
+    fn startup_grace_keeps_unobserved_trains_alive() {
+        let (core, _, _) = core();
+        assert!(core.trains_alive(100.0)); // within grace
+        assert!(!core.trains_alive(10_000.0)); // grace expired, never seen
+    }
+
+    #[test]
+    fn no_trains_registered_means_immediate_release() {
+        let mut core = ETrainCore::new(CoreConfig::default());
+        let cargo = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        core.submit(cargo, TransmitRequest::upload(100), 1.0).unwrap();
+        let decisions = core.tick(2.0).unwrap();
+        assert_eq!(decisions.len(), 1, "no trains: the scheduler must not defer");
+    }
+
+    #[test]
+    fn late_cargo_registration_preserves_pending_requests() {
+        let (mut core, train, cargo0) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id0 = core
+            .submit(cargo0, TransmitRequest::upload(100), 5.0)
+            .unwrap();
+        // Second cargo app registers while a request is pending.
+        let cargo1 = core.register_cargo(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+        let id1 = core
+            .submit(cargo1, TransmitRequest::upload(200), 6.0)
+            .unwrap();
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        let mut ids: Vec<RequestId> = decisions.iter().map(|d| d.request).collect();
+        ids.sort();
+        assert_eq!(ids, vec![id0, id1]);
+    }
+
+    #[test]
+    fn monitor_predicts_next_departure() {
+        let (mut core, train, _) = core();
+        for j in 0..4 {
+            core.on_heartbeat(train, j as f64 * 270.0).unwrap();
+        }
+        let (t, when) = core.next_train_departure(850.0).unwrap();
+        assert_eq!(t, train);
+        assert!((when - 1080.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn train_names_are_recorded() {
+        let (core, train, _) = core();
+        assert_eq!(core.train_name(train), Some("WeChat"));
+        assert_eq!(core.train_name(TrainAppId(9)), None);
+    }
+
+    #[test]
+    fn cancel_withdraws_pending_requests_only() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let keep = core.submit(cargo, TransmitRequest::upload(100), 5.0).unwrap();
+        let drop = core.submit(cargo, TransmitRequest::upload(200), 6.0).unwrap();
+
+        assert!(core.cancel(drop), "pending request can be cancelled");
+        assert!(!core.cancel(drop), "second cancel is a no-op");
+        assert_eq!(core.pending_requests(), 1);
+
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].request, keep);
+        assert!(!core.cancel(keep), "decided request cannot be cancelled");
+    }
+
+    #[test]
+    fn stats_track_the_request_lifecycle() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(1), 1.0).unwrap();
+        let victim = core.submit(cargo, TransmitRequest::upload(2), 2.0).unwrap();
+        assert!(core.cancel(victim));
+        core.on_heartbeat(train, 270.0).unwrap();
+
+        let stats = core.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.decided, 1);
+        assert_eq!(stats.piggybacked, 1);
+        assert_eq!(stats.heartbeats, 2);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = CoreConfig {
+            theta: 3.5,
+            k: Some(12),
+            slot_s: 0.5,
+            startup_grace_s: 120.0,
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: CoreConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

@@ -1,0 +1,45 @@
+use etrain_trace::{CargoAppId, TrainAppId};
+
+/// Error produced by the eTrain system runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A request referenced a cargo app that never registered.
+    UnknownCargoApp {
+        /// The unknown app id.
+        app: CargoAppId,
+    },
+    /// A heartbeat referenced a train app that never registered.
+    UnknownTrainApp {
+        /// The unknown train id.
+        train: TrainAppId,
+    },
+    /// Time went backwards (the system clock is monotone).
+    TimeWentBackwards {
+        /// The current system time in seconds.
+        now_s: f64,
+        /// The earlier timestamp that was supplied.
+        supplied_s: f64,
+    },
+    /// The threaded runtime has been shut down.
+    SystemStopped,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownCargoApp { app } => {
+                write!(f, "cargo app {app} is not registered")
+            }
+            CoreError::UnknownTrainApp { train } => {
+                write!(f, "train app {train} is not registered")
+            }
+            CoreError::TimeWentBackwards { now_s, supplied_s } => write!(
+                f,
+                "time went backwards: system is at {now_s} s, got {supplied_s} s"
+            ),
+            CoreError::SystemStopped => f.write_str("the eTrain system has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,66 @@
+//! # etrain-core — the eTrain system runtime
+//!
+//! This crate is the reproduction of the paper's Sec. V: the eTrain
+//! *system* that runs on a phone, as opposed to the scheduling *algorithm*
+//! (in `etrain-sched`) or the evaluation *testbed* (in `etrain-sim`). It
+//! mirrors the Android architecture one-to-one:
+//!
+//! | Paper (Android)                              | This crate                      |
+//! |----------------------------------------------|---------------------------------|
+//! | Xposed hook on train apps' heartbeat code    | [`TrainHandle::heartbeat`]      |
+//! | Heartbeat Monitor module                     | [`ETrainCore`] + `etrain-hb`    |
+//! | eTrain Scheduler module (Algorithm 1)        | [`ETrainCore`] + `etrain-sched` |
+//! | eTrain Broadcast (`BroadcastReceiver` IPC)   | [`Bus`] (crossbeam channels)    |
+//! | Cargo app registration with profile          | [`ETrainSystem::cargo_client`]  |
+//! | Transmit request with meta-data              | [`TransmitRequest`]             |
+//! | Transmission decision delivered to cargo app | [`TransmitDecision`]            |
+//!
+//! Two layers are provided:
+//!
+//! - [`ETrainCore`] — a deterministic, synchronous ("sans-IO") core: feed
+//!   it heartbeats, requests and clock ticks, get back decisions. All the
+//!   system logic lives here and is directly unit-testable.
+//! - [`ETrainSystem`] — a threaded runtime around the core with a real
+//!   clock (optionally time-scaled so a 300-second heartbeat cycle can be
+//!   exercised in milliseconds), broadcasting decisions to subscribed
+//!   cargo clients exactly like Android's one-to-many `Broadcast`.
+//!
+//! # Example (deterministic core)
+//!
+//! ```
+//! use etrain_core::{CoreConfig, ETrainCore, TransmitRequest};
+//! use etrain_sched::{AppProfile, CostProfile};
+//!
+//! # fn main() -> Result<(), etrain_core::CoreError> {
+//! let mut core = ETrainCore::new(CoreConfig::default());
+//! let train = core.register_train("WeChat");
+//! let mail = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(60.0)));
+//!
+//! // The Xposed hook fires on each heartbeat; requests queue in between.
+//! core.on_heartbeat(train, 0.0)?;
+//! let id = core.submit(mail, TransmitRequest::upload(5_000), 5.0)?;
+//! assert!(core.tick(6.0)?.is_empty()); // deferred: cost below Θ, no train yet
+//!
+//! let decisions = core.on_heartbeat(train, 270.0)?; // next train departs
+//! assert_eq!(decisions.len(), 1);
+//! assert_eq!(decisions[0].request, id);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod core_impl;
+mod error;
+mod meter;
+mod request;
+mod system;
+
+pub use bus::Bus;
+pub use core_impl::{CoreConfig, CoreStats, ETrainCore};
+pub use error::CoreError;
+pub use meter::EnergyMeter;
+pub use request::{Direction, RequestId, TransmitDecision, TransmitRequest};
+pub use system::{CargoClient, ETrainSystem, SystemConfig, TrainHandle};

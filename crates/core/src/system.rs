@@ -1,0 +1,372 @@
+//! The threaded eTrain runtime: a real-clock wrapper around
+//! [`ETrainCore`] with broadcast decision delivery.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use etrain_sched::AppProfile;
+use etrain_trace::{CargoAppId, TrainAppId};
+use parking_lot::Mutex;
+
+use crate::bus::Bus;
+use crate::core_impl::{CoreConfig, ETrainCore};
+use crate::error::CoreError;
+use crate::request::{RequestId, TransmitDecision, TransmitRequest};
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemConfig {
+    /// Configuration of the embedded deterministic core.
+    pub core: CoreConfig,
+    /// Simulated seconds per real second. `1.0` runs in real time; tests
+    /// and demos use large factors so a 270-second heartbeat cycle passes
+    /// in milliseconds.
+    pub time_scale: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            core: CoreConfig::default(),
+            time_scale: 1.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    core: Mutex<ETrainCore>,
+    bus: Bus<TransmitDecision>,
+    started: Instant,
+    time_scale: f64,
+    stopped: AtomicBool,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * self.time_scale
+    }
+
+    fn ensure_running(&self) -> Result<(), CoreError> {
+        if self.stopped.load(Ordering::SeqCst) {
+            Err(CoreError::SystemStopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn publish_all(&self, decisions: Vec<TransmitDecision>) {
+        for d in decisions {
+            self.bus.publish(d);
+        }
+    }
+}
+
+/// The live eTrain system: a scheduler thread ticking at the configured
+/// slot cadence, train handles that report heartbeats (the Xposed-hook
+/// role), cargo clients that submit requests, and a broadcast bus that
+/// delivers [`TransmitDecision`]s one-to-many.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_core::{ETrainSystem, SystemConfig, TransmitRequest};
+/// use etrain_sched::{AppProfile, CostProfile};
+///
+/// # fn main() -> Result<(), etrain_core::CoreError> {
+/// let mut config = SystemConfig::default();
+/// config.time_scale = 1000.0; // 1000 simulated seconds per real second
+///
+/// let system = ETrainSystem::start(config);
+/// let train = system.train_handle("WeChat");
+/// let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+///
+/// client.submit(TransmitRequest::upload(5_000))?;
+/// train.heartbeat()?; // a heartbeat departs: the request piggybacks
+/// let decision = client.next_decision(std::time::Duration::from_secs(2))
+///     .expect("decision should arrive on the heartbeat");
+/// assert_eq!(decision.size_bytes, 5_000);
+/// system.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ETrainSystem {
+    shared: Arc<Shared>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl ETrainSystem {
+    /// Starts the system and its scheduler thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not strictly positive.
+    pub fn start(config: SystemConfig) -> Self {
+        assert!(config.time_scale > 0.0, "time scale must be positive");
+        let shared = Arc::new(Shared {
+            core: Mutex::new(ETrainCore::new(config.core)),
+            bus: Bus::new(),
+            started: Instant::now(),
+            time_scale: config.time_scale,
+            stopped: AtomicBool::new(false),
+        });
+        // One scheduler slot in real time, bounded below so huge time
+        // scales don't busy-spin.
+        let tick_real = Duration::from_secs_f64(
+            (config.core.slot_s / config.time_scale).max(0.001),
+        );
+        let thread_shared = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("etrain-scheduler".to_owned())
+            .spawn(move || {
+                while !thread_shared.stopped.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick_real);
+                    let now = thread_shared.now_s();
+                    let decisions = {
+                        let mut core = thread_shared.core.lock();
+                        core.tick(now).unwrap_or_default()
+                    };
+                    thread_shared.publish_all(decisions);
+                }
+            })
+            .expect("spawning the scheduler thread succeeds");
+        ETrainSystem {
+            shared,
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Current system time in simulated seconds.
+    pub fn now_s(&self) -> f64 {
+        self.shared.now_s()
+    }
+
+    /// Registers a train app and returns its heartbeat handle.
+    pub fn train_handle(&self, name: &str) -> TrainHandle {
+        let train = self.shared.core.lock().register_train(name);
+        TrainHandle {
+            train,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Registers a cargo app with its profile and returns a client that
+    /// can submit requests and receive decisions.
+    pub fn cargo_client(&self, profile: AppProfile) -> CargoClient {
+        let app = self.shared.core.lock().register_cargo(profile);
+        CargoClient {
+            app,
+            decisions: self.shared.bus.subscribe(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Subscribes to the raw decision broadcast (all apps).
+    pub fn subscribe(&self) -> Receiver<TransmitDecision> {
+        self.shared.bus.subscribe()
+    }
+
+    /// Snapshot of the core's cumulative operational counters.
+    pub fn stats(&self) -> crate::CoreStats {
+        self.shared.core.lock().stats()
+    }
+
+    /// Stops the scheduler thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.ticker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ETrainSystem {
+    /// Signals the scheduler thread to stop and joins it. The join is
+    /// bounded by one slot interval, so dropping never blocks long; call
+    /// [`ETrainSystem::shutdown`] for an explicit teardown.
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Handle through which a train app reports its heartbeats — the role the
+/// Xposed module plays on Android (paper Sec. V-2).
+#[derive(Debug)]
+pub struct TrainHandle {
+    train: TrainAppId,
+    shared: Arc<Shared>,
+}
+
+impl TrainHandle {
+    /// This train's id.
+    pub fn id(&self) -> TrainAppId {
+        self.train
+    }
+
+    /// Reports that a heartbeat is departing right now. The scheduler runs
+    /// a heartbeat slot of Algorithm 1 and any piggybacking decisions are
+    /// broadcast immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SystemStopped`] after shutdown.
+    pub fn heartbeat(&self) -> Result<(), CoreError> {
+        self.shared.ensure_running()?;
+        let now = self.shared.now_s();
+        let decisions = {
+            let mut core = self.shared.core.lock();
+            core.on_heartbeat(self.train, now)?
+        };
+        self.shared.publish_all(decisions);
+        Ok(())
+    }
+}
+
+/// A cargo app's connection to eTrain: submit requests, receive decisions.
+#[derive(Debug)]
+pub struct CargoClient {
+    app: CargoAppId,
+    decisions: Receiver<TransmitDecision>,
+    shared: Arc<Shared>,
+}
+
+impl CargoClient {
+    /// This cargo app's id.
+    pub fn id(&self) -> CargoAppId {
+        self.app
+    }
+
+    /// Submits a transmission request; the decision arrives later on the
+    /// broadcast (see [`CargoClient::next_decision`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SystemStopped`] after shutdown, or the core's
+    /// validation errors.
+    pub fn submit(&self, request: TransmitRequest) -> Result<RequestId, CoreError> {
+        self.shared.ensure_running()?;
+        let now = self.shared.now_s();
+        self.shared.core.lock().submit(self.app, request, now)
+    }
+
+    /// Cancels one of this app's pending requests. Returns `true` when the
+    /// request was withdrawn before any decision, `false` when it was
+    /// already decided (or unknown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SystemStopped`] after shutdown.
+    pub fn cancel(&self, request: RequestId) -> Result<bool, CoreError> {
+        self.shared.ensure_running()?;
+        Ok(self.shared.core.lock().cancel(request))
+    }
+
+    /// Blocks up to `timeout` for the next decision addressed to *this*
+    /// app (decisions for other apps are skipped, mirroring Android
+    /// broadcast receivers filtering by intent).
+    pub fn next_decision(&self, timeout: Duration) -> Option<TransmitDecision> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self.decisions.recv_timeout(remaining) {
+                Ok(d) if d.app == self.app => return Some(d),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_sched::CostProfile;
+
+    fn fast_config(theta: f64) -> SystemConfig {
+        SystemConfig {
+            core: CoreConfig {
+                theta,
+                k: None,
+                slot_s: 1.0,
+                startup_grace_s: 600.0,
+            },
+            time_scale: 1000.0,
+        }
+    }
+
+    #[test]
+    fn end_to_end_heartbeat_piggybacking() {
+        let system = ETrainSystem::start(fast_config(50.0));
+        let train = system.train_handle("QQ");
+        let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+
+        let id = client.submit(TransmitRequest::upload(4_000)).unwrap();
+        train.heartbeat().unwrap();
+        let decision = client
+            .next_decision(Duration::from_secs(2))
+            .expect("heartbeat should trigger a decision");
+        assert_eq!(decision.request, id);
+        assert_eq!(decision.piggybacked_on, Some(train.id()));
+        system.shutdown();
+    }
+
+    #[test]
+    fn decisions_are_filtered_per_client() {
+        let system = ETrainSystem::start(fast_config(50.0));
+        let train = system.train_handle("QQ");
+        let mail = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        let weibo = system.cargo_client(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+
+        weibo.submit(TransmitRequest::upload(100)).unwrap();
+        train.heartbeat().unwrap();
+        assert!(mail.next_decision(Duration::from_millis(300)).is_none());
+        assert!(weibo.next_decision(Duration::from_secs(2)).is_some());
+        system.shutdown();
+    }
+
+    #[test]
+    fn submissions_fail_after_shutdown() {
+        let system = ETrainSystem::start(fast_config(1.0));
+        let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        let shared = Arc::clone(&system.shared);
+        system.shutdown();
+        shared.stopped.store(true, Ordering::SeqCst);
+        assert_eq!(
+            client.submit(TransmitRequest::upload(1)).unwrap_err(),
+            CoreError::SystemStopped
+        );
+    }
+
+    #[test]
+    fn ticker_thread_releases_on_cost_breach() {
+        // Θ = 0 with no trains registered: the ticker itself must flush
+        // the request within a few slots.
+        let system = ETrainSystem::start(fast_config(0.0));
+        let client = system.cargo_client(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+        client.submit(TransmitRequest::upload(100)).unwrap();
+        let decision = client.next_decision(Duration::from_secs(2));
+        assert!(decision.is_some(), "ticker should flush the request");
+        system.shutdown();
+    }
+
+    #[test]
+    fn raw_subscription_sees_all_decisions() {
+        let system = ETrainSystem::start(fast_config(50.0));
+        let train = system.train_handle("QQ");
+        let all = system.subscribe();
+        let mail = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        mail.submit(TransmitRequest::upload(1)).unwrap();
+        train.heartbeat().unwrap();
+        let d = all.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(d.app, mail.id());
+        system.shutdown();
+    }
+}

@@ -1,0 +1,222 @@
+//! Cycle-change detection.
+//!
+//! Heartbeat cycles are stable (paper Table 1), but they do change at
+//! discrete moments: an app update ships a new keep-alive interval, the
+//! push service renegotiates, or the OS throttles background timers. A
+//! deployed eTrain must notice such a change quickly — predictions based
+//! on the old cycle would announce trains that never depart.
+//!
+//! [`ChangeDetector`] runs a CUSUM (cumulative sum) test on the relative
+//! deviation of each observed gap from the current cycle estimate: small
+//! jitter cancels out, a systematic shift accumulates and trips the alarm,
+//! after which the detector re-learns from post-change observations only.
+
+use crate::detect::{CycleDetector, DetectedPattern};
+
+/// CUSUM-based detector for changes in a fixed heartbeat cycle.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_hb::ChangeDetector;
+///
+/// let mut d = ChangeDetector::new();
+/// for i in 0..8 {
+///     assert!(!d.observe(i as f64 * 300.0)); // stable 300 s cycle
+/// }
+/// // The app updates: the cycle drops to 180 s.
+/// let mut changed = false;
+/// for i in 1..=6 {
+///     changed |= d.observe(7.0 * 300.0 + i as f64 * 180.0);
+/// }
+/// assert!(changed, "cycle change must be detected");
+/// let new_cycle = d.current_cycle_s().expect("re-learned");
+/// assert!((new_cycle - 180.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChangeDetector {
+    detector: CycleDetector,
+    last_time_s: Option<f64>,
+    cusum_pos: f64,
+    cusum_neg: f64,
+    threshold: f64,
+    slack: f64,
+    changes: usize,
+}
+
+impl ChangeDetector {
+    /// Creates a detector with the default sensitivity (alarm after a
+    /// sustained ≈ 15 % shift for about three beats; single-gap outliers
+    /// of any size also trip it).
+    pub fn new() -> Self {
+        ChangeDetector {
+            detector: CycleDetector::new(),
+            last_time_s: None,
+            cusum_pos: 0.0,
+            cusum_neg: 0.0,
+            threshold: 0.45,
+            slack: 0.05,
+            changes: 0,
+        }
+    }
+
+    /// Creates a detector with explicit CUSUM parameters: `threshold` is
+    /// the accumulated relative deviation that raises the alarm, `slack`
+    /// the per-gap deviation absorbed as jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn with_sensitivity(threshold: f64, slack: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(slack > 0.0, "slack must be positive");
+        ChangeDetector {
+            threshold,
+            slack,
+            ..ChangeDetector::new()
+        }
+    }
+
+    /// Records a heartbeat at `time_s`. Returns `true` when this
+    /// observation raised a cycle-change alarm (the detector then resets
+    /// and starts re-learning from this observation on).
+    pub fn observe(&mut self, time_s: f64) -> bool {
+        let gap = self.last_time_s.map(|last| time_s - last);
+        self.last_time_s = Some(time_s);
+
+        let cycle = self.current_cycle_s();
+        self.detector.observe(time_s);
+
+        let (Some(gap), Some(cycle)) = (gap, cycle) else {
+            return false;
+        };
+        if gap <= 0.0 || cycle <= 0.0 {
+            return false;
+        }
+        let deviation = (gap - cycle) / cycle;
+        self.cusum_pos = (self.cusum_pos + deviation - self.slack).max(0.0);
+        self.cusum_neg = (self.cusum_neg - deviation - self.slack).max(0.0);
+        if self.cusum_pos > self.threshold || self.cusum_neg > self.threshold {
+            self.changes += 1;
+            // Restart learning from the post-change observation.
+            self.detector = CycleDetector::new();
+            self.detector.observe(time_s);
+            self.cusum_pos = 0.0;
+            self.cusum_neg = 0.0;
+            return true;
+        }
+        false
+    }
+
+    /// The current fixed-cycle estimate, if one is established.
+    pub fn current_cycle_s(&self) -> Option<f64> {
+        match self.detector.detect() {
+            DetectedPattern::Fixed { cycle_s, .. } => Some(cycle_s),
+            _ => None,
+        }
+    }
+
+    /// Number of cycle changes detected so far.
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+}
+
+impl Default for ChangeDetector {
+    fn default() -> Self {
+        ChangeDetector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_stable(d: &mut ChangeDetector, start: f64, cycle: f64, n: usize) -> f64 {
+        let mut t = start;
+        for _ in 0..n {
+            d.observe(t);
+            t += cycle;
+        }
+        t - cycle
+    }
+
+    #[test]
+    fn stable_cycle_never_alarms() {
+        let mut d = ChangeDetector::new();
+        let mut t = 0.0;
+        for _ in 0..50 {
+            assert!(!d.observe(t));
+            t += 270.0;
+        }
+        assert_eq!(d.changes(), 0);
+        assert!((d.current_cycle_s().unwrap() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_within_slack_never_alarms() {
+        use rand::Rng;
+        let mut rng = etrain_trace::rng::seeded(8);
+        let mut d = ChangeDetector::new();
+        let mut alarms = 0;
+        for i in 0..60 {
+            let jitter: f64 = rng.gen_range(-6.0..6.0); // ~2 % of 300 s
+            if d.observe(i as f64 * 300.0 + jitter) {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 0, "2 % jitter must not alarm");
+    }
+
+    #[test]
+    fn halved_cycle_detected_quickly() {
+        let mut d = ChangeDetector::new();
+        let last = feed_stable(&mut d, 0.0, 300.0, 10);
+        let mut beats_until_alarm = 0;
+        let mut t = last;
+        loop {
+            t += 150.0;
+            beats_until_alarm += 1;
+            if d.observe(t) {
+                break;
+            }
+            assert!(beats_until_alarm < 10, "alarm too slow");
+        }
+        assert!(beats_until_alarm <= 3, "took {beats_until_alarm} beats");
+        assert_eq!(d.changes(), 1);
+    }
+
+    #[test]
+    fn lengthened_cycle_detected_and_relearned() {
+        let mut d = ChangeDetector::new();
+        let last = feed_stable(&mut d, 0.0, 240.0, 10);
+        let mut t = last;
+        let mut alarmed = false;
+        for _ in 0..8 {
+            t += 480.0;
+            alarmed |= d.observe(t);
+        }
+        assert!(alarmed);
+        let relearned = d.current_cycle_s().expect("re-learned after change");
+        assert!((relearned - 480.0).abs() < 5.0, "relearned {relearned}");
+    }
+
+    #[test]
+    fn multiple_changes_counted() {
+        let mut d = ChangeDetector::new();
+        let mut t = feed_stable(&mut d, 0.0, 300.0, 8);
+        for cycle in [150.0, 600.0] {
+            for _ in 0..8 {
+                t += cycle;
+                d.observe(t);
+            }
+        }
+        assert!(d.changes() >= 2, "changes {}", d.changes());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn bad_sensitivity_rejected() {
+        let _ = ChangeDetector::with_sensitivity(0.0, 0.1);
+    }
+}

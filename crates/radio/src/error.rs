@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing invalid radio parameters or timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RadioError {
+    /// A power level was negative or not finite.
+    InvalidPower {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value in milliwatts.
+        value_mw: f64,
+    },
+    /// A duration was negative or not finite.
+    InvalidDuration {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value in seconds.
+        value_s: f64,
+    },
+    /// DCH power must dominate FACH power, which must dominate idle power.
+    PowerOrdering {
+        /// Idle power in milliwatts.
+        idle_mw: f64,
+        /// FACH power in milliwatts.
+        fach_mw: f64,
+        /// DCH power in milliwatts.
+        dch_mw: f64,
+    },
+    /// A transmission had a negative start time or duration.
+    InvalidTransmission {
+        /// Start time of the rejected transmission in seconds.
+        start_s: f64,
+        /// Duration of the rejected transmission in seconds.
+        duration_s: f64,
+    },
+}
+
+impl fmt::Display for RadioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadioError::InvalidPower { name, value_mw } => {
+                write!(f, "power parameter `{name}` is invalid: {value_mw} mW")
+            }
+            RadioError::InvalidDuration { name, value_s } => {
+                write!(f, "duration parameter `{name}` is invalid: {value_s} s")
+            }
+            RadioError::PowerOrdering {
+                idle_mw,
+                fach_mw,
+                dch_mw,
+            } => write!(
+                f,
+                "power ordering violated: need idle ({idle_mw} mW) <= fach ({fach_mw} mW) <= dch ({dch_mw} mW)"
+            ),
+            RadioError::InvalidTransmission { start_s, duration_s } => write!(
+                f,
+                "transmission with start {start_s} s and duration {duration_s} s is invalid"
+            ),
+        }
+    }
+}
+
+impl Error for RadioError {}

@@ -1,0 +1,271 @@
+//! Generalized multi-phase tail profiles.
+//!
+//! The paper's UMTS model has exactly two tail phases (DCH then FACH).
+//! Other radios have more: LTE's connected-mode tail runs continuous
+//! reception, then short-DRX, then long-DRX — three plateaus of decreasing
+//! duty-cycled power — before RRC-idle. [`TailProfile`] models a tail as
+//! any finite sequence of constant-power phases and provides the same
+//! machinery the two-phase model has: cumulative gap energy `E_tail(Δ)`
+//! and an analytic whole-schedule evaluator, so eTrain's aggregation
+//! arithmetic can be asked about arbitrary radios.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::RadioParams;
+use crate::tail::merge_busy_periods;
+use crate::timeline::Transmission;
+
+/// One constant-power phase of a tail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailPhase {
+    /// Phase length in seconds.
+    pub duration_s: f64,
+    /// Power above idle during the phase, in milliwatts.
+    pub extra_mw: f64,
+}
+
+/// A radio tail as a sequence of constant-power phases (highest first in
+/// every physical radio, though the model does not require monotonicity).
+///
+/// # Examples
+///
+/// ```
+/// use etrain_radio::{RadioParams, TailProfile};
+///
+/// // The paper's two-phase UMTS tail, expressed as a profile:
+/// let umts = TailProfile::from_params(&RadioParams::galaxy_s4_3g());
+/// assert_eq!(umts.total_duration_s(), 17.5);
+/// assert!((umts.full_energy_j() - 10.375).abs() < 1e-9);
+///
+/// // A three-phase LTE DRX tail.
+/// let lte = TailProfile::lte_drx_3phase();
+/// assert_eq!(lte.phases().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailProfile {
+    phases: Vec<TailPhase>,
+    active_extra_mw: f64,
+}
+
+impl TailProfile {
+    /// Creates a profile from explicit phases and the active (transmit)
+    /// power above idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any phase has a negative or non-finite duration/power, or
+    /// if `active_extra_mw` is negative.
+    pub fn new(phases: Vec<TailPhase>, active_extra_mw: f64) -> Self {
+        for phase in &phases {
+            assert!(
+                phase.duration_s.is_finite() && phase.duration_s >= 0.0,
+                "phase duration must be finite and non-negative"
+            );
+            assert!(
+                phase.extra_mw.is_finite() && phase.extra_mw >= 0.0,
+                "phase power must be finite and non-negative"
+            );
+        }
+        assert!(
+            active_extra_mw.is_finite() && active_extra_mw >= 0.0,
+            "active power must be finite and non-negative"
+        );
+        TailProfile {
+            phases,
+            active_extra_mw,
+        }
+    }
+
+    /// The two-phase profile equivalent to a [`RadioParams`] — the
+    /// compatibility bridge to the paper's model.
+    pub fn from_params(params: &RadioParams) -> Self {
+        TailProfile::new(
+            vec![
+                TailPhase {
+                    duration_s: params.delta_dch_s(),
+                    extra_mw: params.dch_extra_mw(),
+                },
+                TailPhase {
+                    duration_s: params.delta_fach_s(),
+                    extra_mw: params.fach_extra_mw(),
+                },
+            ],
+            params.dch_extra_mw(),
+        )
+    }
+
+    /// A three-phase LTE tail: 1 s continuous reception at 1 W, 5 s
+    /// short-DRX at a 300 mW duty-cycled average, 10 s long-DRX at 60 mW.
+    pub fn lte_drx_3phase() -> Self {
+        TailProfile::new(
+            vec![
+                TailPhase {
+                    duration_s: 1.0,
+                    extra_mw: 1_000.0,
+                },
+                TailPhase {
+                    duration_s: 5.0,
+                    extra_mw: 300.0,
+                },
+                TailPhase {
+                    duration_s: 10.0,
+                    extra_mw: 60.0,
+                },
+            ],
+            1_000.0,
+        )
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[TailPhase] {
+        &self.phases
+    }
+
+    /// Power above idle while actively transmitting, in milliwatts.
+    pub fn active_extra_mw(&self) -> f64 {
+        self.active_extra_mw
+    }
+
+    /// Total tail length in seconds (the generalized `T_tail`).
+    pub fn total_duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// Energy of one complete, un-reused tail in joules.
+    pub fn full_energy_j(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.extra_mw / 1000.0 * p.duration_s)
+            .sum()
+    }
+
+    /// The generalized `E_tail(Δ)`: energy spent in the tail during a gap
+    /// of `gap_s` seconds before the next transmission, in joules.
+    pub fn gap_energy_j(&self, gap_s: f64) -> f64 {
+        let mut remaining = gap_s.max(0.0);
+        let mut energy = 0.0;
+        for phase in &self.phases {
+            if remaining <= 0.0 {
+                break;
+            }
+            let t = remaining.min(phase.duration_s);
+            energy += phase.extra_mw / 1000.0 * t;
+            remaining -= phase.duration_s;
+        }
+        energy
+    }
+
+    /// Analytic extra energy of a whole transmission schedule under this
+    /// profile (active power during busy periods, gap energy between
+    /// them), in joules — the multi-phase counterpart of
+    /// [`analytic_extra_energy_j`](crate::analytic_extra_energy_j).
+    pub fn schedule_energy_j(&self, transmissions: &[Transmission], horizon_s: f64) -> f64 {
+        let busy = merge_busy_periods(transmissions, horizon_s);
+        let mut energy = 0.0;
+        for (idx, &(start, end)) in busy.iter().enumerate() {
+            energy += self.active_extra_mw / 1000.0 * (end - start);
+            let gap_end = busy
+                .get(idx + 1)
+                .map_or(horizon_s, |&(next_start, _)| next_start);
+            energy += self.gap_energy_j(gap_end - end);
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tail::{analytic_extra_energy_j, tail_energy_j};
+
+    #[test]
+    fn two_phase_profile_matches_the_closed_form() {
+        let params = RadioParams::galaxy_s4_3g();
+        let profile = TailProfile::from_params(&params);
+        for gap in [-1.0, 0.0, 3.0, 10.0, 12.5, 17.5, 100.0] {
+            assert!(
+                (profile.gap_energy_j(gap) - tail_energy_j(&params, gap)).abs() < 1e-12,
+                "gap {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_phase_schedule_matches_the_analytic_model() {
+        let params = RadioParams::galaxy_s4_3g();
+        let profile = TailProfile::from_params(&params);
+        let txs = [
+            Transmission::new(0.0, 0.5),
+            Transmission::new(9.0, 1.0),
+            Transmission::new(80.0, 0.2),
+        ];
+        let a = profile.schedule_energy_j(&txs, 500.0);
+        let b = analytic_extra_energy_j(&params, &txs, 500.0);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn lte_three_phase_arithmetic() {
+        let lte = TailProfile::lte_drx_3phase();
+        assert_eq!(lte.total_duration_s(), 16.0);
+        // 1 + 1.5 + 0.6 J.
+        assert!((lte.full_energy_j() - 3.1).abs() < 1e-12);
+        // Mid-second-phase gap: 1 J + 2 s × 0.3 W.
+        assert!((lte.gap_energy_j(3.0) - 1.6).abs() < 1e-12);
+        // Saturation.
+        assert_eq!(lte.gap_energy_j(1e9), lte.full_energy_j());
+    }
+
+    #[test]
+    fn gap_energy_is_monotone_and_continuous() {
+        let lte = TailProfile::lte_drx_3phase();
+        let mut prev = 0.0;
+        for i in 0..400 {
+            let g = i as f64 * 0.05;
+            let e = lte.gap_energy_j(g);
+            assert!(e >= prev - 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn aggregation_also_wins_on_lte() {
+        // eTrain's premise transfers to the multi-phase radio: three
+        // scattered transfers vs an aggregated burst.
+        let lte = TailProfile::lte_drx_3phase();
+        let scattered = [
+            Transmission::new(0.0, 0.5),
+            Transmission::new(60.0, 0.5),
+            Transmission::new(120.0, 0.5),
+        ];
+        let aggregated = [
+            Transmission::new(120.0, 0.5),
+            Transmission::new(120.5, 0.5),
+            Transmission::new(121.0, 0.5),
+        ];
+        assert!(
+            lte.schedule_energy_j(&aggregated, 300.0) < lte.schedule_energy_j(&scattered, 300.0)
+        );
+    }
+
+    #[test]
+    fn empty_profile_is_pure_active_power() {
+        let p = TailProfile::new(Vec::new(), 500.0);
+        assert_eq!(p.full_energy_j(), 0.0);
+        assert_eq!(p.gap_energy_j(100.0), 0.0);
+        let txs = [Transmission::new(0.0, 2.0)];
+        assert!((p.schedule_energy_j(&txs, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase duration must be finite")]
+    fn bad_phase_rejected() {
+        let _ = TailProfile::new(
+            vec![TailPhase {
+                duration_s: f64::NAN,
+                extra_mw: 1.0,
+            }],
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,382 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::RadioError;
+use crate::params::RadioParams;
+use crate::power::PowerTrace;
+use crate::tail::merge_busy_periods;
+
+/// RRC power state of the cellular interface (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrcState {
+    /// Low-power idle state (no channel allocated).
+    Idle,
+    /// Moderate-power Forward Access Channel state.
+    Fach,
+    /// High-power Dedicated Channel state (transmitting, or DCH tail).
+    Dch,
+}
+
+impl RrcState {
+    /// Absolute device power of this state in milliwatts.
+    pub fn power_mw(self, params: &RadioParams) -> f64 {
+        match self {
+            RrcState::Idle => params.idle_mw(),
+            RrcState::Fach => params.fach_mw(),
+            RrcState::Dch => params.dch_mw(),
+        }
+    }
+
+    /// Power above idle in milliwatts (0 for [`RrcState::Idle`]).
+    pub fn extra_power_mw(self, params: &RadioParams) -> f64 {
+        self.power_mw(params) - params.idle_mw()
+    }
+}
+
+impl std::fmt::Display for RrcState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RrcState::Idle => "IDLE",
+            RrcState::Fach => "FACH",
+            RrcState::Dch => "DCH",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One data or heartbeat transmission occupying the radio.
+///
+/// `start_s` is when the transmission begins (seconds since the start of the
+/// scenario) and `duration_s` how long it keeps the radio busy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transmission {
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// Busy duration in seconds.
+    pub duration_s: f64,
+}
+
+impl Transmission {
+    /// Creates a transmission starting at `start_s` lasting `duration_s`.
+    pub fn new(start_s: f64, duration_s: f64) -> Self {
+        Transmission { start_s, duration_s }
+    }
+
+    /// End time of the transmission in seconds.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Validates that the transmission has finite, non-negative timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::InvalidTransmission`] on negative or non-finite
+    /// start/duration.
+    pub fn validate(&self) -> Result<(), RadioError> {
+        if !self.start_s.is_finite()
+            || !self.duration_s.is_finite()
+            || self.start_s < 0.0
+            || self.duration_s < 0.0
+        {
+            return Err(RadioError::InvalidTransmission {
+                start_s: self.start_s,
+                duration_s: self.duration_s,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A maximal interval during which the radio stays in one state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateSegment {
+    /// Segment start time in seconds.
+    pub start_s: f64,
+    /// Segment end time in seconds.
+    pub end_s: f64,
+    /// The state held throughout the segment.
+    pub state: RrcState,
+}
+
+impl StateSegment {
+    /// Length of the segment in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Offline RRC state timeline over `[0, horizon_s]` derived from a set of
+/// transmissions.
+///
+/// The timeline applies the demotion rules of the paper's Fig. 4: the radio
+/// is in DCH while busy and for δ_D afterwards, in FACH for the following
+/// δ_F, then IDLE — unless another transmission re-promotes it. It is the
+/// reproduction's stand-in for the Monsoon power-monitor capture: exact
+/// piecewise energy integration plus sampled [`PowerTrace`] export.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_radio::{RadioParams, RrcState, Timeline, Transmission};
+///
+/// let p = RadioParams::galaxy_s4_3g();
+/// let tl = Timeline::from_transmissions(&p, &[Transmission::new(10.0, 2.0)], 60.0);
+/// assert_eq!(tl.state_at(5.0), RrcState::Idle);
+/// assert_eq!(tl.state_at(11.0), RrcState::Dch);
+/// assert_eq!(tl.state_at(25.0), RrcState::Fach); // 13 s after tx end
+/// assert_eq!(tl.state_at(40.0), RrcState::Idle);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    params: RadioParams,
+    horizon_s: f64,
+    segments: Vec<StateSegment>,
+}
+
+impl Timeline {
+    /// Builds the timeline for `transmissions` over `[0, horizon_s]`.
+    ///
+    /// Transmissions may be unsorted and overlapping; they are merged into
+    /// busy periods first. Transmissions at or beyond the horizon are
+    /// ignored; one straddling the horizon is clipped.
+    pub fn from_transmissions(
+        params: &RadioParams,
+        transmissions: &[Transmission],
+        horizon_s: f64,
+    ) -> Self {
+        let busy = merge_busy_periods(transmissions, horizon_s);
+        let mut segments = Vec::new();
+        let mut cursor = 0.0;
+        let dd = params.delta_dch_s();
+        let df = params.delta_fach_s();
+
+        let push = |segments: &mut Vec<StateSegment>, start: f64, end: f64, state| {
+            if end > start {
+                segments.push(StateSegment {
+                    start_s: start,
+                    end_s: end,
+                    state,
+                });
+            }
+        };
+
+        for (idx, &(start, end)) in busy.iter().enumerate() {
+            push(&mut segments, cursor, start, RrcState::Idle);
+            // Busy period itself is DCH.
+            push(&mut segments, start, end, RrcState::Dch);
+            let next_start = busy
+                .get(idx + 1)
+                .map_or(horizon_s, |&(next_start, _)| next_start);
+            let dch_tail_end = (end + dd).min(next_start).min(horizon_s);
+            push(&mut segments, end, dch_tail_end, RrcState::Dch);
+            let fach_end = (end + dd + df).min(next_start).min(horizon_s);
+            push(&mut segments, dch_tail_end, fach_end, RrcState::Fach);
+            push(&mut segments, fach_end, next_start.min(horizon_s), RrcState::Idle);
+            cursor = next_start;
+        }
+        push(&mut segments, cursor, horizon_s, RrcState::Idle);
+
+        // Merge adjacent segments with the same state (busy + DCH tail).
+        let mut merged: Vec<StateSegment> = Vec::with_capacity(segments.len());
+        for seg in segments {
+            match merged.last_mut() {
+                Some(last) if last.state == seg.state && (last.end_s - seg.start_s).abs() < 1e-12 => {
+                    last.end_s = seg.end_s;
+                }
+                _ => merged.push(seg),
+            }
+        }
+
+        Timeline {
+            params: params.clone(),
+            horizon_s,
+            segments: merged,
+        }
+    }
+
+    /// The parameter set the timeline was built with.
+    pub fn params(&self) -> &RadioParams {
+        &self.params
+    }
+
+    /// The horizon (scenario length) in seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// The state segments in chronological order, covering `[0, horizon_s]`
+    /// without gaps.
+    pub fn segments(&self) -> &[StateSegment] {
+        &self.segments
+    }
+
+    /// State held at time `t` (the state of the segment containing `t`;
+    /// boundaries resolve to the later segment).
+    pub fn state_at(&self, t_s: f64) -> RrcState {
+        let idx = self
+            .segments
+            .partition_point(|seg| seg.end_s <= t_s)
+            .min(self.segments.len().saturating_sub(1));
+        self.segments.get(idx).map_or(RrcState::Idle, |s| s.state)
+    }
+
+    /// Exact extra energy above idle over the whole horizon, in joules.
+    pub fn extra_energy_j(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|seg| seg.state.extra_power_mw(&self.params) / 1000.0 * seg.duration_s())
+            .sum()
+    }
+
+    /// Exact total energy including the idle baseline, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.extra_energy_j() + self.params.idle_mw() / 1000.0 * self.horizon_s
+    }
+
+    /// Total time spent in `state`, in seconds.
+    pub fn time_in_state_s(&self, state: RrcState) -> f64 {
+        self.segments
+            .iter()
+            .filter(|seg| seg.state == state)
+            .map(StateSegment::duration_s)
+            .sum()
+    }
+
+    /// Samples the absolute device power every `dt_s` seconds, producing the
+    /// software analogue of a power-monitor capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn sample(&self, dt_s: f64) -> PowerTrace {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        let n = (self.horizon_s / dt_s).ceil() as usize;
+        let samples = (0..n)
+            .map(|i| self.state_at(i as f64 * dt_s).power_mw(&self.params))
+            .collect();
+        PowerTrace::new(dt_s, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tail::analytic_extra_energy_j;
+
+    fn params() -> RadioParams {
+        RadioParams::galaxy_s4_3g()
+    }
+
+    #[test]
+    fn empty_schedule_is_all_idle() {
+        let tl = Timeline::from_transmissions(&params(), &[], 100.0);
+        assert_eq!(tl.segments().len(), 1);
+        assert_eq!(tl.state_at(50.0), RrcState::Idle);
+        assert_eq!(tl.extra_energy_j(), 0.0);
+        assert!((tl.total_energy_j() - 2.0).abs() < 1e-9); // 20 mW * 100 s
+    }
+
+    #[test]
+    fn lone_transmission_walks_through_all_states() {
+        let tl = Timeline::from_transmissions(&params(), &[Transmission::new(10.0, 2.0)], 100.0);
+        assert_eq!(tl.state_at(0.0), RrcState::Idle);
+        assert_eq!(tl.state_at(10.5), RrcState::Dch); // busy
+        assert_eq!(tl.state_at(15.0), RrcState::Dch); // DCH tail (ends 22.0)
+        assert_eq!(tl.state_at(23.0), RrcState::Fach); // FACH tail (ends 29.5)
+        assert_eq!(tl.state_at(30.0), RrcState::Idle);
+    }
+
+    #[test]
+    fn segments_cover_horizon_without_gaps() {
+        let tl = Timeline::from_transmissions(
+            &params(),
+            &[Transmission::new(5.0, 1.0), Transmission::new(30.0, 0.5)],
+            120.0,
+        );
+        let segs = tl.segments();
+        assert_eq!(segs.first().unwrap().start_s, 0.0);
+        assert_eq!(segs.last().unwrap().end_s, 120.0);
+        for w in segs.windows(2) {
+            assert!((w[0].end_s - w[1].start_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn timeline_energy_matches_analytic_model() {
+        let p = params();
+        let txs = [
+            Transmission::new(3.0, 0.4),
+            Transmission::new(9.0, 1.0), // reuses tail of first
+            Transmission::new(100.0, 2.0),
+            Transmission::new(114.0, 0.1), // lands in FACH phase
+        ];
+        let tl = Timeline::from_transmissions(&p, &txs, 500.0);
+        let analytic = analytic_extra_energy_j(&p, &txs, 500.0);
+        assert!(
+            (tl.extra_energy_j() - analytic).abs() < 1e-9,
+            "timeline {} vs analytic {}",
+            tl.extra_energy_j(),
+            analytic
+        );
+    }
+
+    #[test]
+    fn reused_tail_costs_less_than_two_full_tails() {
+        let p = params();
+        let shared = Timeline::from_transmissions(
+            &p,
+            &[Transmission::new(0.0, 0.2), Transmission::new(3.0, 0.2)],
+            100.0,
+        );
+        let separate = Timeline::from_transmissions(
+            &p,
+            &[Transmission::new(0.0, 0.2), Transmission::new(50.0, 0.2)],
+            100.0,
+        );
+        assert!(shared.extra_energy_j() < separate.extra_energy_j());
+    }
+
+    #[test]
+    fn time_in_state_accounts_for_everything() {
+        let tl = Timeline::from_transmissions(&params(), &[Transmission::new(10.0, 2.0)], 100.0);
+        let total = tl.time_in_state_s(RrcState::Idle)
+            + tl.time_in_state_s(RrcState::Fach)
+            + tl.time_in_state_s(RrcState::Dch);
+        assert!((total - 100.0).abs() < 1e-9);
+        // 2 s busy + 10 s DCH tail.
+        assert!((tl.time_in_state_s(RrcState::Dch) - 12.0).abs() < 1e-9);
+        assert!((tl.time_in_state_s(RrcState::Fach) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_trace_energy_approximates_exact() {
+        let p = params();
+        let tl = Timeline::from_transmissions(
+            &p,
+            &[Transmission::new(7.0, 1.3), Transmission::new(40.0, 0.7)],
+            200.0,
+        );
+        let trace = tl.sample(0.1);
+        let exact = tl.total_energy_j();
+        assert!(
+            (trace.energy_j() - exact).abs() / exact < 0.01,
+            "sampled {} vs exact {}",
+            trace.energy_j(),
+            exact
+        );
+    }
+
+    #[test]
+    fn transmission_validation() {
+        assert!(Transmission::new(0.0, 1.0).validate().is_ok());
+        assert!(Transmission::new(-1.0, 1.0).validate().is_err());
+        assert!(Transmission::new(0.0, f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn state_display_names() {
+        assert_eq!(RrcState::Idle.to_string(), "IDLE");
+        assert_eq!(RrcState::Fach.to_string(), "FACH");
+        assert_eq!(RrcState::Dch.to_string(), "DCH");
+    }
+}

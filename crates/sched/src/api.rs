@@ -1,0 +1,106 @@
+//! The common scheduler interface driven by the simulator and by the live
+//! eTrain system.
+
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+
+/// Error produced by scheduler operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// A packet referenced a cargo app that was never registered.
+    UnknownApp {
+        /// The unknown app id.
+        app: CargoAppId,
+    },
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::UnknownApp { app } => {
+                write!(f, "packet references unregistered cargo app {app}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// Everything a scheduler may observe at a slot boundary.
+///
+/// The fields deliberately mirror what each algorithm is *allowed* to know
+/// in the paper's comparison:
+///
+/// - eTrain reads `heartbeat_departing` (from the Heartbeat Monitor) and
+///   `trains_alive`, and ignores bandwidth — the paper argues channel
+///   obliviousness is an advantage (Sec. IV);
+/// - PerES and eTime read `predicted_bandwidth_bps` — a *noisy* estimate
+///   (the simulator supplies the previous slot's average), modelling the
+///   difficulty of instantaneous channel prediction;
+/// - the baseline reads nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotContext {
+    /// The slot's start time in seconds.
+    pub now_s: f64,
+    /// Whether at least one train-app heartbeat departs at this slot.
+    pub heartbeat_departing: bool,
+    /// The (noisy) bandwidth estimate available to prediction-based
+    /// schedulers, in bits per second.
+    pub predicted_bandwidth_bps: f64,
+    /// Whether any train app is still alive. When false, eTrain stops
+    /// deferring to avoid indefinite waiting (paper Sec. V-3).
+    pub trains_alive: bool,
+}
+
+/// A transmission scheduler: decides *when* queued cargo packets are
+/// released to the FIFO transmission queue `Q_TX`.
+///
+/// Driving contract (upheld by `etrain-sim` and `etrain-core`):
+///
+/// 1. [`Scheduler::on_arrival`] is called once per packet, at its arrival
+///    time; the return value is any packets to transmit immediately.
+/// 2. [`Scheduler::on_slot`] is called at every multiple of
+///    [`Scheduler::slot_s`], with time monotonically increasing across
+///    calls; the return value joins `Q_TX` in order.
+/// 3. A packet is returned exactly once (schedulers own their queues).
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// The scheduler's display name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Offers an arriving packet. Returns packets to release immediately
+    /// (the baseline strategy); deferring schedulers enqueue and return
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SchedulerError::UnknownApp`] for packets of
+    /// unregistered apps.
+    fn on_arrival(&mut self, packet: Packet, now_s: f64) -> Result<Vec<Packet>, SchedulerError>;
+
+    /// Slot boundary at `ctx.now_s`: returns the packets selected for
+    /// transmission in this slot.
+    fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet>;
+
+    /// The slot length this scheduler operates on, in seconds (1 s for
+    /// eTrain and PerES, 60 s for eTime — paper Sec. VI-A).
+    fn slot_s(&self) -> f64 {
+        1.0
+    }
+
+    /// Number of packets currently deferred.
+    fn pending(&self) -> usize;
+
+    /// Total bytes currently deferred.
+    fn pending_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let err = SchedulerError::UnknownApp { app: CargoAppId(3) };
+        assert_eq!(err.to_string(), "packet references unregistered cargo app cargo#3");
+    }
+}

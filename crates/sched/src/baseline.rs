@@ -1,0 +1,92 @@
+//! The paper's default baseline: "no energy-saving scheduling intelligence
+//! is imposed and all data is scheduled for transmission immediately after
+//! arrival" (Sec. VI-A).
+
+use etrain_trace::packets::Packet;
+
+use crate::api::{Scheduler, SchedulerError, SlotContext};
+use crate::queue::{AppProfile, WaitingQueues};
+
+/// Transmit-on-arrival scheduler.
+///
+/// Packets are released from [`BaselineScheduler::on_arrival`] directly, so
+/// they incur zero scheduling delay; [`Scheduler::on_slot`] never returns
+/// anything. App profiles are still validated so misconfigured workloads
+/// fail identically across schedulers.
+#[derive(Debug)]
+pub struct BaselineScheduler {
+    queues: WaitingQueues,
+}
+
+impl BaselineScheduler {
+    /// Creates a baseline scheduler for the registered app profiles.
+    pub fn new(profiles: Vec<AppProfile>) -> Self {
+        BaselineScheduler {
+            queues: WaitingQueues::new(profiles),
+        }
+    }
+}
+
+impl Scheduler for BaselineScheduler {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn on_arrival(&mut self, packet: Packet, _now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
+        // Validate the app id by bouncing through the queue, then release.
+        self.queues.push(packet)?;
+        Ok(self.queues.drain_all())
+    }
+
+    fn on_slot(&mut self, _ctx: &SlotContext) -> Vec<Packet> {
+        Vec::new()
+    }
+
+    fn pending(&self) -> usize {
+        0
+    }
+
+    fn pending_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_trace::CargoAppId;
+
+    #[test]
+    fn releases_immediately() {
+        let mut s = BaselineScheduler::new(AppProfile::paper_trio(30.0));
+        let p = Packet {
+            id: 0,
+            app: CargoAppId(1),
+            arrival_s: 3.0,
+            size_bytes: 100,
+        };
+        let released = s.on_arrival(p, 3.0).unwrap();
+        assert_eq!(released, vec![p]);
+        assert_eq!(s.pending(), 0);
+        assert!(s
+            .on_slot(&SlotContext {
+                now_s: 4.0,
+                heartbeat_departing: true,
+                predicted_bandwidth_bps: 1e6,
+                trains_alive: true,
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_app() {
+        let mut s = BaselineScheduler::new(AppProfile::paper_trio(30.0));
+        let p = Packet {
+            id: 0,
+            app: CargoAppId(5),
+            arrival_s: 0.0,
+            size_bytes: 1,
+        };
+        assert!(s.on_arrival(p, 0.0).is_err());
+    }
+}

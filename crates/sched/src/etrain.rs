@@ -1,0 +1,373 @@
+//! The eTrain online transmission strategy (paper Sec. IV, Algorithm 1).
+//!
+//! At every 1-second slot the scheduler evaluates the total instantaneous
+//! delay cost `P(t)` of all waiting queues. If `P(t) ≥ Θ` **or** a heartbeat
+//! departs at this slot, it opens a selection budget `K(t)` — `k` packets on
+//! heartbeat slots (piggybacking on the tail the heartbeat is about to pay
+//! for anyway), a single packet otherwise — and greedily picks the packets
+//! that maximize the negative Lyapunov drift:
+//!
+//! ```text
+//! max  Σ_i [ P̄_i(t) · Σ_{u∈Q*_i} ϕ_u(t)  −  (Σ_{u∈Q*_i} ϕ_u(t))² / 2 ]
+//! ```
+//!
+//! The greedy step (paper Eq. 9) adds, per iteration, the packet `u` of app
+//! `i` maximizing `(P̄_i(t) − Σ_{q∈Q*_i} ϕ_q(t)) · ϕ_u(t) − ϕ_u(t)²/2`.
+//!
+//! The paper's deployed configuration sets `k = ∞` ([`ETrainConfig::k`] =
+//! `None`): on a heartbeat slot the whole backlog piggybacks.
+
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Scheduler, SchedulerError, SlotContext};
+use crate::queue::{AppProfile, WaitingQueues};
+
+/// Configuration of [`ETrainScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ETrainConfig {
+    /// The delay-cost bound Θ: below it (and without a heartbeat) nothing
+    /// is scheduled, letting cargo accumulate for the next train.
+    pub theta: f64,
+    /// Maximum packets piggybacked per heartbeat slot; `None` means the
+    /// paper's deployed `k = ∞`.
+    pub k: Option<usize>,
+    /// Slot length in seconds (the paper uses 1 s).
+    pub slot_s: f64,
+}
+
+impl Default for ETrainConfig {
+    /// The paper's controlled-experiment defaults: Θ = 0.2, k = ∞, 1 s
+    /// slots (Sec. VI-D-4).
+    fn default() -> Self {
+        ETrainConfig {
+            theta: 0.2,
+            k: None,
+            slot_s: 1.0,
+        }
+    }
+}
+
+impl ETrainConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative/non-finite, `slot_s` is not strictly
+    /// positive, or `k` is `Some(0)`.
+    fn validate(&self) {
+        assert!(
+            self.theta.is_finite() && self.theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
+        assert!(self.slot_s > 0.0, "slot length must be positive");
+        assert!(self.k != Some(0), "k must be at least 1 (or None for infinity)");
+    }
+}
+
+/// The eTrain scheduler: Algorithm 1 of the paper.
+///
+/// See the module-level documentation for the algorithm; see
+/// [`ETrainConfig`] for tuning. Construction requires the registered cargo
+/// app profiles, mirroring the Android implementation where apps register
+/// their delay-cost profile with the eTrain service.
+#[derive(Debug)]
+pub struct ETrainScheduler {
+    config: ETrainConfig,
+    queues: WaitingQueues,
+}
+
+impl ETrainScheduler {
+    /// Creates a scheduler for the registered app profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`ETrainConfig`]).
+    pub fn new(config: ETrainConfig, profiles: Vec<AppProfile>) -> Self {
+        config.validate();
+        ETrainScheduler {
+            config,
+            queues: WaitingQueues::new(profiles),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ETrainConfig {
+        &self.config
+    }
+
+    /// The current total instantaneous cost `P(t)` (paper Eq. 6).
+    pub fn total_cost(&self, now_s: f64) -> f64 {
+        self.queues.total_cost(now_s)
+    }
+
+    /// Forcibly removes one pending packet from its waiting queue,
+    /// bypassing Algorithm 1. The eTrain system runtime uses this to honor
+    /// per-request deadline overrides (a request whose own deadline is
+    /// about to pass is released regardless of Θ and heartbeats).
+    pub fn force_release(&mut self, app: CargoAppId, packet_id: u64) -> Option<Packet> {
+        self.queues.remove(app, packet_id)
+    }
+
+    /// Greedy drift-maximizing selection of up to `budget` packets
+    /// (paper Eq. 9).
+    fn select(&mut self, now_s: f64, budget: Option<usize>) -> Vec<Packet> {
+        let slot = self.config.slot_s;
+        // With an unbounded budget every queued packet is selected — the
+        // greedy order is irrelevant, so short-circuit (k = ∞ fast path).
+        if budget.is_none() {
+            return self.queues.drain_all();
+        }
+        let budget = budget.expect("bounded budget checked above");
+
+        // P̄_i(t) is fixed for the whole selection round.
+        let app_count = self.queues.app_count();
+        let p_bar: Vec<f64> = (0..app_count)
+            .map(|i| self.queues.speculative_backlog(CargoAppId(i), now_s, slot))
+            .collect();
+        // Σ_{q ∈ Q*_i} ϕ_q(t) grows as packets are selected.
+        let mut selected_sum = vec![0.0f64; app_count];
+        let mut selected: Vec<Packet> = Vec::new();
+
+        while selected.len() < budget && !self.queues.is_empty() {
+            // Find (i, u) maximizing the marginal drift gain.
+            let mut best: Option<(f64, Packet)> = None;
+            for i in 0..app_count {
+                let app = CargoAppId(i);
+                for packet in self.queues.app_queue(app) {
+                    let phi = self.queues.speculative_cost(packet, now_s, slot);
+                    let gain = (p_bar[i] - selected_sum[i]) * phi - phi * phi / 2.0;
+                    let better = match &best {
+                        None => true,
+                        Some((best_gain, _)) => gain > *best_gain,
+                    };
+                    if better {
+                        best = Some((gain, *packet));
+                    }
+                }
+            }
+            let Some((_, packet)) = best else { break };
+            selected_sum[packet.app.index()] +=
+                self.queues.speculative_cost(&packet, now_s, slot);
+            let removed = self
+                .queues
+                .remove(packet.app, packet.id)
+                .expect("selected packet is pending");
+            selected.push(removed);
+        }
+        selected
+    }
+}
+
+impl Scheduler for ETrainScheduler {
+    fn name(&self) -> &'static str {
+        "eTrain"
+    }
+
+    fn on_arrival(&mut self, packet: Packet, _now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
+        self.queues.push(packet)?;
+        Ok(Vec::new())
+    }
+
+    fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet> {
+        // Paper Sec. V-3: with no train app alive, stop deferring so cargo
+        // apps never wait indefinitely.
+        if !ctx.trains_alive {
+            return self.queues.drain_all();
+        }
+        let total = self.queues.total_cost(ctx.now_s);
+        if total < self.config.theta && !ctx.heartbeat_departing {
+            return Vec::new();
+        }
+        let budget = if ctx.heartbeat_departing {
+            self.config.k
+        } else {
+            Some(1)
+        };
+        self.select(ctx.now_s, budget)
+    }
+
+    fn slot_s(&self) -> f64 {
+        self.config.slot_s
+    }
+
+    fn pending(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn pending_bytes(&self) -> u64 {
+        self.queues.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostProfile;
+
+    fn packet(id: u64, app: usize, arrival_s: f64) -> Packet {
+        Packet {
+            id,
+            app: CargoAppId(app),
+            arrival_s,
+            size_bytes: 1_000,
+        }
+    }
+
+    fn ctx(now_s: f64, heartbeat: bool) -> SlotContext {
+        SlotContext {
+            now_s,
+            heartbeat_departing: heartbeat,
+            predicted_bandwidth_bps: 500_000.0,
+            trains_alive: true,
+        }
+    }
+
+    fn scheduler(theta: f64, k: Option<usize>) -> ETrainScheduler {
+        ETrainScheduler::new(
+            ETrainConfig {
+                theta,
+                k,
+                slot_s: 1.0,
+            },
+            AppProfile::paper_trio(30.0),
+        )
+    }
+
+    #[test]
+    fn defers_below_theta_without_heartbeat() {
+        let mut s = scheduler(1.0, None);
+        s.on_arrival(packet(0, 1, 0.0), 0.0).unwrap();
+        // Weibo cost at t=5 is 5/30 ≈ 0.17 < Θ=1.
+        assert!(s.on_slot(&ctx(5.0, false)).is_empty());
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn heartbeat_overrides_theta_gate() {
+        let mut s = scheduler(10.0, None);
+        s.on_arrival(packet(0, 1, 0.0), 0.0).unwrap();
+        let released = s.on_slot(&ctx(1.0, true));
+        assert_eq!(released.len(), 1);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn cost_breach_releases_one_packet_per_slot() {
+        let mut s = scheduler(0.5, None);
+        for i in 0..3 {
+            s.on_arrival(packet(i, 1, 0.0), 0.0).unwrap();
+        }
+        // At t=10 each Weibo packet costs 1/3 → total 1.0 ≥ Θ.
+        let released = s.on_slot(&ctx(10.0, false));
+        assert_eq!(released.len(), 1, "non-heartbeat slots release K=1");
+        assert_eq!(s.pending(), 2);
+    }
+
+    #[test]
+    fn k_bounds_heartbeat_release() {
+        let mut s = scheduler(0.2, Some(2));
+        for i in 0..5 {
+            s.on_arrival(packet(i, 1, 0.0), 0.0).unwrap();
+        }
+        let released = s.on_slot(&ctx(10.0, true));
+        assert_eq!(released.len(), 2);
+        assert_eq!(s.pending(), 3);
+    }
+
+    #[test]
+    fn k_infinity_flushes_backlog_on_heartbeat() {
+        let mut s = scheduler(0.2, None);
+        for i in 0..7 {
+            s.on_arrival(packet(i, i as usize % 3, 0.0), 0.0).unwrap();
+        }
+        let released = s.on_slot(&ctx(10.0, true));
+        assert_eq!(released.len(), 7);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn greedy_prefers_higher_speculative_cost() {
+        // Two Weibo packets with different ages: the older one (higher
+        // φ_u) must be selected first.
+        let mut s = scheduler(0.0, Some(1));
+        s.on_arrival(packet(0, 1, 0.0), 0.0).unwrap(); // age 20 at t=20
+        s.on_arrival(packet(1, 1, 15.0), 15.0).unwrap(); // age 5 at t=20
+        let released = s.on_slot(&ctx(20.0, true));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].id, 0);
+    }
+
+    #[test]
+    fn greedy_balances_across_apps() {
+        // One old Mail packet (still free: f1 = 0 before deadline) vs a
+        // young Cloud packet (f3 grows immediately): the Cloud packet wins.
+        let mut s = ETrainScheduler::new(
+            ETrainConfig {
+                theta: 0.0,
+                k: Some(1),
+                slot_s: 1.0,
+            },
+            vec![
+                AppProfile::new("Mail", CostProfile::mail(120.0)),
+                AppProfile::new("Cloud", CostProfile::cloud(30.0)),
+            ],
+        );
+        s.on_arrival(packet(0, 0, 0.0), 0.0).unwrap();
+        s.on_arrival(packet(1, 1, 10.0), 10.0).unwrap();
+        let released = s.on_slot(&ctx(20.0, true));
+        assert_eq!(released[0].id, 1);
+    }
+
+    #[test]
+    fn dead_trains_flush_everything() {
+        let mut s = scheduler(100.0, Some(1));
+        for i in 0..4 {
+            s.on_arrival(packet(i, 0, 0.0), 0.0).unwrap();
+        }
+        let mut dead_ctx = ctx(5.0, false);
+        dead_ctx.trains_alive = false;
+        let released = s.on_slot(&dead_ctx);
+        assert_eq!(released.len(), 4);
+    }
+
+    #[test]
+    fn empty_queues_release_nothing_even_on_heartbeat() {
+        let mut s = scheduler(0.0, None);
+        assert!(s.on_slot(&ctx(5.0, true)).is_empty());
+    }
+
+    #[test]
+    fn packets_never_duplicated_or_lost() {
+        let mut s = scheduler(0.1, Some(3));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20 {
+            s.on_arrival(packet(i, (i % 3) as usize, i as f64), i as f64)
+                .unwrap();
+        }
+        let mut released = Vec::new();
+        for slot in 20..200 {
+            let heartbeat = slot % 30 == 0;
+            released.extend(s.on_slot(&ctx(slot as f64, heartbeat)));
+        }
+        for p in &released {
+            assert!(seen.insert(p.id), "packet {} released twice", p.id);
+        }
+        assert_eq!(released.len() + s.pending(), 20);
+        assert_eq!(released.len(), 20, "all packets eventually released");
+    }
+
+    #[test]
+    fn unknown_app_is_reported() {
+        let mut s = scheduler(0.1, None);
+        let err = s.on_arrival(packet(0, 99, 0.0), 0.0).unwrap_err();
+        assert!(matches!(err, SchedulerError::UnknownApp { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = scheduler(0.1, Some(0));
+    }
+}

@@ -1,0 +1,355 @@
+//! The paper's *offline* tail-energy minimization (Sec. III, Eq. 1):
+//! given full knowledge of packet arrivals and train departure times,
+//! choose transmission times `S = {t_s(u)}` minimizing total tail energy
+//! subject to causality (Eq. 2) and a total delay-cost budget (Eq. 4).
+//!
+//! The paper notes the problem generalizes Knapsack and is NP-hard, and
+//! therefore designs the online Algorithm 1 instead. This module provides
+//! the offline side as a reference:
+//!
+//! - [`OfflineProblem::solve_exhaustive`] — exact search over the
+//!   candidate grid (arrival instants and subsequent heartbeat departures)
+//!   for small instances; used by tests to bound the online algorithm;
+//! - [`OfflineProblem::solve_greedy`] — a scalable heuristic: ride the
+//!   next train whenever the delay-cost budget allows, otherwise transmit
+//!   on arrival.
+//!
+//! Restricting candidates to arrivals and heartbeat departures is the
+//! natural discretization of the paper's slotted model: between those
+//! instants the tail-energy landscape only worsens (waiting longer without
+//! reaching a train strictly increases delay cost without creating new
+//! sharing opportunities).
+
+use etrain_radio::{analytic_extra_energy_j, RadioParams, Transmission};
+use etrain_trace::heartbeats::Heartbeat;
+use etrain_trace::packets::Packet;
+
+use crate::queue::AppProfile;
+
+/// One packet's chosen transmission time in an offline schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineRelease {
+    /// The scheduled packet.
+    pub packet: Packet,
+    /// Its transmission time `t_s(u)` in seconds.
+    pub release_s: f64,
+}
+
+/// A complete offline schedule with its objective values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineSchedule {
+    /// Per-packet release times.
+    pub releases: Vec<OfflineRelease>,
+    /// Extra radio energy (transmission + tails) of the whole schedule in
+    /// joules, including the heartbeats.
+    pub energy_j: f64,
+    /// Total delay cost `Σ φ_u(t_s(u) − t_a(u))` of the schedule.
+    pub delay_cost: f64,
+}
+
+/// An offline problem instance.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_radio::RadioParams;
+/// use etrain_sched::{AppProfile, CostProfile, OfflineProblem};
+/// use etrain_trace::heartbeats::Heartbeat;
+/// use etrain_trace::packets::Packet;
+/// use etrain_trace::{CargoAppId, TrainAppId};
+///
+/// let problem = OfflineProblem {
+///     packets: vec![Packet { id: 0, app: CargoAppId(0), arrival_s: 10.0, size_bytes: 5_000 }],
+///     heartbeats: vec![Heartbeat { train: TrainAppId(0), time_s: 60.0, size_bytes: 100 }],
+///     profiles: vec![AppProfile::new("Mail", CostProfile::mail(300.0))],
+///     radio: RadioParams::galaxy_s4_3g(),
+///     bandwidth_bps: 450_000.0,
+///     horizon_s: 200.0,
+///     cost_budget: 10.0,
+/// };
+/// let exact = problem.solve_exhaustive().expect("instance is small");
+/// // Riding the heartbeat at 60 s shares its tail and is optimal here.
+/// assert_eq!(exact.releases[0].release_s, 60.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfflineProblem {
+    /// Packets to schedule, any order.
+    pub packets: Vec<Packet>,
+    /// Train departures (fixed, never rescheduled), any order.
+    pub heartbeats: Vec<Heartbeat>,
+    /// Delay-cost profiles indexed by the packets' app ids.
+    pub profiles: Vec<AppProfile>,
+    /// Radio parameters for the energy objective.
+    pub radio: RadioParams,
+    /// Constant uplink bandwidth used to derive transmission durations.
+    pub bandwidth_bps: f64,
+    /// Scenario horizon (tails truncate here) in seconds.
+    pub horizon_s: f64,
+    /// The paper's Eq. 4 budget Θ on the total delay cost.
+    pub cost_budget: f64,
+}
+
+/// Instances up to this packet count may be solved exhaustively.
+const EXHAUSTIVE_LIMIT: usize = 10;
+
+impl OfflineProblem {
+    fn tx_duration_s(&self, size_bytes: u64) -> f64 {
+        size_bytes as f64 * 8.0 / self.bandwidth_bps
+    }
+
+    /// Candidate release times for one packet: its arrival plus every
+    /// later heartbeat inside the horizon.
+    fn candidates(&self, packet: &Packet) -> Vec<f64> {
+        let mut c = vec![packet.arrival_s];
+        c.extend(
+            self.heartbeats
+                .iter()
+                .map(|hb| hb.time_s)
+                .filter(|&t| t >= packet.arrival_s && t < self.horizon_s),
+        );
+        c
+    }
+
+    fn delay_cost_of(&self, packet: &Packet, release_s: f64) -> f64 {
+        self.profiles[packet.app.index()]
+            .cost
+            .cost(release_s - packet.arrival_s)
+    }
+
+    /// Evaluates a full assignment: total extra energy of heartbeats plus
+    /// packets released at the given times (serialized back-to-back when
+    /// they collide), and the schedule's delay cost.
+    fn evaluate(&self, releases: &[(Packet, f64)]) -> (f64, f64) {
+        let mut txs: Vec<Transmission> = self
+            .heartbeats
+            .iter()
+            .map(|hb| Transmission::new(hb.time_s, self.tx_duration_s(hb.size_bytes)))
+            .collect();
+        // Serialize same-instant releases: sort by time, push each start
+        // to the end of the previous transmission if they overlap.
+        let mut ordered: Vec<(f64, f64)> = releases
+            .iter()
+            .map(|(p, t)| (*t, self.tx_duration_s(p.size_bytes)))
+            .collect();
+        ordered.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cursor: f64 = 0.0;
+        for (start, duration) in ordered {
+            let actual = start.max(cursor);
+            txs.push(Transmission::new(actual, duration));
+            cursor = actual + duration;
+        }
+        let energy = analytic_extra_energy_j(&self.radio, &txs, self.horizon_s);
+        let cost = releases
+            .iter()
+            .map(|(p, t)| self.delay_cost_of(p, *t))
+            .sum();
+        (energy, cost)
+    }
+
+    /// Exact minimization over the candidate grid.
+    ///
+    /// Returns `None` when the instance exceeds the exhaustive limit
+    /// (10 packets) — use [`OfflineProblem::solve_greedy`] instead.
+    pub fn solve_exhaustive(&self) -> Option<OfflineSchedule> {
+        if self.packets.len() > EXHAUSTIVE_LIMIT {
+            return None;
+        }
+        let candidate_sets: Vec<Vec<f64>> =
+            self.packets.iter().map(|p| self.candidates(p)).collect();
+        let mut best: Option<(f64, Vec<f64>, f64)> = None;
+        let mut assignment = vec![0usize; self.packets.len()];
+        loop {
+            let releases: Vec<(Packet, f64)> = self
+                .packets
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (*p, candidate_sets[i][assignment[i]]))
+                .collect();
+            let (energy, cost) = self.evaluate(&releases);
+            if cost <= self.cost_budget {
+                let better = best.as_ref().map_or(true, |(e, _, _)| energy < *e);
+                if better {
+                    best = Some((
+                        energy,
+                        releases.iter().map(|(_, t)| *t).collect(),
+                        cost,
+                    ));
+                }
+            }
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == assignment.len() {
+                    let (energy, times, cost) = best?;
+                    let releases = self
+                        .packets
+                        .iter()
+                        .zip(times)
+                        .map(|(p, t)| OfflineRelease {
+                            packet: *p,
+                            release_s: t,
+                        })
+                        .collect();
+                    return Some(OfflineSchedule {
+                        releases,
+                        energy_j: energy,
+                        delay_cost: cost,
+                    });
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < candidate_sets[pos].len() {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Greedy heuristic: each packet rides the next heartbeat after its
+    /// arrival if the incremental delay cost fits the remaining budget;
+    /// otherwise it transmits on arrival.
+    pub fn solve_greedy(&self) -> OfflineSchedule {
+        let mut remaining = self.cost_budget;
+        let mut releases = Vec::with_capacity(self.packets.len());
+        let mut ordered: Vec<&Packet> = self.packets.iter().collect();
+        ordered.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        for packet in ordered {
+            let next_train = self
+                .heartbeats
+                .iter()
+                .map(|hb| hb.time_s)
+                .filter(|&t| t >= packet.arrival_s && t < self.horizon_s)
+                .fold(f64::INFINITY, f64::min);
+            let release = if next_train.is_finite() {
+                let cost = self.delay_cost_of(packet, next_train);
+                if cost <= remaining {
+                    remaining -= cost;
+                    next_train
+                } else {
+                    packet.arrival_s
+                }
+            } else {
+                packet.arrival_s
+            };
+            releases.push((*packet, release));
+        }
+        let (energy, cost) = self.evaluate(&releases);
+        OfflineSchedule {
+            releases: releases
+                .into_iter()
+                .map(|(packet, release_s)| OfflineRelease { packet, release_s })
+                .collect(),
+            energy_j: energy,
+            delay_cost: cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostProfile;
+    use etrain_trace::{CargoAppId, TrainAppId};
+
+    fn packet(id: u64, arrival_s: f64) -> Packet {
+        Packet {
+            id,
+            app: CargoAppId(0),
+            arrival_s,
+            size_bytes: 5_000,
+        }
+    }
+
+    fn heartbeat(time_s: f64) -> Heartbeat {
+        Heartbeat {
+            train: TrainAppId(0),
+            time_s,
+            size_bytes: 100,
+        }
+    }
+
+    fn problem(packets: Vec<Packet>, heartbeats: Vec<Heartbeat>, budget: f64) -> OfflineProblem {
+        OfflineProblem {
+            packets,
+            heartbeats,
+            profiles: vec![AppProfile::new("Weibo", CostProfile::weibo(120.0))],
+            radio: RadioParams::galaxy_s4_3g(),
+            bandwidth_bps: 450_000.0,
+            horizon_s: 700.0,
+            cost_budget: budget,
+        }
+    }
+
+    #[test]
+    fn lone_packet_rides_the_train_when_budget_allows() {
+        let p = problem(vec![packet(0, 10.0)], vec![heartbeat(60.0)], 10.0);
+        let schedule = p.solve_exhaustive().unwrap();
+        assert_eq!(schedule.releases[0].release_s, 60.0);
+        // Sharing the heartbeat's tail: strictly cheaper than two tails.
+        let immediate = p.evaluate(&[(packet(0, 10.0), 10.0)]).0;
+        assert!(schedule.energy_j < immediate);
+    }
+
+    #[test]
+    fn zero_budget_forces_transmit_on_arrival() {
+        let p = problem(vec![packet(0, 10.0)], vec![heartbeat(60.0)], 0.0);
+        let schedule = p.solve_exhaustive().unwrap();
+        assert_eq!(schedule.releases[0].release_s, 10.0);
+        assert_eq!(schedule.delay_cost, 0.0);
+    }
+
+    #[test]
+    fn exhaustive_is_no_worse_than_greedy() {
+        let p = problem(
+            vec![packet(0, 5.0), packet(1, 40.0), packet(2, 100.0)],
+            vec![heartbeat(60.0), heartbeat(200.0), heartbeat(400.0)],
+            4.0,
+        );
+        let exact = p.solve_exhaustive().unwrap();
+        let greedy = p.solve_greedy();
+        assert!(exact.energy_j <= greedy.energy_j + 1e-9);
+        assert!(exact.delay_cost <= p.cost_budget + 1e-9);
+        assert!(greedy.delay_cost <= p.cost_budget + 1e-9);
+    }
+
+    #[test]
+    fn oversized_instances_fall_back_to_greedy() {
+        let packets: Vec<Packet> = (0..16).map(|i| packet(i, i as f64 * 10.0)).collect();
+        let p = problem(packets, vec![heartbeat(300.0)], 100.0);
+        assert!(p.solve_exhaustive().is_none());
+        let greedy = p.solve_greedy();
+        assert_eq!(greedy.releases.len(), 16);
+    }
+
+    #[test]
+    fn greedy_respects_budget() {
+        // Budget only covers one packet's ride; the second transmits on
+        // arrival.
+        let p = problem(
+            vec![packet(0, 10.0), packet(1, 12.0)],
+            vec![heartbeat(100.0)],
+            0.8, // each ride costs (100−arrival)/120 ≈ 0.74
+        );
+        let greedy = p.solve_greedy();
+        let rides = greedy
+            .releases
+            .iter()
+            .filter(|r| r.release_s == 100.0)
+            .count();
+        assert_eq!(rides, 1);
+        assert!(greedy.delay_cost <= 0.8);
+    }
+
+    #[test]
+    fn causality_always_holds() {
+        let p = problem(
+            vec![packet(0, 150.0)],
+            vec![heartbeat(60.0), heartbeat(200.0)],
+            100.0,
+        );
+        let schedule = p.solve_exhaustive().unwrap();
+        // The 60 s heartbeat precedes the arrival and must not be chosen.
+        assert!(schedule.releases[0].release_s >= 150.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-app waiting queues and instantaneous-cost bookkeeping.
+
+use std::collections::VecDeque;
+
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+use serde::{Deserialize, Serialize};
+
+use crate::api::SchedulerError;
+use crate::cost::CostProfile;
+
+/// The registration profile of a cargo app: its name and delay-cost
+/// function (the paper's "cargo app's profile, which is obtained when the
+/// cargo app registers for eTrain's services", Sec. V-3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Human-readable app name.
+    pub name: String,
+    /// The app's delay-cost profile `φ`.
+    pub cost: CostProfile,
+}
+
+impl AppProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, cost: CostProfile) -> Self {
+        AppProfile {
+            name: name.into(),
+            cost,
+        }
+    }
+
+    /// The paper's three cargo apps with their evaluation profiles:
+    /// Mail f1, Weibo f2, Cloud f3, all sharing `deadline_s` (used by the
+    /// deadline-sweep experiments, Fig. 10(c)).
+    pub fn paper_trio(deadline_s: f64) -> Vec<AppProfile> {
+        vec![
+            AppProfile::new("Mail", CostProfile::mail(deadline_s)),
+            AppProfile::new("Weibo", CostProfile::weibo(deadline_s)),
+            AppProfile::new("Cloud", CostProfile::cloud(deadline_s)),
+        ]
+    }
+
+    /// The simulation defaults: per-app deadlines reflecting each app's
+    /// delay tolerance (e-mail 300 s, microblog posts 120 s, cloud sync
+    /// 600 s — the paper's premise is that these apps tolerate
+    /// minutes-scale deferral). The paper does not publish its simulation
+    /// deadlines; these values put the Θ-sweep delay range in the paper's
+    /// reported 18–70 s band (see EXPERIMENTS.md).
+    pub fn paper_defaults() -> Vec<AppProfile> {
+        vec![
+            AppProfile::new("Mail", CostProfile::mail(300.0)),
+            AppProfile::new("Weibo", CostProfile::weibo(120.0)),
+            AppProfile::new("Cloud", CostProfile::cloud(600.0)),
+        ]
+    }
+}
+
+/// The set of per-app waiting queues `Q_i` of paper Sec. IV, with the cost
+/// evaluations `P_i(t)`, `P(t)` and the speculative cost `φ_u(t)` used by
+/// the Lyapunov schedulers.
+#[derive(Debug, Clone)]
+pub struct WaitingQueues {
+    profiles: Vec<AppProfile>,
+    queues: Vec<VecDeque<Packet>>,
+}
+
+impl WaitingQueues {
+    /// Creates empty queues for the given app profiles; app `i`'s queue is
+    /// `Q_i`.
+    pub fn new(profiles: Vec<AppProfile>) -> Self {
+        let queues = profiles.iter().map(|_| VecDeque::new()).collect();
+        WaitingQueues { profiles, queues }
+    }
+
+    /// The registered app profiles.
+    pub fn profiles(&self) -> &[AppProfile] {
+        &self.profiles
+    }
+
+    /// Number of registered apps.
+    pub fn app_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Enqueues an arriving packet into its app's queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::UnknownApp`] if the packet's app id was
+    /// never registered.
+    pub fn push(&mut self, packet: Packet) -> Result<(), SchedulerError> {
+        let idx = packet.app.index();
+        let queue = self
+            .queues
+            .get_mut(idx)
+            .ok_or(SchedulerError::UnknownApp { app: packet.app })?;
+        queue.push_back(packet);
+        Ok(())
+    }
+
+    /// Total queued packets across all apps.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether all queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Total queued bytes across all apps.
+    pub fn total_bytes(&self) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|p| p.size_bytes)
+            .sum()
+    }
+
+    /// Packets pending for app `i`.
+    pub fn app_queue(&self, app: CargoAppId) -> &VecDeque<Packet> {
+        &self.queues[app.index()]
+    }
+
+    /// Iterates over all pending packets with their app profiles.
+    pub fn iter(&self) -> impl Iterator<Item = (&AppProfile, &Packet)> {
+        self.profiles
+            .iter()
+            .zip(&self.queues)
+            .flat_map(|(profile, queue)| queue.iter().map(move |p| (profile, p)))
+    }
+
+    /// The instantaneous cost of app `i`:
+    /// `P_i(t) = Σ_{u ∈ Q_i} φ_u(t − t_a(u))`.
+    pub fn app_cost(&self, app: CargoAppId, now_s: f64) -> f64 {
+        let profile = &self.profiles[app.index()];
+        self.queues[app.index()]
+            .iter()
+            .map(|p| profile.cost.cost(now_s - p.arrival_s))
+            .sum()
+    }
+
+    /// The total instantaneous cost `P(t) = Σ_i P_i(t)` (paper Eq. 6).
+    pub fn total_cost(&self, now_s: f64) -> f64 {
+        (0..self.profiles.len())
+            .map(|i| self.app_cost(CargoAppId(i), now_s))
+            .sum()
+    }
+
+    /// The speculative cost of a pending packet: its cost one slot from now
+    /// if it is *not* selected, `φ_u(t + slot − t_a(u))` (paper's
+    /// `ϕ_u(t)` with a configurable slot length).
+    pub fn speculative_cost(&self, packet: &Packet, now_s: f64, slot_s: f64) -> f64 {
+        let profile = &self.profiles[packet.app.index()];
+        profile.cost.cost(now_s + slot_s - packet.arrival_s)
+    }
+
+    /// The per-app speculative backlog
+    /// `P̄_i(t) = Σ_{u ∈ Q_i} ϕ_u(t)` used by the drift objective.
+    pub fn speculative_backlog(&self, app: CargoAppId, now_s: f64, slot_s: f64) -> f64 {
+        self.queues[app.index()]
+            .iter()
+            .map(|p| self.speculative_cost(p, now_s, slot_s))
+            .sum()
+    }
+
+    /// Removes and returns the specific packet (by id) from app `app`'s
+    /// queue, or `None` if it is not pending.
+    pub fn remove(&mut self, app: CargoAppId, packet_id: u64) -> Option<Packet> {
+        let queue = self.queues.get_mut(app.index())?;
+        let pos = queue.iter().position(|p| p.id == packet_id)?;
+        queue.remove(pos)
+    }
+
+    /// Drains every pending packet, in arrival order across apps.
+    pub fn drain_all(&mut self) -> Vec<Packet> {
+        let mut out: Vec<Packet> = self.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+        out.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Drains the packets whose deadline would be violated by waiting one
+    /// more slot (used by deadline-aware schedulers).
+    pub fn drain_deadline_critical(&mut self, now_s: f64, slot_s: f64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for (profile, queue) in self.profiles.iter().zip(&mut self.queues) {
+            let deadline = profile.cost.deadline_s();
+            let mut idx = 0;
+            while idx < queue.len() {
+                let p = queue[idx];
+                if now_s + slot_s - p.arrival_s >= deadline {
+                    out.push(queue.remove(idx).expect("index in bounds"));
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+        out.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(id: u64, app: usize, arrival_s: f64, size: u64) -> Packet {
+        Packet {
+            id,
+            app: CargoAppId(app),
+            arrival_s,
+            size_bytes: size,
+        }
+    }
+
+    fn queues() -> WaitingQueues {
+        WaitingQueues::new(AppProfile::paper_trio(30.0))
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut q = queues();
+        assert!(q.is_empty());
+        q.push(packet(0, 0, 1.0, 100)).unwrap();
+        q.push(packet(1, 2, 2.0, 200)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_bytes(), 300);
+        assert_eq!(q.app_queue(CargoAppId(0)).len(), 1);
+        assert_eq!(q.app_queue(CargoAppId(1)).len(), 0);
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let mut q = queues();
+        let err = q.push(packet(0, 9, 0.0, 1)).unwrap_err();
+        assert!(matches!(err, SchedulerError::UnknownApp { app } if app == CargoAppId(9)));
+    }
+
+    #[test]
+    fn costs_match_profiles() {
+        let mut q = queues();
+        // Weibo (f2, deadline 30): delay 15 → 0.5.
+        q.push(packet(0, 1, 0.0, 100)).unwrap();
+        assert!((q.app_cost(CargoAppId(1), 15.0) - 0.5).abs() < 1e-12);
+        // Mail (f1): free before deadline.
+        q.push(packet(1, 0, 0.0, 100)).unwrap();
+        assert_eq!(q.app_cost(CargoAppId(0), 15.0), 0.0);
+        assert!((q.total_cost(15.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculative_cost_looks_one_slot_ahead() {
+        let q0 = queues();
+        let p = packet(0, 1, 0.0, 100);
+        // At t=29 with slot 1 s the Weibo packet would hit its deadline.
+        assert!((q0.speculative_cost(&p, 29.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((q0.speculative_cost(&p, 30.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculative_backlog_sums_queue() {
+        let mut q = queues();
+        q.push(packet(0, 1, 0.0, 100)).unwrap();
+        q.push(packet(1, 1, 10.0, 100)).unwrap();
+        let expected = CostProfile::weibo(30.0).cost(16.0) + CostProfile::weibo(30.0).cost(6.0);
+        assert!((q.speculative_backlog(CargoAppId(1), 15.0, 1.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_specific_packet() {
+        let mut q = queues();
+        q.push(packet(0, 0, 1.0, 100)).unwrap();
+        q.push(packet(1, 0, 2.0, 100)).unwrap();
+        let removed = q.remove(CargoAppId(0), 0).unwrap();
+        assert_eq!(removed.id, 0);
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(CargoAppId(0), 0).is_none());
+        assert!(q.remove(CargoAppId(2), 5).is_none());
+    }
+
+    #[test]
+    fn drain_all_orders_by_arrival() {
+        let mut q = queues();
+        q.push(packet(0, 0, 5.0, 100)).unwrap();
+        q.push(packet(1, 2, 1.0, 100)).unwrap();
+        q.push(packet(2, 1, 3.0, 100)).unwrap();
+        let drained = q.drain_all();
+        let ids: Vec<u64> = drained.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_deadline_critical_picks_only_expiring() {
+        let mut q = queues();
+        q.push(packet(0, 1, 0.0, 100)).unwrap(); // deadline at 30
+        q.push(packet(1, 1, 20.0, 100)).unwrap(); // deadline at 50
+        let critical = q.drain_deadline_critical(29.5, 1.0);
+        assert_eq!(critical.len(), 1);
+        assert_eq!(critical[0].id, 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn iter_pairs_profiles_with_packets() {
+        let mut q = queues();
+        q.push(packet(0, 2, 0.0, 100)).unwrap();
+        let pairs: Vec<_> = q.iter().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.name, "Cloud");
+    }
+}

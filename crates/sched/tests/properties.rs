@@ -1,0 +1,198 @@
+//! Property tests for the scheduling layer: conservation, causality and
+//! bound-respect for every algorithm under arbitrary arrival sequences.
+
+use etrain_sched::{
+    AppProfile, BaselineScheduler, CostProfile, ETimeConfig, ETimeScheduler, ETrainConfig,
+    ETrainScheduler, PerEsConfig, PerEsScheduler, Scheduler, SlotContext,
+};
+use etrain_trace::packets::Packet;
+use etrain_trace::CargoAppId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Algo {
+    Baseline,
+    ETrain { theta: f64, k: Option<usize> },
+    PerEs { omega: f64 },
+    ETime { v_bytes: f64 },
+}
+
+fn build(algo: Algo) -> Box<dyn Scheduler> {
+    let profiles = AppProfile::paper_trio(45.0);
+    match algo {
+        Algo::Baseline => Box::new(BaselineScheduler::new(profiles)),
+        Algo::ETrain { theta, k } => Box::new(ETrainScheduler::new(
+            ETrainConfig {
+                theta,
+                k,
+                slot_s: 1.0,
+            },
+            profiles,
+        )),
+        Algo::PerEs { omega } => Box::new(PerEsScheduler::new(
+            PerEsConfig {
+                omega,
+                ..PerEsConfig::default()
+            },
+            profiles,
+        )),
+        Algo::ETime { v_bytes } => Box::new(ETimeScheduler::new(
+            ETimeConfig {
+                v_bytes,
+                slot_s: 60.0,
+            },
+            profiles,
+        )),
+    }
+}
+
+fn arb_algo() -> impl Strategy<Value = Algo> {
+    prop_oneof![
+        Just(Algo::Baseline),
+        (0.0f64..8.0, prop_oneof![Just(None), (1usize..16).prop_map(Some)])
+            .prop_map(|(theta, k)| Algo::ETrain { theta, k }),
+        (0.01f64..5.0).prop_map(|omega| Algo::PerEs { omega }),
+        (0.0f64..100_000.0).prop_map(|v_bytes| Algo::ETime { v_bytes }),
+    ]
+}
+
+/// (inter-arrival gap, app index, size) triples.
+fn arb_arrivals() -> impl Strategy<Value = Vec<(f64, usize, u64)>> {
+    prop::collection::vec((0.1f64..40.0, 0usize..3, 100u64..50_000), 0..50)
+}
+
+/// Slot schedule: which slots carry a heartbeat.
+fn arb_heartbeat_slots() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(prop::bool::weighted(0.05), 600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation and causality: every packet is released exactly once
+    /// or still pending; no release precedes its arrival slot.
+    #[test]
+    fn conservation_and_causality(
+        algo in arb_algo(),
+        arrivals in arb_arrivals(),
+        hb_slots in arb_heartbeat_slots(),
+    ) {
+        let mut sched = build(algo);
+        let slot_s = sched.slot_s();
+
+        // Materialize packets.
+        let mut packets = Vec::new();
+        let mut t = 0.0;
+        for (i, (gap, app, size)) in arrivals.iter().enumerate() {
+            t += gap;
+            packets.push(Packet {
+                id: i as u64,
+                app: CargoAppId(*app),
+                arrival_s: t,
+                size_bytes: *size,
+            });
+        }
+
+        let horizon = 600.0;
+        let mut released: Vec<(f64, Packet)> = Vec::new();
+        let mut next = 0usize;
+        let mut slot_t = 0.0;
+        let mut slot_idx = 0usize;
+        while slot_t < horizon {
+            while next < packets.len() && packets[next].arrival_s <= slot_t {
+                let p = packets[next];
+                for r in sched.on_arrival(p, p.arrival_s).expect("registered app") {
+                    released.push((p.arrival_s, r));
+                }
+                next += 1;
+            }
+            let ctx = SlotContext {
+                now_s: slot_t,
+                heartbeat_departing: hb_slots.get(slot_idx).copied().unwrap_or(false),
+                predicted_bandwidth_bps: 400_000.0,
+                trains_alive: true,
+            };
+            for r in sched.on_slot(&ctx) {
+                released.push((slot_t, r));
+            }
+            slot_t += slot_s;
+            slot_idx += 1;
+        }
+
+        // No duplicates.
+        let mut ids: Vec<u64> = released.iter().map(|(_, p)| p.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicate release");
+
+        // Conservation: released + pending = offered (`next` counts the
+        // packets actually handed to the scheduler).
+        prop_assert_eq!(released.len() + sched.pending(), next);
+
+        // Causality: release time >= arrival time.
+        for (when, p) in &released {
+            prop_assert!(*when + 1e-9 >= p.arrival_s,
+                "packet {} released at {} before arrival {}", p.id, when, p.arrival_s);
+        }
+
+        // pending_bytes is consistent with pending count (both zero together).
+        prop_assert_eq!(sched.pending() == 0, sched.pending_bytes() == 0);
+    }
+
+    /// eTrain's piggyback bound: a heartbeat slot releases at most k
+    /// packets; a non-heartbeat slot at most 1.
+    #[test]
+    fn etrain_respects_k_bound(
+        k in 1usize..8,
+        n_packets in 1usize..30,
+    ) {
+        let mut sched = ETrainScheduler::new(
+            ETrainConfig { theta: 0.0, k: Some(k), slot_s: 1.0 },
+            AppProfile::paper_trio(45.0),
+        );
+        for i in 0..n_packets {
+            let p = Packet {
+                id: i as u64,
+                app: CargoAppId(i % 3),
+                arrival_s: 0.0,
+                size_bytes: 1_000,
+            };
+            sched.on_arrival(p, 0.0).expect("registered app");
+        }
+        let hb_ctx = SlotContext {
+            now_s: 10.0,
+            heartbeat_departing: true,
+            predicted_bandwidth_bps: 1e6,
+            trains_alive: true,
+        };
+        prop_assert!(sched.on_slot(&hb_ctx).len() <= k);
+        let plain_ctx = SlotContext { now_s: 11.0, heartbeat_departing: false, ..hb_ctx };
+        prop_assert!(sched.on_slot(&plain_ctx).len() <= 1);
+    }
+
+    /// Instantaneous cost P(t) is monotone in time while the queue is
+    /// untouched (costs only age upward).
+    #[test]
+    fn queue_cost_monotone_in_time(
+        ages in prop::collection::vec(0.0f64..200.0, 1..10),
+        probe in 0.0f64..500.0,
+    ) {
+        let mut sched = ETrainScheduler::new(
+            // Astronomically high Θ: the gate never opens, the queue only ages.
+            ETrainConfig { theta: 1e18, k: None, slot_s: 1.0 },
+            AppProfile::paper_trio(45.0),
+        );
+        for (i, age) in ages.iter().enumerate() {
+            let p = Packet {
+                id: i as u64,
+                app: CargoAppId(i % 3),
+                arrival_s: *age,
+                size_bytes: 1_000,
+            };
+            sched.on_arrival(p, *age).expect("registered app");
+        }
+        let t0 = 200.0 + probe;
+        prop_assert!(sched.total_cost(t0 + 10.0) >= sched.total_cost(t0) - 1e-9);
+    }
+}

@@ -1,0 +1,577 @@
+//! The discrete-event simulation core.
+//!
+//! Event types, in tie-break priority order at equal timestamps:
+//!
+//! 1. **TxComplete** — the in-flight transmission finishes, freeing the
+//!    radio;
+//! 2. **Slot** — a scheduler slot boundary (every
+//!    [`Scheduler::slot_s`](etrain_sched::Scheduler::slot_s) seconds);
+//!    running the slot *before* same-instant arrivals implements the
+//!    paper's convention that packets arriving within slot `t` become
+//!    visible at slot `t+1`;
+//! 3. **Heartbeat** — a train app transmits a keep-alive; heartbeats jump
+//!    the transmission queue (their daemons transmit directly, unmanaged);
+//! 4. **Arrival** — a cargo packet arrives and is offered to the scheduler.
+//!
+//! The slot context's `heartbeat_departing` flag is true when a heartbeat
+//! falls inside `[t, t + slot)`, reproducing Algorithm 1's
+//! `t = t_s(h)` trigger at 1-second slots. `predicted_bandwidth_bps` is the
+//! *previous* slot's bandwidth — the noisy estimate available to PerES and
+//! eTime. `trains_alive` is ground truth from the heartbeat trace (the live
+//! system in `etrain-core` uses the `etrain-hb` monitor instead).
+
+use std::collections::VecDeque;
+
+use etrain_radio::{PowerTrace, Radio, RadioParams, Timeline, Transmission};
+use etrain_sched::{Scheduler, SlotContext};
+use etrain_trace::bandwidth::BandwidthTrace;
+use etrain_trace::heartbeats::Heartbeat;
+use etrain_trace::packets::Packet;
+
+/// A cargo packet that completed transmission, with its full timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedPacket {
+    /// The transmitted packet.
+    pub packet: Packet,
+    /// When the scheduler released it to `Q_TX`, in seconds.
+    pub release_s: f64,
+    /// When its transmission began, in seconds.
+    pub tx_start_s: f64,
+    /// When its transmission finished, in seconds.
+    pub tx_end_s: f64,
+}
+
+impl CompletedPacket {
+    /// The scheduling delay the paper measures: release − arrival.
+    pub fn scheduling_delay_s(&self) -> f64 {
+        self.release_s - self.packet.arrival_s
+    }
+}
+
+/// Raw output of one engine run, consumed by
+/// [`RunReport`](crate::RunReport).
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// Completed cargo packets in completion order.
+    pub completed: Vec<CompletedPacket>,
+    /// Packets released by the scheduler but not finished by the horizon.
+    pub in_flight: Vec<Packet>,
+    /// Packets still deferred inside the scheduler at the horizon.
+    pub still_deferred: usize,
+    /// Heartbeats transmitted.
+    pub heartbeats_sent: usize,
+    /// Transmission energy above idle, in joules.
+    pub transmission_energy_j: f64,
+    /// Tail energy above idle, in joules.
+    pub tail_energy_j: f64,
+    /// Idle baseline energy over the horizon, in joules.
+    pub idle_energy_j: f64,
+    /// Cumulative radio busy time, in seconds.
+    pub busy_time_s: f64,
+    /// IDLE→DCH state promotions (signaling events).
+    pub promotions: usize,
+    /// The simulated horizon, in seconds.
+    pub horizon_s: f64,
+    /// Every radio busy interval of the run (heartbeats and cargo alike),
+    /// in start order — the raw material for power-trace reconstruction.
+    pub transmissions: Vec<Transmission>,
+    /// The radio parameters the run used.
+    pub radio_params: RadioParams,
+}
+
+impl EngineOutput {
+    /// Rebuilds the run's RRC state timeline — the offline view of what
+    /// the radio did, suitable for exact re-integration or plotting.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_transmissions(&self.radio_params, &self.transmissions, self.horizon_s)
+    }
+
+    /// Samples the run's device power every `dt_s` seconds — the software
+    /// analogue of the paper's Monsoon power-monitor capture (Sec. VI-D
+    /// samples at 0.1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn power_trace(&self, dt_s: f64) -> PowerTrace {
+        self.timeline().sample(dt_s)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TxItem {
+    Heartbeat(Heartbeat),
+    Packet { packet: Packet, release_s: f64 },
+}
+
+impl TxItem {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            TxItem::Heartbeat(hb) => hb.size_bytes,
+            TxItem::Packet { packet, .. } => packet.size_bytes,
+        }
+    }
+}
+
+/// Runs one simulation.
+///
+/// `packets` and `heartbeats` must be sorted by time (the generators in
+/// `etrain-trace` produce sorted traces). The run covers `[0, horizon_s]`;
+/// tail energy accrued after the last transmission is truncated at the
+/// horizon, exactly like a power-monitor capture that stops sampling.
+///
+/// # Panics
+///
+/// Panics if `horizon_s` is not strictly positive or an input trace is
+/// unsorted.
+pub fn run_engine(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+) -> EngineOutput {
+    assert!(horizon_s > 0.0, "horizon must be positive");
+    assert!(
+        packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "packet trace must be sorted by arrival time"
+    );
+    assert!(
+        heartbeats.windows(2).all(|w| w[0].time_s <= w[1].time_s),
+        "heartbeat trace must be sorted by time"
+    );
+
+    let mut radio = Radio::new(radio_params.clone());
+    let slot_s = scheduler.slot_s();
+    let mut txq: VecDeque<TxItem> = VecDeque::new();
+    let mut in_flight: Option<(TxItem, f64, f64)> = None; // (item, start, end)
+
+    let mut completed = Vec::new();
+    let mut transmissions: Vec<Transmission> = Vec::new();
+    let mut heartbeats_sent = 0usize;
+    let mut arrival_idx = 0usize;
+    let mut hb_idx = 0usize;
+    let mut next_slot_s = 0.0f64;
+
+    // Event priorities at equal time (lower runs first).
+    const PRIO_TX_COMPLETE: u8 = 0;
+    const PRIO_SLOT: u8 = 1;
+    const PRIO_HEARTBEAT: u8 = 2;
+    const PRIO_ARRIVAL: u8 = 3;
+
+    loop {
+        // Find the earliest next event.
+        let mut next: Option<(f64, u8)> = None;
+        let consider = |t: f64, prio: u8, next: &mut Option<(f64, u8)>| {
+            let better = match next {
+                None => true,
+                Some((bt, bp)) => t < *bt || (t == *bt && prio < *bp),
+            };
+            if better {
+                *next = Some((t, prio));
+            }
+        };
+        if let Some((_, _, end)) = in_flight {
+            consider(end, PRIO_TX_COMPLETE, &mut next);
+        }
+        consider(next_slot_s, PRIO_SLOT, &mut next);
+        if hb_idx < heartbeats.len() {
+            consider(heartbeats[hb_idx].time_s, PRIO_HEARTBEAT, &mut next);
+        }
+        if arrival_idx < packets.len() {
+            consider(packets[arrival_idx].arrival_s, PRIO_ARRIVAL, &mut next);
+        }
+
+        let Some((t, prio)) = next else { break };
+        if t > horizon_s {
+            break;
+        }
+
+        match prio {
+            PRIO_TX_COMPLETE => {
+                let (item, start, end) =
+                    in_flight.take().expect("tx-complete implies in-flight");
+                radio.end_transmission(end);
+                if let TxItem::Packet { packet, release_s } = item {
+                    completed.push(CompletedPacket {
+                        packet,
+                        release_s,
+                        tx_start_s: start,
+                        tx_end_s: end,
+                    });
+                }
+            }
+            PRIO_SLOT => {
+                let heartbeat_departing = heartbeats[hb_idx..]
+                    .iter()
+                    .take_while(|hb| hb.time_s < t + slot_s)
+                    .any(|hb| hb.time_s >= t);
+                let trains_alive = hb_idx < heartbeats.len();
+                let ctx = SlotContext {
+                    now_s: t,
+                    heartbeat_departing,
+                    predicted_bandwidth_bps: bandwidth.bandwidth_at((t - slot_s).max(0.0)),
+                    trains_alive,
+                };
+                for packet in scheduler.on_slot(&ctx) {
+                    txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+                next_slot_s += slot_s;
+            }
+            PRIO_HEARTBEAT => {
+                let hb = heartbeats[hb_idx];
+                hb_idx += 1;
+                heartbeats_sent += 1;
+                // Heartbeats are sent by their own daemons: front of queue.
+                txq.push_front(TxItem::Heartbeat(hb));
+            }
+            PRIO_ARRIVAL => {
+                let packet = packets[arrival_idx];
+                arrival_idx += 1;
+                let released = scheduler
+                    .on_arrival(packet, t)
+                    .expect("workload apps are registered with the scheduler");
+                for packet in released {
+                    txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+            }
+            _ => unreachable!("unknown event priority"),
+        }
+
+        // Start the next transmission if the radio is free. Data flows
+        // only after any RRC state promotion completes (IDLE→DCH or
+        // FACH→DCH signaling — 0 s with the paper's defaults, non-zero in
+        // the fast-dormancy ablation); the radio is busy throughout.
+        if in_flight.is_none() {
+            if let Some(item) = txq.pop_front() {
+                let promotion_s = match radio.state() {
+                    etrain_radio::RrcState::Idle => radio_params.promotion_idle_to_dch_s(),
+                    etrain_radio::RrcState::Fach => radio_params.promotion_fach_to_dch_s(),
+                    etrain_radio::RrcState::Dch => 0.0,
+                };
+                let duration =
+                    promotion_s + bandwidth.transfer_time_s(t + promotion_s, item.size_bytes());
+                radio.start_transmission(t);
+                transmissions.push(Transmission::new(t, duration));
+                in_flight = Some((item, t, t + duration));
+            }
+        }
+    }
+
+    // Let the in-flight transmission finish if it ends exactly at the
+    // horizon boundary; otherwise count it as unfinished.
+    let mut in_flight_unfinished = Vec::new();
+    if let Some((item, start, end)) = in_flight {
+        if end <= horizon_s {
+            radio.end_transmission(end);
+            if let TxItem::Packet { packet, release_s } = item {
+                completed.push(CompletedPacket {
+                    packet,
+                    release_s,
+                    tx_start_s: start,
+                    tx_end_s: end,
+                });
+            }
+        } else if let TxItem::Packet { packet, .. } = item {
+            in_flight_unfinished.push(packet);
+        }
+    }
+    radio.advance_to(horizon_s);
+    for item in txq {
+        if let TxItem::Packet { packet, .. } = item {
+            in_flight_unfinished.push(packet);
+        }
+    }
+
+    EngineOutput {
+        completed,
+        in_flight: in_flight_unfinished,
+        still_deferred: scheduler.pending(),
+        heartbeats_sent,
+        transmission_energy_j: radio.transmission_energy_j(),
+        tail_energy_j: radio.tail_energy_j(),
+        idle_energy_j: radio_params.idle_mw() / 1000.0 * horizon_s,
+        busy_time_s: radio.busy_time_s(),
+        promotions: radio.promotions(),
+        horizon_s,
+        transmissions,
+        radio_params: radio_params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_sched::{AppProfile, BaselineScheduler, ETrainConfig, ETrainScheduler};
+    use etrain_trace::heartbeats::{synthesize, TrainAppSpec};
+    use etrain_trace::packets::CargoWorkload;
+    use etrain_trace::CargoAppId;
+
+    fn mk_packets(times: &[f64]) -> Vec<Packet> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Packet {
+                id: i as u64,
+                app: CargoAppId(0),
+                arrival_s: t,
+                size_bytes: 5_000,
+            })
+            .collect()
+    }
+
+    fn profiles() -> Vec<AppProfile> {
+        AppProfile::paper_trio(60.0)
+    }
+
+    #[test]
+    fn baseline_transmits_everything_with_zero_delay() {
+        let packets = mk_packets(&[10.0, 50.0, 90.0]);
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(1_000_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            200.0,
+        );
+        assert_eq!(out.completed.len(), 3);
+        assert_eq!(out.still_deferred, 0);
+        for c in &out.completed {
+            assert!(c.scheduling_delay_s().abs() < 1e-9);
+        }
+        // Three isolated transmissions: three full tails.
+        let full_tail = RadioParams::galaxy_s4_3g().full_tail_energy_j();
+        assert!((out.tail_energy_j - 3.0 * full_tail).abs() < 0.1);
+    }
+
+    #[test]
+    fn etrain_defers_to_heartbeat() {
+        let packets = mk_packets(&[10.0]);
+        let heartbeats = synthesize(&[TrainAppSpec::fixed("T", 100.0, 300, 50.0)], 400.0, 1);
+        let mut sched = ETrainScheduler::new(
+            ETrainConfig {
+                theta: 10.0, // high gate: only heartbeats release
+                k: None,
+                slot_s: 1.0,
+            },
+            profiles(),
+        );
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &heartbeats,
+            &BandwidthTrace::constant(1_000_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            400.0,
+        );
+        assert_eq!(out.completed.len(), 1);
+        let delay = out.completed[0].scheduling_delay_s();
+        // Arrived at 10, first heartbeat at 50 → delay ≈ 40 s.
+        assert!((delay - 40.0).abs() < 1.5, "delay {delay}");
+    }
+
+    #[test]
+    fn piggybacking_saves_energy_vs_baseline() {
+        let workload = CargoWorkload::paper_default(0.08);
+        let packets = workload.generate(3600.0, 11);
+        let heartbeats = synthesize(&TrainAppSpec::paper_trio(), 3600.0, 11);
+        let bandwidth = BandwidthTrace::constant(800_000.0);
+        let radio = RadioParams::galaxy_s4_3g();
+
+        let mut base = BaselineScheduler::new(profiles());
+        let out_base = run_engine(&mut base, &packets, &heartbeats, &bandwidth, &radio, 3600.0);
+
+        let mut etr = ETrainScheduler::new(
+            ETrainConfig {
+                theta: 0.5,
+                k: None,
+                slot_s: 1.0,
+            },
+            profiles(),
+        );
+        let out_etr = run_engine(&mut etr, &packets, &heartbeats, &bandwidth, &radio, 3600.0);
+
+        let base_total = out_base.transmission_energy_j + out_base.tail_energy_j;
+        let etr_total = out_etr.transmission_energy_j + out_etr.tail_energy_j;
+        assert!(
+            etr_total < base_total,
+            "eTrain {etr_total} J should beat baseline {base_total} J"
+        );
+        // Both transmit every heartbeat.
+        assert_eq!(out_base.heartbeats_sent, heartbeats.len());
+        assert_eq!(out_etr.heartbeats_sent, heartbeats.len());
+    }
+
+    #[test]
+    fn conservation_across_engine() {
+        let workload = CargoWorkload::paper_default(0.10);
+        let packets = workload.generate(1800.0, 3);
+        let heartbeats = synthesize(&TrainAppSpec::paper_trio(), 1800.0, 3);
+        let mut sched = ETrainScheduler::new(ETrainConfig::default(), profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &heartbeats,
+            &BandwidthTrace::constant(500_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            1800.0,
+        );
+        assert_eq!(
+            out.completed.len() + out.in_flight.len() + out.still_deferred,
+            packets.len(),
+            "every packet is completed, in flight, or deferred"
+        );
+        // No duplicates.
+        let mut ids: Vec<u64> = out.completed.iter().map(|c| c.packet.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.completed.len());
+    }
+
+    #[test]
+    fn no_packets_no_energy_above_heartbeats() {
+        let heartbeats = synthesize(&[TrainAppSpec::qq()], 3600.0, 1);
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine(
+            &mut sched,
+            &[],
+            &heartbeats,
+            &BandwidthTrace::constant(500_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            3600.0,
+        );
+        assert_eq!(out.completed.len(), 0);
+        assert_eq!(out.heartbeats_sent, 12);
+        // 12 isolated QQ heartbeats: 12 full tails (300 s apart).
+        let expected = 12.0 * RadioParams::galaxy_s4_3g().full_tail_energy_j();
+        assert!((out.tail_energy_j - expected).abs() < 0.2, "{}", out.tail_energy_j);
+    }
+
+    #[test]
+    fn horizon_truncates_unfinished_work() {
+        // One enormous packet on a slow link cannot finish.
+        let packets = vec![Packet {
+            id: 0,
+            app: CargoAppId(2),
+            arrival_s: 5.0,
+            size_bytes: 10_000_000,
+        }];
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(8_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            60.0,
+        );
+        assert!(out.completed.is_empty());
+        assert_eq!(out.in_flight.len(), 1);
+        // Busy from t=5 to the horizon.
+        assert!((out.busy_time_s - 55.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn promotion_delay_stretches_transmissions_from_idle() {
+        // 2 s IDLE→DCH promotion: a lone packet's completion shifts by 2 s
+        // and the radio stays busy through the promotion.
+        let params = RadioParams::builder()
+            .promotion_idle_to_dch_s(2.0)
+            .build()
+            .unwrap();
+        let packets = mk_packets(&[10.0]);
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(1_000_000.0),
+            &params,
+            100.0,
+        );
+        assert_eq!(out.completed.len(), 1);
+        let expected_transfer = 5_000.0 * 8.0 / 1_000_000.0;
+        assert!(
+            (out.completed[0].tx_end_s - (10.0 + 2.0 + expected_transfer)).abs() < 1e-9,
+            "end {}",
+            out.completed[0].tx_end_s
+        );
+        assert!((out.busy_time_s - (2.0 + expected_transfer)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_to_back_transmissions_skip_the_promotion() {
+        // The second packet starts while the radio is still in the DCH
+        // tail: no promotion penalty.
+        let params = RadioParams::builder()
+            .promotion_idle_to_dch_s(2.0)
+            .build()
+            .unwrap();
+        let packets = mk_packets(&[10.0, 12.0]);
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(1_000_000.0),
+            &params,
+            100.0,
+        );
+        let transfer = 5_000.0 * 8.0 / 1_000_000.0;
+        // One promotion (first packet) + two transfers.
+        assert!((out.busy_time_s - (2.0 + 2.0 * transfer)).abs() < 1e-9);
+        assert_eq!(out.promotions, 1);
+    }
+
+    #[test]
+    fn timeline_reconstruction_matches_online_accounting() {
+        // The offline timeline rebuilt from the engine's transmission log
+        // must integrate to exactly the energy the online radio accrued —
+        // a cross-check between two independent accounting paths.
+        let workload = CargoWorkload::paper_default(0.08);
+        let packets = workload.generate(1200.0, 9);
+        let heartbeats = synthesize(&TrainAppSpec::paper_trio(), 1200.0, 9);
+        let mut sched = ETrainScheduler::new(ETrainConfig::default(), profiles());
+        let out = run_engine(
+            &mut sched,
+            &packets,
+            &heartbeats,
+            &BandwidthTrace::constant(500_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            1200.0,
+        );
+        let timeline_energy = out.timeline().extra_energy_j();
+        let online_energy = out.transmission_energy_j + out.tail_energy_j;
+        assert!(
+            (timeline_energy - online_energy).abs() < 1e-6,
+            "timeline {timeline_energy} vs online {online_energy}"
+        );
+        // And the sampled power trace approximates the same total.
+        let sampled = out.power_trace(0.1).energy_above_j(20.0);
+        assert!((sampled - online_energy).abs() / online_energy < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_packets_rejected() {
+        let packets = mk_packets(&[50.0, 10.0]);
+        let mut sched = BaselineScheduler::new(profiles());
+        let _ = run_engine(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(1e6),
+            &RadioParams::galaxy_s4_3g(),
+            100.0,
+        );
+    }
+}

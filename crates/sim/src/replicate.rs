@@ -1,0 +1,160 @@
+//! Replication across seeds: mean ± deviation statistics for every metric,
+//! so experiment conclusions do not rest on a single random draw.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RunReport;
+use crate::scenario::Scenario;
+
+/// Mean and sample standard deviation of one metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replication).
+    pub std_dev: f64,
+}
+
+impl Stat {
+    fn from_samples(samples: &[f64]) -> Stat {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Stat {
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Renders as `mean ± std` with one decimal.
+    pub fn display(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.std_dev)
+    }
+}
+
+/// Aggregate of several seeded runs of the same scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedReport {
+    /// The scheduler name (identical across replications).
+    pub scheduler: String,
+    /// Number of replications.
+    pub replications: usize,
+    /// Radio energy above idle, in joules.
+    pub extra_energy_j: Stat,
+    /// Normalized delay, in seconds.
+    pub normalized_delay_s: Stat,
+    /// Deadline violation ratio.
+    pub deadline_violation_ratio: Stat,
+    /// The individual reports, in seed order.
+    pub runs: Vec<RunReport>,
+}
+
+/// Runs `scenario` once per seed and aggregates the paper's three metrics.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_sim::{replicate, Scenario, SchedulerKind};
+///
+/// let base = Scenario::paper_default()
+///     .duration_secs(900)
+///     .scheduler(SchedulerKind::ETrain { theta: 2.0, k: None });
+/// let agg = replicate(&base, &[1, 2, 3]);
+/// assert_eq!(agg.replications, 3);
+/// assert!(agg.extra_energy_j.mean > 0.0);
+/// ```
+pub fn replicate(scenario: &Scenario, seeds: &[u64]) -> ReplicatedReport {
+    assert!(!seeds.is_empty(), "at least one seed is required");
+    let runs: Vec<RunReport> = seeds
+        .iter()
+        .map(|&seed| scenario.clone().seed(seed).run())
+        .collect();
+    let pick = |f: fn(&RunReport) -> f64| -> Stat {
+        Stat::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
+    };
+    ReplicatedReport {
+        scheduler: runs[0].scheduler.clone(),
+        replications: runs.len(),
+        extra_energy_j: pick(|r| r.extra_energy_j),
+        normalized_delay_s: pick(|r| r.normalized_delay_s),
+        deadline_violation_ratio: pick(|r| r.deadline_violation_ratio),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SchedulerKind;
+
+    #[test]
+    fn statistics_are_correct_for_known_samples() {
+        let stat = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((stat.mean - 2.0).abs() < 1e-12);
+        assert!((stat.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(stat.display(), "2.0 ± 1.0");
+    }
+
+    #[test]
+    fn single_sample_has_zero_deviation() {
+        let stat = Stat::from_samples(&[5.0]);
+        assert_eq!(stat.std_dev, 0.0);
+    }
+
+    #[test]
+    fn replication_aggregates_distinct_seeds() {
+        let base = Scenario::paper_default()
+            .duration_secs(600)
+            .scheduler(SchedulerKind::Baseline);
+        let agg = replicate(&base, &[1, 2, 3, 4]);
+        assert_eq!(agg.replications, 4);
+        assert_eq!(agg.runs.len(), 4);
+        // Different seeds produce different energies → non-zero deviation.
+        assert!(agg.extra_energy_j.std_dev > 0.0);
+        // Baseline delay is 0 in every replication.
+        assert_eq!(agg.normalized_delay_s.mean, 0.0);
+        assert_eq!(agg.normalized_delay_s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn etrain_beats_baseline_in_expectation() {
+        let seeds = [1, 2, 3, 4, 5];
+        let baseline = replicate(
+            &Scenario::paper_default()
+                .duration_secs(1200)
+                .scheduler(SchedulerKind::Baseline),
+            &seeds,
+        );
+        let etrain = replicate(
+            &Scenario::paper_default()
+                .duration_secs(1200)
+                .scheduler(SchedulerKind::ETrain {
+                    theta: 2.0,
+                    k: None,
+                }),
+            &seeds,
+        );
+        assert!(
+            etrain.extra_energy_j.mean + etrain.extra_energy_j.std_dev
+                < baseline.extra_energy_j.mean,
+            "eTrain {} ± {} vs baseline {}",
+            etrain.extra_energy_j.mean,
+            etrain.extra_energy_j.std_dev,
+            baseline.extra_energy_j.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let _ = replicate(&Scenario::paper_default(), &[]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Scenario builder: a declarative description of one experiment run.
+
+use etrain_radio::RadioParams;
+use etrain_sched::{
+    AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig, ETrainScheduler,
+    PerEsConfig, PerEsScheduler, Scheduler,
+};
+use etrain_trace::bandwidth::{wuhan_drive_synthetic, BandwidthTrace};
+use etrain_trace::heartbeats::{synthesize, Heartbeat, TrainAppSpec};
+use etrain_trace::packets::{CargoWorkload, Packet};
+
+use crate::engine::run_engine;
+use crate::metrics::RunReport;
+
+/// Which scheduling algorithm a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Transmit on arrival (the paper's default baseline).
+    Baseline,
+    /// The eTrain online strategy (Algorithm 1).
+    ETrain {
+        /// The delay-cost bound Θ.
+        theta: f64,
+        /// Packets per heartbeat; `None` is the paper's k = ∞.
+        k: Option<usize>,
+    },
+    /// The PerES comparator with the given cost bound Ω.
+    PerEs {
+        /// The performance cost bound Ω its dynamic V converges to.
+        omega: f64,
+    },
+    /// The eTime comparator with the given static tradeoff V (bytes).
+    ETime {
+        /// Backlog threshold on an average channel, in bytes.
+        v_bytes: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// Builds the scheduler for the given registered app profiles.
+    pub fn build(&self, profiles: Vec<AppProfile>) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::Baseline => Box::new(BaselineScheduler::new(profiles)),
+            SchedulerKind::ETrain { theta, k } => Box::new(ETrainScheduler::new(
+                ETrainConfig {
+                    theta,
+                    k,
+                    slot_s: 1.0,
+                },
+                profiles,
+            )),
+            SchedulerKind::PerEs { omega } => Box::new(PerEsScheduler::new(
+                PerEsConfig {
+                    omega,
+                    ..PerEsConfig::default()
+                },
+                profiles,
+            )),
+            SchedulerKind::ETime { v_bytes } => Box::new(ETimeScheduler::new(
+                ETimeConfig {
+                    v_bytes,
+                    slot_s: 60.0,
+                },
+                profiles,
+            )),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "Baseline",
+            SchedulerKind::ETrain { .. } => "eTrain",
+            SchedulerKind::PerEs { .. } => "PerES",
+            SchedulerKind::ETime { .. } => "eTime",
+        }
+    }
+}
+
+/// Where a scenario's bandwidth trace comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BandwidthSource {
+    /// The synthetic Wuhan drive trace (regime-switching AR process),
+    /// seeded independently of the workload seed.
+    SyntheticDrive,
+    /// A constant bandwidth in bits per second (analytic comparisons).
+    Constant(f64),
+    /// An explicit trace.
+    Trace(BandwidthTrace),
+}
+
+/// A complete experiment description with builder-style configuration.
+///
+/// [`Scenario::paper_default`] reproduces the paper's simulation setup
+/// (Sec. VI-A): train apps QQ + WeChat + WhatsApp, cargo apps Mail + Weibo
+/// + Cloud at total rate λ = 0.08 pkt/s, the synthetic drive bandwidth
+/// trace, Galaxy S4 3G radio parameters, 7200-second horizon.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_sim::{Scenario, SchedulerKind};
+///
+/// let report = Scenario::paper_default()
+///     .duration_secs(600)
+///     .lambda(0.04)
+///     .scheduler(SchedulerKind::Baseline)
+///     .seed(1)
+///     .run();
+/// assert_eq!(report.scheduler, "Baseline");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    trains: Vec<TrainAppSpec>,
+    workload: CargoWorkload,
+    packets_override: Option<Vec<Packet>>,
+    heartbeats_override: Option<Vec<Heartbeat>>,
+    profiles: Vec<AppProfile>,
+    radio: RadioParams,
+    bandwidth: BandwidthSource,
+    horizon_s: f64,
+    scheduler: SchedulerKind,
+    seed: u64,
+}
+
+impl Scenario {
+    /// The paper's reference simulation setup (see the type docs).
+    pub fn paper_default() -> Self {
+        Scenario {
+            trains: TrainAppSpec::paper_trio(),
+            workload: CargoWorkload::paper_default(0.08),
+            packets_override: None,
+            heartbeats_override: None,
+            profiles: AppProfile::paper_defaults(),
+            radio: RadioParams::galaxy_s4_3g(),
+            bandwidth: BandwidthSource::SyntheticDrive,
+            horizon_s: 7200.0,
+            scheduler: SchedulerKind::ETrain {
+                theta: 0.2,
+                k: None,
+            },
+            seed: 0,
+        }
+    }
+
+    /// Sets the simulated duration in seconds.
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.horizon_s = secs as f64;
+        self
+    }
+
+    /// Sets the scheduling algorithm.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets the workload/bandwidth seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the train apps (e.g. 0–3 trains for Fig. 10(a)).
+    pub fn trains(mut self, trains: Vec<TrainAppSpec>) -> Self {
+        self.trains = trains;
+        self
+    }
+
+    /// Replaces the cargo workload.
+    pub fn workload(mut self, workload: CargoWorkload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Scales the paper workload to total arrival rate `lambda` (pkt/s),
+    /// preserving the 5 : 2 : 10 app proportion (Fig. 8(b)).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.workload = CargoWorkload::paper_default(lambda);
+        self
+    }
+
+    /// Uses an explicit packet trace instead of generating one (trace
+    /// replay; the trace's app ids must match the registered profiles).
+    pub fn packets(mut self, packets: Vec<Packet>) -> Self {
+        self.packets_override = Some(packets);
+        self
+    }
+
+    /// Uses an explicit heartbeat trace instead of synthesizing one.
+    pub fn heartbeats(mut self, heartbeats: Vec<Heartbeat>) -> Self {
+        self.heartbeats_override = Some(heartbeats);
+        self
+    }
+
+    /// Replaces the cargo app profiles (delay-cost functions).
+    pub fn profiles(mut self, profiles: Vec<AppProfile>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Applies one shared deadline to every registered profile
+    /// (the Fig. 10(c) deadline sweep).
+    pub fn shared_deadline(mut self, deadline_s: f64) -> Self {
+        for p in &mut self.profiles {
+            p.cost = p.cost.with_deadline(deadline_s);
+        }
+        self
+    }
+
+    /// Replaces the radio parameter set.
+    pub fn radio(mut self, radio: RadioParams) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Replaces the bandwidth source.
+    pub fn bandwidth(mut self, bandwidth: BandwidthSource) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// The registered app profiles.
+    pub fn profiles_ref(&self) -> &[AppProfile] {
+        &self.profiles
+    }
+
+    /// Runs the scenario and reports the paper's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit packet trace references an app index outside
+    /// the registered profiles.
+    pub fn run(&self) -> RunReport {
+        self.run_with_output().0
+    }
+
+    /// Runs the scenario and returns both the metrics report and the raw
+    /// engine output (per-packet completions, the transmission log, the
+    /// reconstructable power trace) for deeper analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit packet trace references an app index outside
+    /// the registered profiles.
+    pub fn run_with_output(&self) -> (RunReport, crate::engine::EngineOutput) {
+        let packets = match &self.packets_override {
+            Some(p) => p.clone(),
+            None => self.workload.generate(self.horizon_s, self.seed),
+        };
+        let heartbeats = match &self.heartbeats_override {
+            Some(h) => h.clone(),
+            None => synthesize(&self.trains, self.horizon_s, self.seed.wrapping_add(1)),
+        };
+        let bandwidth = match &self.bandwidth {
+            BandwidthSource::SyntheticDrive => wuhan_drive_synthetic(self.seed.wrapping_add(2)),
+            BandwidthSource::Constant(bps) => BandwidthTrace::constant(*bps),
+            BandwidthSource::Trace(trace) => trace.clone(),
+        };
+        let mut scheduler = self.scheduler.build(self.profiles.clone());
+        let output = run_engine(
+            scheduler.as_mut(),
+            &packets,
+            &heartbeats,
+            &bandwidth,
+            &self.radio,
+            self.horizon_s,
+        );
+        let report = RunReport::from_engine(scheduler.name(), &output, &self.profiles);
+        (report, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_reproducible() {
+        let a = Scenario::paper_default().duration_secs(900).seed(3).run();
+        let b = Scenario::paper_default().duration_secs(900).seed(3).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::paper_default().duration_secs(900).seed(3).run();
+        let b = Scenario::paper_default().duration_secs(900).seed(4).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scheduler_kinds_build_and_run() {
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::ETrain {
+                theta: 0.2,
+                k: Some(20),
+            },
+            SchedulerKind::PerEs { omega: 0.5 },
+            SchedulerKind::ETime { v_bytes: 50_000.0 },
+        ] {
+            let report = Scenario::paper_default()
+                .duration_secs(600)
+                .scheduler(kind)
+                .seed(1)
+                .run();
+            assert_eq!(report.scheduler, kind.name());
+            assert!(report.extra_energy_j > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn no_trains_means_no_heartbeats() {
+        let report = Scenario::paper_default()
+            .duration_secs(600)
+            .trains(Vec::new())
+            .scheduler(SchedulerKind::ETrain {
+                theta: 0.2,
+                k: None,
+            })
+            .seed(1)
+            .run();
+        assert_eq!(report.heartbeats_sent, 0);
+        // With no trains alive, eTrain stops deferring: delay collapses.
+        assert!(report.normalized_delay_s < 2.0);
+    }
+
+    #[test]
+    fn shared_deadline_applies_to_all_profiles() {
+        let s = Scenario::paper_default().shared_deadline(15.0);
+        for p in s.profiles_ref() {
+            assert_eq!(p.cost.deadline_s(), 15.0);
+        }
+    }
+
+    #[test]
+    fn constant_bandwidth_source() {
+        let report = Scenario::paper_default()
+            .duration_secs(600)
+            .bandwidth(BandwidthSource::Constant(1_000_000.0))
+            .seed(2)
+            .run();
+        assert!(report.busy_time_s > 0.0);
+    }
+}

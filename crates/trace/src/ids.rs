@@ -1,0 +1,98 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a train app (an app that sends periodic heartbeats).
+///
+/// Train apps are indexed densely from 0 in the order they were registered
+/// or specified, so the id doubles as a vector index.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::TrainAppId;
+///
+/// let id = TrainAppId(0);
+/// assert_eq!(id.to_string(), "train#0");
+/// assert_eq!(id.index(), 0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TrainAppId(pub usize);
+
+impl TrainAppId {
+    /// The dense vector index of this train app.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TrainAppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "train#{}", self.0)
+    }
+}
+
+impl From<usize> for TrainAppId {
+    fn from(value: usize) -> Self {
+        TrainAppId(value)
+    }
+}
+
+/// Identifier of a cargo app (an app that generates delay-tolerant packets).
+///
+/// Cargo apps are indexed densely from 0, matching the subscript `i` of the
+/// paper's waiting queues `Q_i`.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::CargoAppId;
+///
+/// let id = CargoAppId(2);
+/// assert_eq!(id.to_string(), "cargo#2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CargoAppId(pub usize);
+
+impl CargoAppId {
+    /// The dense vector index of this cargo app.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CargoAppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cargo#{}", self.0)
+    }
+}
+
+impl From<usize> for CargoAppId {
+    fn from(value: usize) -> Self {
+        CargoAppId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CargoAppId(1));
+        set.insert(CargoAppId(1));
+        assert_eq!(set.len(), 1);
+        assert!(TrainAppId(0) < TrainAppId(3));
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(TrainAppId::from(5).index(), 5);
+        assert_eq!(CargoAppId::from(7).index(), 7);
+    }
+}

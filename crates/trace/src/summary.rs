@@ -1,0 +1,192 @@
+//! Descriptive statistics for traces — what a measurement study reports
+//! about its inputs before using them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::BandwidthTrace;
+use crate::packets::Packet;
+
+/// Summary statistics of a packet trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketSummary {
+    /// Number of packets.
+    pub count: usize,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Trace span (first to last arrival) in seconds (0 for < 2 packets).
+    pub span_s: f64,
+    /// Mean arrival rate over the span, packets per second.
+    pub rate_pps: f64,
+    /// Size percentiles `[p10, p50, p90]` in bytes.
+    pub size_percentiles: [u64; 3],
+    /// Per-app packet counts, indexed by app id.
+    pub per_app_counts: Vec<usize>,
+}
+
+/// Summarizes a packet trace.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::packets::CargoWorkload;
+/// use etrain_trace::summary::summarize_packets;
+///
+/// let packets = CargoWorkload::paper_default(0.08).generate(3600.0, 1);
+/// let s = summarize_packets(&packets);
+/// assert!((s.rate_pps - 0.08).abs() < 0.03);
+/// assert_eq!(s.per_app_counts.len(), 3);
+/// ```
+pub fn summarize_packets(packets: &[Packet]) -> PacketSummary {
+    let count = packets.len();
+    let total_bytes = packets.iter().map(|p| p.size_bytes).sum();
+    let span_s = match (packets.first(), packets.last()) {
+        (Some(first), Some(last)) if count >= 2 => last.arrival_s - first.arrival_s,
+        _ => 0.0,
+    };
+    let rate_pps = if span_s > 0.0 {
+        count as f64 / span_s
+    } else {
+        0.0
+    };
+    let mut sizes: Vec<u64> = packets.iter().map(|p| p.size_bytes).collect();
+    sizes.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        if sizes.is_empty() {
+            0
+        } else {
+            sizes[((sizes.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let apps = packets
+        .iter()
+        .map(|p| p.app.index())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut per_app_counts = vec![0usize; apps];
+    for p in packets {
+        per_app_counts[p.app.index()] += 1;
+    }
+    PacketSummary {
+        count,
+        total_bytes,
+        span_s,
+        rate_pps,
+        size_percentiles: [pick(0.1), pick(0.5), pick(0.9)],
+        per_app_counts,
+    }
+}
+
+/// Summary statistics of a bandwidth trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthSummary {
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// Mean bandwidth in bits per second.
+    pub mean_bps: f64,
+    /// Bandwidth percentiles `[p10, p50, p90]` in bits per second.
+    pub percentiles_bps: [f64; 3],
+    /// Coefficient of variation (std/mean) — the burstiness the
+    /// prediction-based schedulers struggle with.
+    pub coefficient_of_variation: f64,
+}
+
+/// Summarizes a bandwidth trace.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::bandwidth::wuhan_drive_synthetic;
+/// use etrain_trace::summary::summarize_bandwidth;
+///
+/// let s = summarize_bandwidth(&wuhan_drive_synthetic(1));
+/// assert_eq!(s.duration_s, 7200.0);
+/// assert!(s.coefficient_of_variation > 0.3, "drive traces are bursty");
+/// ```
+pub fn summarize_bandwidth(trace: &BandwidthTrace) -> BandwidthSummary {
+    let samples = trace.samples_bps();
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    BandwidthSummary {
+        duration_s: trace.duration_s(),
+        mean_bps: mean,
+        percentiles_bps: [pick(0.1), pick(0.5), pick(0.9)],
+        coefficient_of_variation: var.sqrt() / mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packets::CargoWorkload;
+    use crate::CargoAppId;
+
+    #[test]
+    fn packet_summary_on_handmade_trace() {
+        let packets: Vec<Packet> = (0..5)
+            .map(|i| Packet {
+                id: i,
+                app: CargoAppId((i % 2) as usize),
+                arrival_s: i as f64 * 10.0,
+                size_bytes: (i + 1) * 100,
+            })
+            .collect();
+        let s = summarize_packets(&packets);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_bytes, 1500);
+        assert_eq!(s.span_s, 40.0);
+        assert_eq!(s.per_app_counts, vec![3, 2]);
+        assert_eq!(s.size_percentiles[1], 300); // median
+    }
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let s = summarize_packets(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.rate_pps, 0.0);
+        assert_eq!(s.size_percentiles, [0, 0, 0]);
+
+        let one = [Packet {
+            id: 0,
+            app: CargoAppId(0),
+            arrival_s: 5.0,
+            size_bytes: 42,
+        }];
+        let s = summarize_packets(&one);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.span_s, 0.0);
+        assert_eq!(s.size_percentiles, [42, 42, 42]);
+    }
+
+    #[test]
+    fn generated_trace_statistics_are_sane() {
+        let packets = CargoWorkload::paper_default(0.08).generate(7200.0, 2);
+        let s = summarize_packets(&packets);
+        assert!((s.rate_pps - 0.08).abs() < 0.02);
+        // Weibo (app 1) is the most frequent: 1/20 s rate.
+        assert!(s.per_app_counts[1] > s.per_app_counts[0]);
+        assert!(s.per_app_counts[1] > s.per_app_counts[2]);
+        // p10 ≤ p50 ≤ p90.
+        assert!(s.size_percentiles[0] <= s.size_percentiles[1]);
+        assert!(s.size_percentiles[1] <= s.size_percentiles[2]);
+    }
+
+    #[test]
+    fn bandwidth_summary_percentiles_ordered() {
+        let trace = crate::bandwidth::wuhan_drive_synthetic(3);
+        let s = summarize_bandwidth(&trace);
+        assert!(s.percentiles_bps[0] <= s.percentiles_bps[1]);
+        assert!(s.percentiles_bps[1] <= s.percentiles_bps[2]);
+        assert!(s.mean_bps >= trace.min_bps() && s.mean_bps <= trace.max_bps());
+    }
+
+    #[test]
+    fn constant_trace_has_zero_variation() {
+        let s = summarize_bandwidth(&BandwidthTrace::constant(1e6));
+        assert_eq!(s.coefficient_of_variation, 0.0);
+        assert_eq!(s.percentiles_bps, [1e6, 1e6, 1e6]);
+    }
+}

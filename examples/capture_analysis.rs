@@ -1,0 +1,69 @@
+//! The paper's Sec. II-B measurement study as a runnable pipeline:
+//! synthesize a Wireshark-style capture of a phone running IM apps plus
+//! foreground traffic, classify its flows, and print the recovered
+//! heartbeat table — the automated version of what the authors did by
+//! hand to produce Table 1.
+//!
+//! ```text
+//! cargo run --release --example capture_analysis
+//! ```
+
+use etrain::hb::{identify_heartbeat_flows, IdentifyConfig};
+use etrain::trace::capture::{synthesize_capture, CaptureConfig};
+use etrain::trace::heartbeats::TrainAppSpec;
+
+fn main() {
+    let config = CaptureConfig {
+        trains: vec![
+            TrainAppSpec::qq(),
+            TrainAppSpec::wechat(),
+            TrainAppSpec::whatsapp(),
+            TrainAppSpec::renren(),
+        ],
+        burst_interarrival_s: 90.0,
+        burst_len_max: 40,
+        noise_rate: 0.05,
+        duration_s: 2.0 * 3600.0,
+    };
+    let capture = synthesize_capture(&config, 2026);
+    println!(
+        "captured {} packets over {:.0} minutes across {} ground-truth heartbeat flows\n",
+        capture.packets.len(),
+        capture.duration_s / 60.0,
+        capture.truth.len()
+    );
+
+    let flows = identify_heartbeat_flows(&capture, &IdentifyConfig::default());
+    println!("flow             cycle    folded   beats  mean size  app");
+    println!("---------------------------------------------------------");
+    for flow in &flows {
+        let app = capture
+            .truth
+            .iter()
+            .find(|(key, _)| *key == flow.flow)
+            .map(|(_, name)| name.as_str())
+            .unwrap_or("??");
+        println!(
+            "{:>5} -> {:<5}  {:>6.1}s  {:>6}  {:>5}  {:>7.0} B  {}",
+            flow.flow.local_port,
+            flow.flow.remote_port,
+            flow.cycle_s,
+            flow.folded_cycle_s
+                .map_or("-".to_owned(), |c| format!("{c:.1}s")),
+            flow.beats,
+            flow.mean_size_bytes,
+            app,
+        );
+    }
+
+    let recall = flows
+        .iter()
+        .filter(|f| capture.truth.iter().any(|(key, _)| *key == f.flow))
+        .count() as f64
+        / capture.truth.len() as f64;
+    println!(
+        "\nrecall {:.0} % — every keep-alive flow found despite {} packets of cover traffic",
+        recall * 100.0,
+        capture.packets.len()
+    );
+}

@@ -1,0 +1,59 @@
+//! A day in the pocket: 24 hours of diurnally modulated traffic, with the
+//! energy eTrain saves converted into the paper's battery terms
+//! (1700 mAh @ 3.7 V — Sec. II-D).
+//!
+//! ```text
+//! cargo run --release --example day_battery
+//! ```
+
+use etrain::radio::Battery;
+use etrain::sim::{Scenario, SchedulerKind};
+use etrain::trace::diurnal::{generate_diurnal, DiurnalProfile, DAY_S};
+use etrain::trace::packets::CargoWorkload;
+
+fn main() {
+    let packets = generate_diurnal(
+        &CargoWorkload::paper_default(0.04),
+        DiurnalProfile::evening_heavy(),
+        0.0, // the day starts at midnight
+        DAY_S,
+        11,
+    );
+    println!(
+        "=== 24 h, {} packets (evening-heavy), 3 IM train apps, 3G ===\n",
+        packets.len()
+    );
+
+    let base = Scenario::paper_default()
+        .duration_secs(DAY_S as u64)
+        .packets(packets)
+        .seed(11);
+    let baseline = base.clone().scheduler(SchedulerKind::Baseline).run();
+    let etrain = base
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
+        .run();
+
+    let battery = Battery::paper_reference();
+    let saved = baseline.extra_energy_j - etrain.extra_energy_j;
+    println!("baseline radio energy   {:>8.0} J", baseline.extra_energy_j);
+    println!("eTrain radio energy     {:>8.0} J", etrain.extra_energy_j);
+    println!("saved                   {:>8.0} J", saved);
+    println!(
+        "  = {:.1} % of a {:.0} mAh battery per day",
+        battery.fraction_of_capacity(saved) * 100.0,
+        battery.capacity_mah()
+    );
+    println!(
+        "  = {:.1} extra hours of 55 mW standby",
+        battery.standby_hours_equivalent(saved, 55.0)
+    );
+    println!(
+        "\ncost: {:.0} s average delay on delay-tolerant traffic ({} deadline violations of {} packets)",
+        etrain.normalized_delay_s,
+        (etrain.deadline_violation_ratio * etrain.packets_completed as f64).round(),
+        etrain.packets_completed,
+    );
+}

@@ -1,0 +1,81 @@
+//! The paper's Sec. III offline formulation in action: solve a small
+//! instance exactly, compare the greedy heuristic and online Algorithm 1
+//! against it, and print where each packet ends up.
+//!
+//! ```text
+//! cargo run --release --example offline_bound
+//! ```
+
+use etrain::radio::RadioParams;
+use etrain::sched::{AppProfile, CostProfile, OfflineProblem};
+use etrain::sim::{BandwidthSource, Scenario, SchedulerKind};
+use etrain::trace::heartbeats::{synthesize, TrainAppSpec};
+use etrain::trace::packets::{CargoAppSpec, CargoWorkload};
+use etrain::trace::rng::TruncatedNormal;
+
+fn main() {
+    let horizon = 600.0;
+    let workload = CargoWorkload::new(vec![CargoAppSpec::new(
+        "Weibo",
+        110.0,
+        TruncatedNormal::from_mean_min(2_000.0, 100.0),
+    )]);
+    let packets = workload.generate(horizon, 3);
+    let heartbeats = synthesize(&[TrainAppSpec::wechat().with_phase(40.0)], horizon, 5);
+    let profiles = vec![AppProfile::new("Weibo", CostProfile::weibo(120.0))];
+
+    println!(
+        "=== offline bound: {} packets, {} heartbeats, 10-minute window ===\n",
+        packets.len(),
+        heartbeats.len()
+    );
+
+    let problem = OfflineProblem {
+        packets: packets.clone(),
+        heartbeats: heartbeats.clone(),
+        profiles: profiles.clone(),
+        radio: RadioParams::galaxy_s4_3g(),
+        bandwidth_bps: 450_000.0,
+        horizon_s: horizon,
+        cost_budget: f64::MAX,
+    };
+    let optimal = problem.solve_exhaustive().expect("small instance");
+    let greedy = problem.solve_greedy();
+
+    println!("packet  arrives  optimal sends  (wait)");
+    for release in &optimal.releases {
+        println!(
+            "  #{:<4} {:>6.1}s  {:>9.1}s  ({:>5.1}s)",
+            release.packet.id,
+            release.packet.arrival_s,
+            release.release_s,
+            release.release_s - release.packet.arrival_s,
+        );
+    }
+
+    let online = Scenario::paper_default()
+        .duration_secs(horizon as u64)
+        .profiles(profiles)
+        .packets(packets)
+        .heartbeats(heartbeats)
+        .bandwidth(BandwidthSource::Constant(450_000.0))
+        .scheduler(SchedulerKind::ETrain {
+            theta: 50.0,
+            k: None,
+        })
+        .run();
+
+    println!("\nenergy (extra over idle):");
+    println!("  offline optimum   {:>7.2} J", optimal.energy_j);
+    println!("  offline greedy    {:>7.2} J", greedy.energy_j);
+    println!("  online Algorithm1 {:>7.2} J", online.extra_energy_j);
+    println!(
+        "  online gap        {:>+7.1} %",
+        (online.extra_energy_j / optimal.energy_j - 1.0) * 100.0
+    );
+    println!(
+        "\nThe paper proves the offline problem NP-hard and ships the online\n\
+         heuristic; on instances small enough to solve exactly, the online\n\
+         algorithm is within a couple of percent of optimal."
+    );
+}

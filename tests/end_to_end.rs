@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: trace generation → scheduling →
+//! transmission engine → radio energy accounting → metrics.
+
+use etrain::radio::RadioParams;
+use etrain::sim::{BandwidthSource, Scenario, SchedulerKind};
+use etrain::trace::heartbeats::TrainAppSpec;
+use etrain::trace::packets::CargoWorkload;
+
+#[test]
+fn paper_default_pipeline_produces_consistent_report() {
+    let report = Scenario::paper_default()
+        .duration_secs(3600)
+        .scheduler(SchedulerKind::ETrain {
+            theta: 1.0,
+            k: None,
+        })
+        .seed(3)
+        .run();
+
+    // Energy identities.
+    assert!(report.extra_energy_j > 0.0);
+    assert!(
+        (report.extra_energy_j - report.transmission_energy_j - report.tail_energy_j).abs()
+            < 1e-9
+    );
+    assert!(
+        (report.total_energy_j - report.extra_energy_j - report.idle_energy_j).abs() < 1e-9
+    );
+    // One hour of the paper trio: 12 (QQ) + 14 (WeChat) + 15 (WhatsApp).
+    assert_eq!(report.heartbeats_sent, 41);
+    // Metrics sanity.
+    assert!(report.deadline_violation_ratio >= 0.0 && report.deadline_violation_ratio <= 1.0);
+    assert!(report.normalized_delay_s >= 0.0);
+    assert!(report.busy_time_s > 0.0 && report.busy_time_s < 3600.0);
+    // Per-app reports cover all completed packets.
+    let per_app_total: usize = report.per_app.iter().map(|a| a.packets).sum();
+    assert_eq!(per_app_total, report.packets_completed);
+}
+
+#[test]
+fn etrain_beats_baseline_on_every_seed() {
+    for seed in 0..5 {
+        let base = Scenario::paper_default().duration_secs(2400).seed(seed);
+        let baseline = base.clone().scheduler(SchedulerKind::Baseline).run();
+        let etrain = base
+            .scheduler(SchedulerKind::ETrain {
+                theta: 2.0,
+                k: None,
+            })
+            .run();
+        assert!(
+            etrain.extra_energy_j < baseline.extra_energy_j,
+            "seed {seed}: eTrain {} J vs baseline {} J",
+            etrain.extra_energy_j,
+            baseline.extra_energy_j
+        );
+    }
+}
+
+#[test]
+fn heartbeat_energy_matches_radio_model() {
+    // One lone QQ app in standby: every heartbeat pays one full tail plus
+    // its (tiny) transmission energy.
+    let report = Scenario::paper_default()
+        .duration_secs(3600)
+        .trains(vec![TrainAppSpec::qq()])
+        .workload(CargoWorkload::new(Vec::new()))
+        .bandwidth(BandwidthSource::Constant(450_000.0))
+        .scheduler(SchedulerKind::Baseline)
+        .seed(0)
+        .run();
+    let full_tail = RadioParams::galaxy_s4_3g().full_tail_energy_j();
+    assert_eq!(report.heartbeats_sent, 12);
+    assert!((report.tail_energy_j - 12.0 * full_tail).abs() < 0.5);
+    assert!(report.transmission_energy_j < 1.0);
+}
+
+#[test]
+fn reports_are_bitwise_reproducible() {
+    let make = || {
+        Scenario::paper_default()
+            .duration_secs(1800)
+            .scheduler(SchedulerKind::PerEs { omega: 0.3 })
+            .seed(11)
+            .run()
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn trace_io_roundtrip_feeds_identical_simulation() {
+    use etrain::trace::io;
+
+    // Persist a workload and a heartbeat trace, reload them, and verify
+    // the simulation outcome is identical to the in-memory original.
+    let packets = CargoWorkload::paper_default(0.08).generate(1800.0, 5);
+    let heartbeats = etrain::trace::heartbeats::synthesize(&TrainAppSpec::paper_trio(), 1800.0, 5);
+
+    let mut pbuf = Vec::new();
+    io::write_packets_csv(&packets, &mut pbuf).expect("write packets");
+    let mut hbuf = Vec::new();
+    io::write_heartbeats_csv(&heartbeats, &mut hbuf).expect("write heartbeats");
+    let packets2 = io::read_packets_csv(pbuf.as_slice()).expect("read packets");
+    let heartbeats2 = io::read_heartbeats_csv(hbuf.as_slice()).expect("read heartbeats");
+
+    let run = |p: Vec<etrain::trace::packets::Packet>,
+               h: Vec<etrain::trace::heartbeats::Heartbeat>| {
+        Scenario::paper_default()
+            .duration_secs(1800)
+            .packets(p)
+            .heartbeats(h)
+            .bandwidth(BandwidthSource::Constant(500_000.0))
+            .scheduler(SchedulerKind::ETrain {
+                theta: 1.0,
+                k: None,
+            })
+            .run()
+    };
+    assert_eq!(run(packets, heartbeats), run(packets2, heartbeats2));
+}
+
+#[test]
+fn umbrella_crate_reexports_compose() {
+    // The umbrella crate's modules interoperate without importing the
+    // underlying crates directly.
+    let params = etrain::radio::RadioParams::galaxy_s4_3g();
+    let profile = etrain::sched::AppProfile::new("X", etrain::sched::CostProfile::weibo(60.0));
+    let mut core = etrain::core::ETrainCore::new(etrain::core::CoreConfig::default());
+    let app = core.register_cargo(profile);
+    let _train = core.register_train("QQ");
+    let id = core
+        .submit(app, etrain::core::TransmitRequest::upload(100), 0.0)
+        .expect("registered");
+    assert_eq!(id, etrain::core::RequestId(0));
+    assert!(params.tail_time_s() > 0.0);
+}

@@ -1,0 +1,157 @@
+//! Failure-injection tests: the system must degrade gracefully when
+//! trains die, the channel collapses, heartbeats jitter, or workloads are
+//! degenerate.
+
+use etrain::core::{CoreConfig, ETrainCore, TransmitRequest};
+use etrain::sched::{AppProfile, CostProfile};
+use etrain::sim::{BandwidthSource, Scenario, SchedulerKind};
+use etrain::trace::heartbeats::TrainAppSpec;
+use etrain::trace::packets::CargoWorkload;
+
+/// Paper Sec. V-3: "In case when no train app is running, eTrain will stop
+/// its scheduler to avoid cargo apps' indefinite waiting."
+#[test]
+fn train_death_mid_run_flushes_cargo() {
+    // One train whose daemon dies halfway: heartbeats only in the first
+    // 1200 s of a 3600 s run.
+    let dying_train = TrainAppSpec::fixed("Dying", 300.0, 300, 0.0);
+    let heartbeats: Vec<_> =
+        etrain::trace::heartbeats::synthesize(&[dying_train], 1200.0, 1);
+    let report = Scenario::paper_default()
+        .duration_secs(3600)
+        .heartbeats(heartbeats)
+        .scheduler(SchedulerKind::ETrain {
+            theta: 1e9, // gate never opens: trains are the only outlet
+            k: None,
+        })
+        .seed(2)
+        .run();
+    // Nothing may be stranded: once the train is gone the scheduler stops
+    // deferring (the engine signals trains_alive = false).
+    assert_eq!(
+        report.packets_unfinished, 0,
+        "cargo stranded after train death"
+    );
+}
+
+#[test]
+fn channel_collapse_slows_but_loses_nothing() {
+    // An 8 kbps channel (the generator's fade floor) for the entire run.
+    let report = Scenario::paper_default()
+        .duration_secs(1800)
+        .lambda(0.02)
+        .bandwidth(BandwidthSource::Constant(8_000.0))
+        .scheduler(SchedulerKind::ETrain {
+            theta: 0.5,
+            k: None,
+        })
+        .seed(4)
+        .run();
+    // Large cloud packets take ~100 s each at 1 kB/s: some work must spill
+    // past the horizon, but accounting stays consistent.
+    let generated = CargoWorkload::paper_default(0.02).generate(1800.0, 4).len();
+    assert_eq!(
+        report.packets_completed + report.packets_unfinished,
+        generated
+    );
+    assert!(report.busy_time_s > 100.0, "slow channel keeps radio busy");
+}
+
+#[test]
+fn heavy_heartbeat_jitter_does_not_break_alignment() {
+    let jittered: Vec<TrainAppSpec> = TrainAppSpec::paper_trio()
+        .into_iter()
+        .map(|t| t.with_jitter(30.0))
+        .collect();
+    let base = Scenario::paper_default().duration_secs(2400).seed(6);
+    let clean = base.clone().scheduler(SchedulerKind::ETrain { theta: 2.0, k: None }).run();
+    let noisy = base
+        .trains(jittered)
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
+        .run();
+    // The scheduler reacts to *observed* departures, so ±30 s jitter must
+    // not change energy by more than 20 %.
+    let drift = (noisy.extra_energy_j - clean.extra_energy_j).abs() / clean.extra_energy_j;
+    assert!(drift < 0.2, "jitter drift {:.1}%", drift * 100.0);
+}
+
+#[test]
+fn zero_workload_runs_clean() {
+    let report = Scenario::paper_default()
+        .duration_secs(1800)
+        .workload(CargoWorkload::new(Vec::new()))
+        .scheduler(SchedulerKind::ETrain {
+            theta: 0.2,
+            k: None,
+        })
+        .seed(1)
+        .run();
+    assert_eq!(report.packets_completed, 0);
+    assert_eq!(report.normalized_delay_s, 0.0);
+    assert!(report.extra_energy_j > 0.0, "heartbeats still cost energy");
+}
+
+#[test]
+fn burst_arrivals_are_conserved() {
+    // 200 packets arriving in the same second.
+    let packets: Vec<_> = (0..200)
+        .map(|i| etrain::trace::packets::Packet {
+            id: i,
+            app: etrain::trace::CargoAppId(1),
+            arrival_s: 10.0,
+            size_bytes: 1_000,
+        })
+        .collect();
+    let report = Scenario::paper_default()
+        .duration_secs(1200)
+        .packets(packets)
+        .bandwidth(BandwidthSource::Constant(1_000_000.0))
+        .scheduler(SchedulerKind::ETrain {
+            theta: 0.5,
+            k: None,
+        })
+        .seed(1)
+        .run();
+    assert_eq!(report.packets_completed + report.packets_unfinished, 200);
+}
+
+/// The live core refuses inconsistent inputs instead of corrupting state.
+#[test]
+fn core_rejects_bad_inputs_and_survives() {
+    let mut core = ETrainCore::new(CoreConfig::default());
+    let app = core.register_cargo(AppProfile::new("W", CostProfile::weibo(60.0)));
+
+    // Unknown train, unknown app, time travel — all reported as errors.
+    assert!(core.on_heartbeat(etrain::trace::TrainAppId(3), 1.0).is_err());
+    assert!(core
+        .submit(etrain::trace::CargoAppId(9), TransmitRequest::upload(1), 2.0)
+        .is_err());
+    core.submit(app, TransmitRequest::upload(1), 50.0).unwrap();
+    assert!(core.submit(app, TransmitRequest::upload(1), 10.0).is_err());
+
+    // The core still works afterwards.
+    let decisions = core.tick(60.0).expect("clock still monotone");
+    assert_eq!(decisions.len(), 1, "no trains: immediate release");
+}
+
+#[test]
+fn enormous_single_packet_does_not_wedge_the_engine() {
+    let packets = vec![etrain::trace::packets::Packet {
+        id: 0,
+        app: etrain::trace::CargoAppId(2),
+        arrival_s: 1.0,
+        size_bytes: 500_000_000, // 500 MB on a phone link
+    }];
+    let report = Scenario::paper_default()
+        .duration_secs(600)
+        .packets(packets)
+        .scheduler(SchedulerKind::Baseline)
+        .seed(1)
+        .run();
+    assert_eq!(report.packets_completed, 0);
+    assert_eq!(report.packets_unfinished, 1);
+    assert!(report.extra_energy_j.is_finite());
+}

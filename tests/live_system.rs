@@ -1,0 +1,99 @@
+//! Integration tests of the threaded eTrain runtime: registration →
+//! request → heartbeat → broadcast decision → (simulated) transmission.
+
+use std::time::Duration;
+
+use etrain::apps::{replay, CargoAppModel};
+use etrain::core::{CoreConfig, ETrainSystem, SystemConfig, TransmitRequest};
+use etrain::sched::{AppProfile, CostProfile};
+use etrain::trace::heartbeats::TrainAppSpec;
+use etrain::trace::user::{generate_app_use, Activeness};
+
+fn fast_system(theta: f64) -> ETrainSystem {
+    ETrainSystem::start(SystemConfig {
+        core: CoreConfig {
+            theta,
+            k: None,
+            slot_s: 1.0,
+            startup_grace_s: 600.0,
+        },
+        time_scale: 2000.0,
+    })
+}
+
+#[test]
+fn multiple_cargo_apps_ride_one_train() {
+    let system = fast_system(1e6);
+    let train = system.train_handle("QQ");
+    let mail = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+    let weibo = system.cargo_client(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+    let cloud = system.cargo_client(AppProfile::new("Cloud", CostProfile::cloud(600.0)));
+
+    mail.submit(TransmitRequest::upload(5_000)).unwrap();
+    weibo.submit(TransmitRequest::upload(2_000)).unwrap();
+    cloud.submit(TransmitRequest::download(100_000)).unwrap();
+    train.heartbeat().unwrap();
+
+    for client in [&mail, &weibo, &cloud] {
+        let decision = client
+            .next_decision(Duration::from_secs(3))
+            .expect("all three apps ride the same heartbeat");
+        assert_eq!(decision.piggybacked_on, Some(train.id()));
+        assert_eq!(decision.app, client.id());
+    }
+    system.shutdown();
+}
+
+#[test]
+fn decisions_keep_flowing_across_heartbeats() {
+    let system = fast_system(1e6);
+    let train = system.train_handle("WeChat");
+    let client = system.cargo_client(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+
+    for round in 0..3 {
+        client.submit(TransmitRequest::upload(1_000 + round)).unwrap();
+        train.heartbeat().unwrap();
+        let decision = client
+            .next_decision(Duration::from_secs(3))
+            .unwrap_or_else(|| panic!("round {round} decision missing"));
+        assert_eq!(decision.size_bytes, 1_000 + round);
+    }
+    system.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_clean() {
+    let system = fast_system(0.2);
+    let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+    client.submit(TransmitRequest::upload(10)).unwrap();
+    system.shutdown();
+    // Dropping a second system (already shut down) must not hang: Drop
+    // re-runs stop_and_join harmlessly — covered by shutdown() consuming
+    // self; nothing further to call here.
+}
+
+#[test]
+fn replay_pipeline_through_live_core_matches_counts() {
+    // The apps-crate replay drives the same deterministic core the
+    // threaded system wraps; verify the full pipeline on a real trace.
+    let trace = generate_app_use(3, Activeness::Active, 21).normalized_to(600.0);
+    let outcome = replay::replay_through_core(
+        &trace,
+        &CargoAppModel::weibo().with_deadline(30.0),
+        &TrainAppSpec::paper_trio(),
+        CoreConfig {
+            theta: 20.0,
+            k: Some(20),
+            slot_s: 1.0,
+            startup_grace_s: 600.0,
+        },
+    );
+    assert_eq!(outcome.undelivered, 0);
+    assert_eq!(outcome.decisions.len(), trace.upload_count());
+    // Decisions must respect causality.
+    for d in &outcome.decisions {
+        assert!(d.delay_s() >= 0.0);
+    }
+    // Deep batching: a large share rides heartbeats at Θ = 20.
+    assert!(outcome.piggyback_ratio > 0.3, "{}", outcome.piggyback_ratio);
+}
