@@ -134,10 +134,7 @@ mod tests {
     fn to_packets_preserves_total() {
         let sync = FileSync::new(123_456, 10_000);
         let packets = sync.to_packets(CargoAppId(2), 42.0, 7);
-        assert_eq!(
-            packets.iter().map(|p| p.size_bytes).sum::<u64>(),
-            123_456
-        );
+        assert_eq!(packets.iter().map(|p| p.size_bytes).sum::<u64>(), 123_456);
         assert_eq!(packets[0].id, 7);
         assert!(packets.iter().all(|p| p.arrival_s == 42.0));
     }
@@ -151,6 +148,7 @@ mod tests {
             k: Some(1),
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            ..CoreConfig::default()
         });
         let train = core.register_train("QQ");
         let cloud = core.register_cargo(AppProfile::new("Cloud", CostProfile::cloud(600.0)));

@@ -97,6 +97,31 @@ pub fn replay_through_core(
         next_tick += 1.0;
     }
 
+    // Final drain: an upload that arrived after the horizon's last train
+    // (and below Θ) would otherwise be stranded at trace end. Ride it on
+    // the next departures past the horizon, as the live system would.
+    let mut drained_heartbeats = 0usize;
+    let mut t_cursor = horizon;
+    while core.pending_requests() > 0 && !trains.is_empty() && drained_heartbeats < 64 {
+        let mut next: Option<(f64, etrain_trace::TrainAppId)> = None;
+        for (spec, &id) in trains.iter().zip(&train_ids) {
+            let upcoming = spec
+                .pattern
+                .departure_times(spec.phase_s, t_cursor + 7200.0)
+                .into_iter()
+                .find(|&t| t > t_cursor);
+            if let Some(t) = upcoming {
+                if next.is_none_or(|(best, _)| t < best) {
+                    next = Some((t, id));
+                }
+            }
+        }
+        let Some((t, id)) = next else { break };
+        decisions.extend(core.on_heartbeat(id, t).expect("registered train"));
+        drained_heartbeats += 1;
+        t_cursor = t;
+    }
+
     let decided = decisions.len();
     let mean_delay_s = if decided > 0 {
         decisions.iter().map(TransmitDecision::delay_s).sum::<f64>() / decided as f64
@@ -110,7 +135,8 @@ pub fn replay_through_core(
     let heartbeats = trains
         .iter()
         .map(|spec| spec.pattern.departure_times(spec.phase_s, horizon).len())
-        .sum();
+        .sum::<usize>()
+        + drained_heartbeats;
     ReplayOutcome {
         piggyback_ratio: if decided > 0 {
             piggybacked as f64 / decided as f64

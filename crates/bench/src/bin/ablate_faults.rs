@@ -1,0 +1,3 @@
+fn main() {
+    etrain_bench::run_binary("ablate_faults");
+}

@@ -30,8 +30,16 @@ pub fn run(quick: bool) -> Vec<Table> {
         .expect("valid short-tail radio");
 
     let rows = [
-        ("Baseline / normal 3G", RadioParams::galaxy_s4_3g(), SchedulerKind::Baseline),
-        ("Baseline / fast dormancy", fast_dormancy, SchedulerKind::Baseline),
+        (
+            "Baseline / normal 3G",
+            RadioParams::galaxy_s4_3g(),
+            SchedulerKind::Baseline,
+        ),
+        (
+            "Baseline / fast dormancy",
+            fast_dormancy,
+            SchedulerKind::Baseline,
+        ),
         (
             "eTrain / normal 3G",
             RadioParams::galaxy_s4_3g(),
@@ -44,7 +52,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "Ablation — eTrain vs fast dormancy (2 s promotion from IDLE)",
-        &["configuration", "energy_j", "promotions", "promo_time_s", "delay_s"],
+        &[
+            "configuration",
+            "energy_j",
+            "promotions",
+            "promo_time_s",
+            "delay_s",
+        ],
     );
     for (name, radio, kind) in rows {
         let promo_s = radio.promotion_idle_to_dch_s();

@@ -16,7 +16,11 @@ use super::{j, paper_base, s};
 /// Runs the jitter ablation.
 pub fn run(quick: bool) -> Vec<Table> {
     let base = paper_base(quick);
-    let jitters: &[f64] = if quick { &[0.0, 10.0] } else { &[0.0, 2.0, 10.0, 30.0, 60.0] };
+    let jitters: &[f64] = if quick {
+        &[0.0, 10.0]
+    } else {
+        &[0.0, 2.0, 10.0, 30.0, 60.0]
+    };
 
     let mut table = Table::new(
         "Ablation — heartbeat jitter (Θ = 2, k = ∞)",

@@ -20,7 +20,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mean_bps = wuhan_drive_synthetic(9).mean_bps();
 
     let algorithms = [
-        SchedulerKind::ETrain { theta: 2.0, k: None },
+        SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        },
         SchedulerKind::PerEs { omega: 0.2 },
         SchedulerKind::ETime { v_bytes: 30_000.0 },
     ];

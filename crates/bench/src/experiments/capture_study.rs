@@ -20,7 +20,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let duration = if quick { 3600.0 } else { 2.0 * 3600.0 };
     let mut per_flow = Table::new(
         "Capture study — identified heartbeat flows (Android, 3 IM apps)",
-        &["app", "true_cycle_s", "detected_s", "folded_s", "beats", "mean_size_b"],
+        &[
+            "app",
+            "true_cycle_s",
+            "detected_s",
+            "folded_s",
+            "beats",
+            "mean_size_b",
+        ],
     );
     let config = CaptureConfig {
         duration_s: duration,
@@ -31,10 +38,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut hits = 0usize;
     for flow in &flows {
-        let truth = capture
-            .truth
-            .iter()
-            .find(|(key, _)| *key == flow.flow);
+        let truth = capture.truth.iter().find(|(key, _)| *key == flow.flow);
         let (name, true_cycle) = match truth {
             Some((_, name)) => {
                 hits += 1;
@@ -55,16 +59,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             name,
             s(true_cycle),
             s(flow.cycle_s),
-            flow.folded_cycle_s.map_or("-".to_owned(), |c| s(c)),
+            flow.folded_cycle_s.map_or("-".to_owned(), s),
             flow.beats.to_string(),
             format!("{:.0}", flow.mean_size_bytes),
         ]);
     }
 
-    let mut summary = Table::new(
-        "Capture study — classifier quality",
-        &["metric", "value"],
-    );
+    let mut summary = Table::new("Capture study — classifier quality", &["metric", "value"]);
     let precision = if flows.is_empty() {
         1.0
     } else {

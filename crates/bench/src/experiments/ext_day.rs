@@ -21,7 +21,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     let battery = Battery::paper_reference();
 
     let mut table = Table::new(
-        format!("Extension — {}-hour diurnal battery projection", (horizon / 3600.0) as u64),
+        format!(
+            "Extension — {}-hour diurnal battery projection",
+            (horizon / 3600.0) as u64
+        ),
         &[
             "radio",
             "baseline_j",

@@ -15,7 +15,11 @@ use super::{paper_base, pct};
 /// Runs the Θ × λ grid.
 pub fn run(quick: bool) -> Vec<Table> {
     let base = paper_base(quick);
-    let thetas: &[f64] = if quick { &[0.5, 2.0, 8.0] } else { &[0.5, 1.0, 2.0, 4.0, 8.0] };
+    let thetas: &[f64] = if quick {
+        &[0.5, 2.0, 8.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0]
+    };
     let lambdas: &[f64] = if quick {
         &[0.04, 0.12]
     } else {

@@ -57,7 +57,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         let baseline_cargo = baseline.extra_energy_j - hb_energy;
 
         table.push_row_strings(vec![
-            if n == 0 { "NULL".to_owned() } else { n.to_string() },
+            if n == 0 {
+                "NULL".to_owned()
+            } else {
+                n.to_string()
+            },
             j(hb_energy),
             j(cargo_energy),
             j(report.extra_energy_j),

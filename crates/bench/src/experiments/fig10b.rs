@@ -24,7 +24,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "Fig. 10(b) — Θ sweep, controlled experiment (k = ∞)",
-        &["theta", "energy_j", "delay_s", "energy_change", "delay_change"],
+        &[
+            "theta",
+            "energy_j",
+            "delay_s",
+            "energy_change",
+            "delay_change",
+        ],
     );
     for (theta, report) in &sweep {
         table.push_row_strings(vec![

@@ -58,10 +58,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 .run()
                 .extra_energy_j;
             etrain_total += scenario
-                .scheduler(SchedulerKind::ETrain {
-                    theta,
-                    k: Some(20),
-                })
+                .scheduler(SchedulerKind::ETrain { theta, k: Some(20) })
                 .run()
                 .extra_energy_j;
         }
@@ -93,7 +90,10 @@ mod tests {
             .map(|r| r.split(',').nth(5).unwrap().parse().unwrap())
             .collect();
         assert_eq!(saved.len(), 3);
-        assert!(saved.iter().all(|&s| s > 0.0), "all savings positive: {saved:?}");
+        assert!(
+            saved.iter().all(|&s| s > 0.0),
+            "all savings positive: {saved:?}"
+        );
         assert!(
             saved[0] > saved[2],
             "active users must save more joules than inactive: {saved:?}"

@@ -24,7 +24,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     // the monitor recovers the exact cycle despite the data noise).
     let mut im = Table::new(
         "Fig. 3(a-c) — IM heartbeat cycles with data traffic present",
-        &["app", "spec_cycle_s", "data_packets", "detected_cycle_s", "unaffected"],
+        &[
+            "app",
+            "spec_cycle_s",
+            "data_packets",
+            "detected_cycle_s",
+            "unaffected",
+        ],
     );
     let data = CargoWorkload::paper_default(0.08).generate(horizon, 5);
     for spec in TrainAppSpec::paper_trio() {

@@ -38,18 +38,24 @@ pub fn run(_quick: bool) -> Vec<Table> {
         trace.push_row_strings(vec![s(t), format!("{p:.0}")]);
     }
 
-    let mut constants = Table::new(
-        "Fig. 4 — model constants",
-        &["parameter", "value"],
-    );
+    let mut constants = Table::new("Fig. 4 — model constants", &["parameter", "value"]);
     constants.push_row(&["p_DCH − p_idle", "700 mW"]);
     constants.push_row(&["p_FACH − p_idle", "450 mW"]);
-    constants.push_row_strings(vec!["delta_DCH".into(), format!("{} s", params.delta_dch_s())]);
-    constants.push_row_strings(vec!["delta_FACH".into(), format!("{} s", params.delta_fach_s())]);
+    constants.push_row_strings(vec![
+        "delta_DCH".into(),
+        format!("{} s", params.delta_dch_s()),
+    ]);
+    constants.push_row_strings(vec![
+        "delta_FACH".into(),
+        format!("{} s", params.delta_fach_s()),
+    ]);
     constants.push_row_strings(vec!["T_tail".into(), format!("{} s", params.tail_time_s())]);
     constants.push_row_strings(vec![
         "full tail energy".into(),
-        format!("{:.2} J (paper measures ~10.91 J)", params.full_tail_energy_j()),
+        format!(
+            "{:.2} J (paper measures ~10.91 J)",
+            params.full_tail_energy_j()
+        ),
     ]);
     vec![states, trace, constants]
 }

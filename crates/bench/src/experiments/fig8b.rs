@@ -26,7 +26,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         format!("Fig. 8(b) — energy at matched delay ≈ {TARGET_DELAY_S} s"),
-        &["lambda", "algorithm", "energy_j", "delay_s", "violation", "saving_vs_baseline_j"],
+        &[
+            "lambda",
+            "algorithm",
+            "energy_j",
+            "delay_s",
+            "violation",
+            "saving_vs_baseline_j",
+        ],
     );
     for &lambda in lambdas {
         let scenario = base.clone().lambda(lambda);
@@ -43,21 +50,30 @@ pub fn run(quick: bool) -> Vec<Table> {
         let matched: Vec<(&str, Option<(f64, etrain_sim::RunReport)>)> = vec![
             (
                 "eTrain",
-                match_delay(&scenario, &log_space(0.5, 20.0, n), |theta| {
-                    SchedulerKind::ETrain { theta, k: None }
-                }, TARGET_DELAY_S),
+                match_delay(
+                    &scenario,
+                    &log_space(0.5, 20.0, n),
+                    |theta| SchedulerKind::ETrain { theta, k: None },
+                    TARGET_DELAY_S,
+                ),
             ),
             (
                 "PerES",
-                match_delay(&scenario, &log_space(0.02, 2.0, n), |omega| {
-                    SchedulerKind::PerEs { omega }
-                }, TARGET_DELAY_S),
+                match_delay(
+                    &scenario,
+                    &log_space(0.02, 2.0, n),
+                    |omega| SchedulerKind::PerEs { omega },
+                    TARGET_DELAY_S,
+                ),
             ),
             (
                 "eTime",
-                match_delay(&scenario, &log_space(5_000.0, 120_000.0, n), |v_bytes| {
-                    SchedulerKind::ETime { v_bytes }
-                }, TARGET_DELAY_S),
+                match_delay(
+                    &scenario,
+                    &log_space(5_000.0, 120_000.0, n),
+                    |v_bytes| SchedulerKind::ETime { v_bytes },
+                    TARGET_DELAY_S,
+                ),
             ),
         ];
         for (name, result) in matched {
@@ -93,9 +109,7 @@ mod tests {
                 .push((cells[1].to_owned(), cells[2].parse().unwrap()));
         }
         for (lambda, entries) in by_lambda {
-            let energy = |name: &str| -> f64 {
-                entries.iter().find(|(n, _)| n == name).unwrap().1
-            };
+            let energy = |name: &str| -> f64 { entries.iter().find(|(n, _)| n == name).unwrap().1 };
             assert!(
                 energy("eTrain") < energy("Baseline"),
                 "λ={lambda}: eTrain must beat baseline"

@@ -1,11 +1,11 @@
 //! One module per reproduced table/figure plus the ablations.
 
 pub mod ablate_dormancy;
+pub mod ablate_faults;
 pub mod ablate_jitter;
 pub mod ablate_k;
 pub mod ablate_prediction;
 pub mod ablate_radio;
-pub mod offline_gap;
 pub mod capture_study;
 pub mod ext_day;
 pub mod ext_grid;
@@ -24,6 +24,7 @@ pub mod fig7a;
 pub mod fig7b;
 pub mod fig8a;
 pub mod fig8b;
+pub mod offline_gap;
 pub mod table1;
 
 use etrain_sim::Scenario;

@@ -41,7 +41,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         table.push_row_strings(row);
     }
     // iOS: one shared APNS stream for every app.
-    let apns = detect(&TrainAppSpec::ios_apns().with_jitter(2.0), 12.0 * 3600.0, 99);
+    let apns = detect(
+        &TrainAppSpec::ios_apns().with_jitter(2.0),
+        12.0 * 3600.0,
+        99,
+    );
     let mut row = vec!["iPhone 4 / iPhone 5 (APNS)".to_owned()];
     for _ in 0..apps.len() {
         row.push(apns.clone());
@@ -59,10 +63,7 @@ fn detect(spec: &TrainAppSpec, horizon: f64, seed: u64) -> String {
     }
     match monitor.pattern(TrainAppId(0)) {
         DetectedPattern::Fixed { cycle_s, .. } => format!("{cycle_s:.0}s"),
-        DetectedPattern::Adaptive {
-            levels_s,
-            ..
-        } => format!(
+        DetectedPattern::Adaptive { levels_s, .. } => format!(
             "{:.0}-{:.0}s",
             levels_s.first().copied().unwrap_or(0.0),
             levels_s.last().copied().unwrap_or(0.0)
@@ -76,7 +77,9 @@ mod tests {
     use super::*;
 
     fn seconds(cell: &str) -> f64 {
-        cell.trim_end_matches('s').parse().expect("fixed-cycle cell")
+        cell.trim_end_matches('s')
+            .parse()
+            .expect("fixed-cycle cell")
     }
 
     #[test]
@@ -87,10 +90,22 @@ mod tests {
         let csv = tables[0].to_csv();
         let first_android = csv.lines().nth(1).unwrap();
         let cells: Vec<&str> = first_android.split(',').collect();
-        assert!((seconds(cells[1]) - 270.0).abs() <= 3.0, "WeChat {}", cells[1]);
-        assert!((seconds(cells[2]) - 240.0).abs() <= 3.0, "WhatsApp {}", cells[2]);
+        assert!(
+            (seconds(cells[1]) - 270.0).abs() <= 3.0,
+            "WeChat {}",
+            cells[1]
+        );
+        assert!(
+            (seconds(cells[2]) - 240.0).abs() <= 3.0,
+            "WhatsApp {}",
+            cells[2]
+        );
         assert!((seconds(cells[3]) - 300.0).abs() <= 3.0, "QQ {}", cells[3]);
-        assert!((seconds(cells[4]) - 300.0).abs() <= 3.0, "RenRen {}", cells[4]);
+        assert!(
+            (seconds(cells[4]) - 300.0).abs() <= 3.0,
+            "RenRen {}",
+            cells[4]
+        );
         assert!(cells[5].contains('-'), "NetEase adaptive: {}", cells[5]);
     }
 

@@ -135,6 +135,11 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::ablate_dormancy::run,
         },
         Experiment {
+            id: "ablate_faults",
+            artifact: "Ablation: lossy channel and outages (retries, wasted joules, abandonment)",
+            run: experiments::ablate_faults::run,
+        },
+        Experiment {
             id: "offline_gap",
             artifact: "Extension: online eTrain vs the Sec. III offline optimum",
             run: experiments::offline_gap::run,

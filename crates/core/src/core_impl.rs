@@ -4,12 +4,20 @@
 use std::collections::HashMap;
 
 use etrain_hb::{HeartbeatMonitor, TrainStatus};
-use etrain_sched::{AppProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext};
+use etrain_sched::{
+    AppProfile, ETrainConfig, ETrainScheduler, RetryDecision, RetryPolicy, Scheduler, SlotContext,
+};
+use etrain_trace::faults::hash_unit;
 use etrain_trace::packets::Packet;
 use etrain_trace::{CargoAppId, TrainAppId};
 
 use crate::error::CoreError;
-use crate::request::{RequestId, TransmitDecision, TransmitRequest};
+use crate::request::{RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult};
+
+/// Seed for the core's retry-jitter draws. Fixed: the live core has no
+/// fault plan to inherit a seed from, and determinism matters more than
+/// cross-deployment variety.
+const RETRY_JITTER_SEED: u64 = 0x6574_7261_696e_5f63;
 
 /// Configuration of the deterministic core.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -23,17 +31,23 @@ pub struct CoreConfig {
     /// Grace period after a train registers during which it counts as
     /// alive even before its first observed heartbeat, in seconds.
     pub startup_grace_s: f64,
+    /// Retry policy applied to requests whose transmissions fail (see
+    /// [`ETrainCore::report_result`]). A request with a per-request
+    /// deadline uses that deadline as its give-up age instead of the
+    /// policy's `give_up_age_s`.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CoreConfig {
-    /// Θ = 0.2, k = ∞, 1 s slots (the paper's deployed settings) and a
-    /// 10-minute startup grace.
+    /// Θ = 0.2, k = ∞, 1 s slots (the paper's deployed settings), a
+    /// 10-minute startup grace, and the default retry policy.
     fn default() -> Self {
         CoreConfig {
             theta: 0.2,
             k: None,
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -52,6 +66,17 @@ pub struct CoreStats {
     pub cancelled: usize,
     /// Heartbeats observed across all train apps.
     pub heartbeats: usize,
+    /// Transmissions reported delivered via
+    /// [`ETrainCore::report_result`].
+    pub delivered: usize,
+    /// Retries scheduled after reported failures.
+    pub retries: usize,
+    /// Requests the retry policy gave up on.
+    pub abandoned: usize,
+    /// Times the watchdog saw every train die and flushed the scheduler
+    /// (paper Sec. V-3: the core stops deferring so cargo apps never wait
+    /// indefinitely; piggybacking resumes when a train restarts).
+    pub watchdog_flushes: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +84,22 @@ struct PendingRequest {
     id: RequestId,
     submitted_at_s: f64,
     deadline_override_s: Option<f64>,
+}
+
+/// A decided request whose transmission outcome has not been reported yet.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    packet: Packet,
+    meta: PendingRequest,
+}
+
+/// A failed request waiting out its backoff before re-entering the
+/// scheduler.
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    resume_at_s: f64,
+    packet: Packet,
+    meta: PendingRequest,
 }
 
 #[derive(Debug, Clone)]
@@ -90,6 +131,10 @@ pub struct ETrainCore {
     trains: Vec<TrainRecord>,
     pending: HashMap<u64, PendingRequest>,
     stashed_decisions: Vec<TransmitDecision>,
+    awaiting: HashMap<RequestId, InFlight>,
+    backoffs: Vec<Backoff>,
+    failed_attempts: HashMap<u64, u32>,
+    was_alive: bool,
     stats: CoreStats,
     next_packet_id: u64,
     next_request_id: u64,
@@ -114,6 +159,10 @@ impl ETrainCore {
             trains: Vec::new(),
             pending: HashMap::new(),
             stashed_decisions: Vec::new(),
+            awaiting: HashMap::new(),
+            backoffs: Vec::new(),
+            failed_attempts: HashMap::new(),
+            was_alive: false,
             stats: CoreStats::default(),
             next_packet_id: 0,
             next_request_id: 0,
@@ -134,6 +183,17 @@ impl ETrainCore {
     /// Number of requests waiting for a transmission decision.
     pub fn pending_requests(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of decided requests whose transmission outcome has not been
+    /// reported yet (via [`ETrainCore::report_result`]).
+    pub fn awaiting_results(&self) -> usize {
+        self.awaiting.len()
+    }
+
+    /// Number of failed requests currently waiting out a retry backoff.
+    pub fn backing_off(&self) -> usize {
+        self.backoffs.len()
     }
 
     /// Cumulative operational counters since startup.
@@ -169,7 +229,7 @@ impl ETrainCore {
             self.profiles.clone(),
         );
         let mut carried: Vec<Packet> = Vec::with_capacity(self.pending.len());
-        for (&packet_id, _meta) in &self.pending {
+        for &packet_id in self.pending.keys() {
             // Recover the packet from the old scheduler's queues.
             for app_idx in 0..self.profiles.len().saturating_sub(1) {
                 if let Some(p) = self.scheduler.force_release(CargoAppId(app_idx), packet_id) {
@@ -285,11 +345,7 @@ impl ETrainCore {
     /// already decided or never existed — cancellation after a decision is
     /// a no-op because the cargo app may already be transmitting.
     pub fn cancel(&mut self, request: RequestId) -> bool {
-        let Some((&packet_id, _)) = self
-            .pending
-            .iter()
-            .find(|(_, meta)| meta.id == request)
-        else {
+        let Some((&packet_id, _)) = self.pending.iter().find(|(_, meta)| meta.id == request) else {
             return false;
         };
         for app_idx in 0..self.profiles.len() {
@@ -314,6 +370,96 @@ impl ETrainCore {
             return true;
         }
         false
+    }
+
+    /// Cancels a request waiting out a retry backoff (the user gave up on
+    /// the failing transfer). Returns `true` if the request was backing
+    /// off and is now withdrawn. Note [`ETrainCore::cancel`] covers
+    /// requests still pending a first decision; this covers the
+    /// failed-and-backing-off state.
+    pub fn cancel_backoff(&mut self, request: RequestId) -> bool {
+        let Some(pos) = self.backoffs.iter().position(|b| b.meta.id == request) else {
+            return false;
+        };
+        let b = self.backoffs.remove(pos);
+        self.failed_attempts.remove(&b.packet.id);
+        self.stats.cancelled += 1;
+        true
+    }
+
+    /// Reports the outcome of a decided transmission. Cargo apps (or the
+    /// transport layer acting for them) call this after acting on a
+    /// [`TransmitDecision`]:
+    ///
+    /// - [`TxResult::Delivered`] closes the request;
+    /// - [`TxResult::Failed`] runs the retry state machine: the request
+    ///   either re-enters the scheduler after an exponential backoff with
+    ///   jitter — keeping its *original* submission time, so its delay
+    ///   cost keeps growing — or is abandoned when attempts are exhausted
+    ///   or its age would pass the give-up threshold (the per-request
+    ///   deadline when one was set, the policy's `give_up_age_s`
+    ///   otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRequest`] if `request` is not awaiting
+    /// a result (never decided, already closed, or reported twice) and
+    /// [`CoreError::TimeWentBackwards`] for non-monotone timestamps.
+    pub fn report_result(
+        &mut self,
+        request: RequestId,
+        result: TxResult,
+        now_s: f64,
+    ) -> Result<RetryVerdict, CoreError> {
+        self.advance_clock(now_s)?;
+        let inflight = self
+            .awaiting
+            .remove(&request)
+            .ok_or(CoreError::UnknownRequest { request })?;
+        match result {
+            TxResult::Delivered => {
+                self.stats.delivered += 1;
+                self.failed_attempts.remove(&inflight.packet.id);
+                Ok(RetryVerdict::Delivered)
+            }
+            TxResult::Failed => {
+                let attempts = self
+                    .failed_attempts
+                    .get(&inflight.packet.id)
+                    .copied()
+                    .unwrap_or(0)
+                    + 1;
+                self.failed_attempts.insert(inflight.packet.id, attempts);
+                // Deadline-aware give-up: a per-request deadline replaces
+                // the policy's default patience.
+                let policy = RetryPolicy {
+                    give_up_age_s: inflight
+                        .meta
+                        .deadline_override_s
+                        .unwrap_or(self.config.retry.give_up_age_s),
+                    ..self.config.retry
+                };
+                let jitter = hash_unit(RETRY_JITTER_SEED, inflight.packet.id, u64::from(attempts));
+                match policy.decide(attempts, now_s, inflight.meta.submitted_at_s, jitter) {
+                    RetryDecision::RetryAfter(delay) => {
+                        self.stats.retries += 1;
+                        self.backoffs.push(Backoff {
+                            resume_at_s: now_s + delay,
+                            packet: inflight.packet,
+                            meta: inflight.meta,
+                        });
+                        Ok(RetryVerdict::RetryScheduled {
+                            resume_at_s: now_s + delay,
+                        })
+                    }
+                    RetryDecision::Abandon => {
+                        self.stats.abandoned += 1;
+                        self.failed_attempts.remove(&inflight.packet.id);
+                        Ok(RetryVerdict::Abandoned)
+                    }
+                }
+            }
+        }
     }
 
     /// Whether the scheduler currently considers any train app alive.
@@ -348,6 +494,43 @@ impl ETrainCore {
 
     fn run_slot(&mut self, now_s: f64, heartbeat: Option<TrainAppId>) -> Vec<TransmitDecision> {
         let mut decisions = std::mem::take(&mut self.stashed_decisions);
+
+        // Watchdog (paper Sec. V-3): count alive→dead transitions. The
+        // scheduler itself stops deferring once the slot context reports
+        // no live trains, so the flush is observable as released packets;
+        // the counter makes it visible in `CoreStats`. A dead→alive
+        // transition (train restart) resumes piggybacking automatically.
+        let alive = self.trains_alive(now_s);
+        if self.was_alive && !alive {
+            self.stats.watchdog_flushes += 1;
+        }
+        self.was_alive = alive;
+
+        // Re-admit failed requests whose backoff has elapsed, through the
+        // scheduler's failure-feedback hook (original arrival preserved).
+        if !self.backoffs.is_empty() {
+            let mut due: Vec<Backoff> = Vec::new();
+            self.backoffs.retain(|b| {
+                if b.resume_at_s <= now_s {
+                    due.push(*b);
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by(|a, b| a.resume_at_s.total_cmp(&b.resume_at_s));
+            for b in due {
+                self.pending.insert(b.packet.id, b.meta);
+                let released = self
+                    .scheduler
+                    .on_tx_failure(b.packet, now_s)
+                    .expect("retried packet's app is registered");
+                for p in released {
+                    let d = self.decision_for(p, now_s, None);
+                    decisions.push(d);
+                }
+            }
+        }
 
         // Per-request deadline overrides: force-release anything that would
         // violate its own deadline by waiting one more slot.
@@ -402,6 +585,9 @@ impl ETrainCore {
         if piggybacked_on.is_some() {
             self.stats.piggybacked += 1;
         }
+        // Track the decided request until its outcome is reported, so a
+        // failure can be retried with its original submission metadata.
+        self.awaiting.insert(meta.id, InFlight { packet, meta });
         TransmitDecision {
             request: meta.id,
             app: packet.app,
@@ -421,9 +607,7 @@ mod tests {
     fn core() -> (ETrainCore, TrainAppId, CargoAppId) {
         let mut core = ETrainCore::new(CoreConfig {
             theta: 5.0, // high gate: only heartbeats release in tests
-            k: None,
-            slot_s: 1.0,
-            startup_grace_s: 600.0,
+            ..CoreConfig::default()
         });
         let train = core.register_train("WeChat");
         let cargo = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
@@ -463,7 +647,8 @@ mod tests {
     #[test]
     fn time_must_be_monotone() {
         let (mut core, _, cargo) = core();
-        core.submit(cargo, TransmitRequest::upload(1), 50.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(1), 50.0)
+            .unwrap();
         let err = core
             .submit(cargo, TransmitRequest::upload(1), 10.0)
             .unwrap_err();
@@ -474,12 +659,8 @@ mod tests {
     fn per_request_deadline_override_forces_release() {
         let (mut core, train, cargo) = core();
         core.on_heartbeat(train, 0.0).unwrap();
-        core.submit(
-            cargo,
-            TransmitRequest::upload(100).with_deadline(20.0),
-            5.0,
-        )
-        .unwrap();
+        core.submit(cargo, TransmitRequest::upload(100).with_deadline(20.0), 5.0)
+            .unwrap();
         assert!(core.tick(10.0).unwrap().is_empty());
         // At t=24 the next slot would pass the 20 s override (5 + 20 = 25).
         let decisions = core.tick(24.0).unwrap();
@@ -513,9 +694,14 @@ mod tests {
     fn no_trains_registered_means_immediate_release() {
         let mut core = ETrainCore::new(CoreConfig::default());
         let cargo = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
-        core.submit(cargo, TransmitRequest::upload(100), 1.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(100), 1.0)
+            .unwrap();
         let decisions = core.tick(2.0).unwrap();
-        assert_eq!(decisions.len(), 1, "no trains: the scheduler must not defer");
+        assert_eq!(
+            decisions.len(),
+            1,
+            "no trains: the scheduler must not defer"
+        );
     }
 
     #[test]
@@ -558,8 +744,12 @@ mod tests {
     fn cancel_withdraws_pending_requests_only() {
         let (mut core, train, cargo) = core();
         core.on_heartbeat(train, 0.0).unwrap();
-        let keep = core.submit(cargo, TransmitRequest::upload(100), 5.0).unwrap();
-        let drop = core.submit(cargo, TransmitRequest::upload(200), 6.0).unwrap();
+        let keep = core
+            .submit(cargo, TransmitRequest::upload(100), 5.0)
+            .unwrap();
+        let drop = core
+            .submit(cargo, TransmitRequest::upload(200), 6.0)
+            .unwrap();
 
         assert!(core.cancel(drop), "pending request can be cancelled");
         assert!(!core.cancel(drop), "second cancel is a no-op");
@@ -589,12 +779,177 @@ mod tests {
     }
 
     #[test]
+    fn failed_transmission_retries_with_backoff_and_preserves_submission() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap();
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(core.awaiting_results(), 1);
+
+        // The transfer fails: a backed-off retry is scheduled.
+        let verdict = core.report_result(id, TxResult::Failed, 271.0).unwrap();
+        let RetryVerdict::RetryScheduled { resume_at_s } = verdict else {
+            panic!("expected a retry, got {verdict:?}");
+        };
+        assert!(
+            resume_at_s > 271.0 && resume_at_s < 275.0,
+            "~2 s base backoff, got resume at {resume_at_s}"
+        );
+        assert_eq!(core.backing_off(), 1);
+        assert_eq!(core.awaiting_results(), 0);
+
+        // Before the backoff elapses nothing re-enters the scheduler.
+        assert!(core.tick(271.2).unwrap().is_empty());
+        assert_eq!(core.backing_off(), 1);
+
+        // After it elapses the request is re-admitted (and defers again —
+        // Θ is high in this fixture — until the next train).
+        assert!(core.tick(resume_at_s + 0.1).unwrap().is_empty());
+        assert_eq!(core.backing_off(), 0);
+        assert_eq!(core.pending_requests(), 1);
+        let decisions = core.on_heartbeat(train, 540.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].request, id);
+        assert_eq!(
+            decisions[0].submitted_at_s, 10.0,
+            "retry keeps the original submission time"
+        );
+
+        // Second attempt succeeds.
+        let verdict = core.report_result(id, TxResult::Delivered, 541.0).unwrap();
+        assert_eq!(verdict, RetryVerdict::Delivered);
+        let stats = core.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(stats.decided, 2, "two decisions for the same request");
+    }
+
+    #[test]
+    fn exhausted_attempts_abandon_the_request() {
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 5.0,
+            retry: etrain_sched::RetryPolicy {
+                max_attempts: 2,
+                ..etrain_sched::RetryPolicy::default()
+            },
+            ..CoreConfig::default()
+        });
+        let train = core.register_train("WeChat");
+        let cargo = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap();
+
+        let d = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(d.len(), 1);
+        let RetryVerdict::RetryScheduled { resume_at_s } =
+            core.report_result(id, TxResult::Failed, 271.0).unwrap()
+        else {
+            panic!("first failure should retry");
+        };
+        core.tick(resume_at_s + 0.1).unwrap();
+        let d = core.on_heartbeat(train, 540.0).unwrap();
+        assert_eq!(d.len(), 1);
+
+        // Second failure hits max_attempts = 2: abandoned.
+        let verdict = core.report_result(id, TxResult::Failed, 541.0).unwrap();
+        assert_eq!(verdict, RetryVerdict::Abandoned);
+        assert_eq!(core.stats().abandoned, 1);
+        assert_eq!(core.backing_off(), 0);
+        assert_eq!(core.pending_requests(), 0);
+    }
+
+    #[test]
+    fn per_request_deadline_bounds_retrying() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(100).with_deadline(20.0), 5.0)
+            .unwrap();
+        // The deadline override force-releases at ~24 s.
+        let decisions = core.tick(24.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        // Failing at 25: age at next attempt ≈ 25 + 2 − 5 = 22 > 20 —
+        // deadline-aware give-up, no retry.
+        let verdict = core.report_result(id, TxResult::Failed, 25.0).unwrap();
+        assert_eq!(verdict, RetryVerdict::Abandoned);
+        assert_eq!(core.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn report_result_rejects_unknown_and_double_reports() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let err = core
+            .report_result(RequestId(99), TxResult::Delivered, 1.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownRequest { .. }));
+        assert!(err.to_string().contains("req#99"));
+
+        let id = core.submit(cargo, TransmitRequest::upload(1), 2.0).unwrap();
+        core.on_heartbeat(train, 270.0).unwrap();
+        core.report_result(id, TxResult::Delivered, 271.0).unwrap();
+        let err = core
+            .report_result(id, TxResult::Delivered, 272.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownRequest { .. }));
+    }
+
+    #[test]
+    fn cancel_backoff_withdraws_a_failing_request() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap();
+        core.on_heartbeat(train, 270.0).unwrap();
+        core.report_result(id, TxResult::Failed, 271.0).unwrap();
+        assert_eq!(core.backing_off(), 1);
+        assert!(core.cancel_backoff(id));
+        assert!(!core.cancel_backoff(id), "second cancel is a no-op");
+        assert_eq!(core.backing_off(), 0);
+        assert_eq!(core.stats().cancelled, 1);
+        // The request never comes back.
+        assert!(core.tick(400.0).unwrap().is_empty());
+        assert!(core.on_heartbeat(train, 540.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn watchdog_counts_train_death_transitions() {
+        let (mut core, train, cargo) = core();
+        // Teach the monitor a 100 s cycle.
+        for j in 0..4 {
+            core.on_heartbeat(train, j as f64 * 100.0).unwrap();
+        }
+        core.tick(350.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(100), 360.0)
+            .unwrap();
+        // All trains dead: the flush releases the pending request and the
+        // watchdog records one transition.
+        let decisions = core.tick(900.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(core.stats().watchdog_flushes, 1);
+        // A restarted train revives piggybacking; a later death counts
+        // again.
+        core.on_heartbeat(train, 1000.0).unwrap();
+        assert!(core.trains_alive(1000.0));
+        core.tick(3000.0).unwrap();
+        assert_eq!(core.stats().watchdog_flushes, 2);
+    }
+
+    #[test]
     fn config_round_trips_through_json() {
         let config = CoreConfig {
             theta: 3.5,
             k: Some(12),
             slot_s: 0.5,
             startup_grace_s: 120.0,
+            retry: RetryPolicy::for_deadline(90.0),
         };
         let json = serde_json::to_string(&config).unwrap();
         let back: CoreConfig = serde_json::from_str(&json).unwrap();

@@ -1,7 +1,14 @@
 use etrain_trace::{CargoAppId, TrainAppId};
 
+use crate::request::RequestId;
+
 /// Error produced by the eTrain system runtime.
+///
+/// Marked `#[non_exhaustive]`: the failure taxonomy grows as the runtime
+/// gains subsystems (the retry layer added [`CoreError::UnknownRequest`]),
+/// so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A request referenced a cargo app that never registered.
     UnknownCargoApp {
@@ -12,6 +19,12 @@ pub enum CoreError {
     UnknownTrainApp {
         /// The unknown train id.
         train: TrainAppId,
+    },
+    /// A result was reported for a request the core is not awaiting: never
+    /// issued, already closed, or reported twice.
+    UnknownRequest {
+        /// The unknown or already-settled request id.
+        request: RequestId,
     },
     /// Time went backwards (the system clock is monotone).
     TimeWentBackwards {
@@ -32,6 +45,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::UnknownTrainApp { train } => {
                 write!(f, "train app {train} is not registered")
+            }
+            CoreError::UnknownRequest { request } => {
+                write!(f, "request {request} is not awaiting a transmission result")
             }
             CoreError::TimeWentBackwards { now_s, supplied_s } => write!(
                 f,

@@ -62,5 +62,11 @@ pub use bus::Bus;
 pub use core_impl::{CoreConfig, CoreStats, ETrainCore};
 pub use error::CoreError;
 pub use meter::EnergyMeter;
-pub use request::{Direction, RequestId, TransmitDecision, TransmitRequest};
+pub use request::{
+    Direction, RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult,
+};
 pub use system::{CargoClient, ETrainSystem, SystemConfig, TrainHandle};
+
+// The retry policy is configured through `CoreConfig::retry`; re-exported
+// so embedders don't need a direct `etrain-sched` dependency for it.
+pub use etrain_sched::RetryPolicy;

@@ -95,6 +95,37 @@ impl TransmitDecision {
     }
 }
 
+/// Outcome of a transmission attempt, reported back by the cargo app (or
+/// the transport layer acting on its behalf) after acting on a
+/// [`TransmitDecision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxResult {
+    /// The transfer completed; the request is closed.
+    Delivered,
+    /// The transfer failed mid-flight (radio lost the channel, server
+    /// reset, …); the energy is spent and the core decides whether to
+    /// retry.
+    Failed,
+}
+
+/// The core's verdict on a reported [`TxResult::Failed`] (or
+/// acknowledgement of a [`TxResult::Delivered`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryVerdict {
+    /// The delivery was recorded; nothing further happens.
+    Delivered,
+    /// The request re-enters the scheduler after a backoff; a fresh
+    /// [`TransmitDecision`] will be issued at or after `resume_at_s`.
+    RetryScheduled {
+        /// Earliest time the request is re-offered to the scheduler, in
+        /// seconds.
+        resume_at_s: f64,
+    },
+    /// The retry policy gave up (attempts exhausted or deadline-aware
+    /// give-up); the request is closed without delivery.
+    Abandoned,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use crate::bus::Bus;
 use crate::core_impl::{CoreConfig, ETrainCore};
 use crate::error::CoreError;
-use crate::request::{RequestId, TransmitDecision, TransmitRequest};
+use crate::request::{RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult};
 
 /// Configuration of the threaded runtime.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -116,9 +116,8 @@ impl ETrainSystem {
         });
         // One scheduler slot in real time, bounded below so huge time
         // scales don't busy-spin.
-        let tick_real = Duration::from_secs_f64(
-            (config.core.slot_s / config.time_scale).max(0.001),
-        );
+        let tick_real =
+            Duration::from_secs_f64((config.core.slot_s / config.time_scale).max(0.001));
         let thread_shared = Arc::clone(&shared);
         let ticker = std::thread::Builder::new()
             .name("etrain-scheduler".to_owned())
@@ -269,6 +268,26 @@ impl CargoClient {
         Ok(self.shared.core.lock().cancel(request))
     }
 
+    /// Reports the outcome of acting on a [`TransmitDecision`]. A
+    /// [`TxResult::Failed`] report feeds the retry layer: the request backs
+    /// off per [`crate::CoreConfig::retry`] and is re-offered to the
+    /// scheduler, or abandoned once attempts or the deadline run out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SystemStopped`] after shutdown, or
+    /// [`CoreError::UnknownRequest`] when no decision for `request` is
+    /// outstanding (never decided, already reported, or cancelled).
+    pub fn report_result(
+        &self,
+        request: RequestId,
+        result: TxResult,
+    ) -> Result<RetryVerdict, CoreError> {
+        self.shared.ensure_running()?;
+        let now = self.shared.now_s();
+        self.shared.core.lock().report_result(request, result, now)
+    }
+
     /// Blocks up to `timeout` for the next decision addressed to *this*
     /// app (decisions for other apps are skipped, mirroring Android
     /// broadcast receivers filtering by intent).
@@ -297,6 +316,7 @@ mod tests {
                 k: None,
                 slot_s: 1.0,
                 startup_grace_s: 600.0,
+                ..CoreConfig::default()
             },
             time_scale: 1000.0,
         }

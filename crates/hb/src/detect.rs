@@ -72,7 +72,10 @@ impl CycleDetector {
     ///
     /// Panics if `max_history < 2` (at least one gap is needed).
     pub fn with_history(max_history: usize) -> Self {
-        assert!(max_history >= 2, "history must hold at least two observations");
+        assert!(
+            max_history >= 2,
+            "history must hold at least two observations"
+        );
         CycleDetector {
             times_s: Vec::new(),
             max_history,
@@ -170,7 +173,10 @@ impl CycleDetector {
             return None;
         }
         // Levels must strictly increase to qualify as adaptive.
-        if !runs.windows(2).all(|w| w[1].0 > w[0].0 * (1.0 + GAP_TOLERANCE)) {
+        if !runs
+            .windows(2)
+            .all(|w| w[1].0 > w[0].0 * (1.0 + GAP_TOLERANCE))
+        {
             return None;
         }
         // Completed runs (all but the last) estimate beats per level.
@@ -201,7 +207,9 @@ impl CycleDetector {
         }
         let step = match self.detect() {
             DetectedPattern::Fixed { cycle_s, .. } => cycle_s,
-            DetectedPattern::Adaptive { current_level_s, .. } => current_level_s,
+            DetectedPattern::Adaptive {
+                current_level_s, ..
+            } => current_level_s,
             DetectedPattern::Unknown => *gaps.last().expect("gaps checked non-empty"),
         };
         Some(last + step)
@@ -218,7 +226,9 @@ impl CycleDetector {
         };
         let step = match self.detect() {
             DetectedPattern::Fixed { cycle_s, .. } => cycle_s,
-            DetectedPattern::Adaptive { current_level_s, .. } => current_level_s,
+            DetectedPattern::Adaptive {
+                current_level_s, ..
+            } => current_level_s,
             DetectedPattern::Unknown => match self.gaps_s().last() {
                 Some(&gap) => gap,
                 None => return Vec::new(),
@@ -245,7 +255,7 @@ fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]
@@ -284,7 +294,10 @@ mod tests {
     fn fixed_cycle_detected_exactly() {
         let d = feed(&[0.0, 300.0, 600.0, 900.0, 1200.0]);
         match d.detect() {
-            DetectedPattern::Fixed { cycle_s, confidence } => {
+            DetectedPattern::Fixed {
+                cycle_s,
+                confidence,
+            } => {
                 assert!((cycle_s - 300.0).abs() < 1e-9);
                 assert_eq!(confidence, 1.0);
             }
@@ -309,7 +322,10 @@ mod tests {
         // One heartbeat delayed by a minute; median survives.
         let d = feed(&[0.0, 300.0, 660.0, 900.0, 1200.0, 1500.0, 1800.0]);
         match d.detect() {
-            DetectedPattern::Fixed { cycle_s, confidence } => {
+            DetectedPattern::Fixed {
+                cycle_s,
+                confidence,
+            } => {
                 assert!((cycle_s - 300.0).abs() < 15.0);
                 assert!(confidence < 1.0);
             }

@@ -94,8 +94,7 @@ pub fn identify_heartbeat_flows(capture: &Capture, config: &IdentifyConfig) -> V
         if (last - first) < config.min_span_fraction * capture.duration_s {
             continue;
         }
-        let mean_size =
-            packets.iter().map(|p| p.length as f64).sum::<f64>() / packets.len() as f64;
+        let mean_size = packets.iter().map(|p| p.length as f64).sum::<f64>() / packets.len() as f64;
         if mean_size > config.max_mean_size_bytes {
             continue;
         }
@@ -117,7 +116,9 @@ pub fn identify_heartbeat_flows(capture: &Capture, config: &IdentifyConfig) -> V
             // Adaptive cycles require monotone increasing plateaus, a
             // structure random traffic essentially never produces; folding
             // (a single-period method) cannot corroborate these.
-            DetectedPattern::Adaptive { current_level_s, .. } => current_level_s,
+            DetectedPattern::Adaptive {
+                current_level_s, ..
+            } => current_level_s,
             DetectedPattern::Unknown => continue,
         };
         result.push(HeartbeatFlow {

@@ -98,7 +98,9 @@ impl HeartbeatMonitor {
         };
         let expected_cycle = match detector.detect() {
             DetectedPattern::Fixed { cycle_s, .. } => cycle_s,
-            DetectedPattern::Adaptive { current_level_s, .. } => current_level_s,
+            DetectedPattern::Adaptive {
+                current_level_s, ..
+            } => current_level_s,
             DetectedPattern::Unknown => return TrainStatus::Undetermined,
         };
         if now_s - last > LIVENESS_GRACE_FACTOR * expected_cycle {
@@ -129,7 +131,10 @@ impl HeartbeatMonitor {
                 // observation).
                 if next <= now_s {
                     next = *detector
-                        .predict_until(now_s, now_s + 4.0 * (next - detector.last_observation_s()?).max(1.0))
+                        .predict_until(
+                            now_s,
+                            now_s + 4.0 * (next - detector.last_observation_s()?).max(1.0),
+                        )
                         .first()?;
                 }
                 Some((train, next))

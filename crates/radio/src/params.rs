@@ -77,9 +77,9 @@ impl RadioParams {
     pub fn lte_drx() -> Self {
         RadioParams {
             idle_mw: 15.0,
-            dch_mw: 1_015.0,  // ≈ 1 W while active/continuous reception
-            fach_mw: 135.0,   // DRX duty-cycled average
-            delta_dch_s: 1.0, // continuous-reception inactivity timer
+            dch_mw: 1_015.0,    // ≈ 1 W while active/continuous reception
+            fach_mw: 135.0,     // DRX duty-cycled average
+            delta_dch_s: 1.0,   // continuous-reception inactivity timer
             delta_fach_s: 10.0, // DRX phase before RRC-idle
             promotion_idle_to_dch_s: 0.0,
             promotion_fach_to_dch_s: 0.0,
@@ -135,8 +135,7 @@ impl RadioParams {
 
     /// Extra energy (above idle) of one complete, un-reused tail, in joules.
     pub fn full_tail_energy_j(&self) -> f64 {
-        (self.dch_extra_mw() * self.delta_dch_s + self.fach_extra_mw() * self.delta_fach_s)
-            / 1000.0
+        (self.dch_extra_mw() * self.delta_dch_s + self.fach_extra_mw() * self.delta_fach_s) / 1000.0
     }
 
     /// Promotion latency from IDLE to DCH in seconds (0 in the paper's
@@ -309,7 +308,10 @@ mod tests {
     #[test]
     fn builder_rejects_negative_power() {
         let err = RadioParams::builder().dch_mw(-1.0).build().unwrap_err();
-        assert!(matches!(err, RadioError::InvalidPower { name: "dch_mw", .. }));
+        assert!(matches!(
+            err,
+            RadioError::InvalidPower { name: "dch_mw", .. }
+        ));
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub fn analytic_extra_energy_j(
     let mut energy = 0.0;
     for (idx, &(start, end)) in busy.iter().enumerate() {
         energy += pd * (end - start);
-        let gap_end = busy.get(idx + 1).map_or(horizon_s, |&(next_start, _)| next_start);
+        let gap_end = busy
+            .get(idx + 1)
+            .map_or(horizon_s, |&(next_start, _)| next_start);
         energy += tail_energy_j(params, gap_end - end);
     }
     energy

@@ -58,7 +58,10 @@ pub struct Transmission {
 impl Transmission {
     /// Creates a transmission starting at `start_s` lasting `duration_s`.
     pub fn new(start_s: f64, duration_s: f64) -> Self {
-        Transmission { start_s, duration_s }
+        Transmission {
+            start_s,
+            duration_s,
+        }
     }
 
     /// End time of the transmission in seconds.
@@ -171,7 +174,12 @@ impl Timeline {
             push(&mut segments, end, dch_tail_end, RrcState::Dch);
             let fach_end = (end + dd + df).min(next_start).min(horizon_s);
             push(&mut segments, dch_tail_end, fach_end, RrcState::Fach);
-            push(&mut segments, fach_end, next_start.min(horizon_s), RrcState::Idle);
+            push(
+                &mut segments,
+                fach_end,
+                next_start.min(horizon_s),
+                RrcState::Idle,
+            );
             cursor = next_start;
         }
         push(&mut segments, cursor, horizon_s, RrcState::Idle);
@@ -180,7 +188,9 @@ impl Timeline {
         let mut merged: Vec<StateSegment> = Vec::with_capacity(segments.len());
         for seg in segments {
             match merged.last_mut() {
-                Some(last) if last.state == seg.state && (last.end_s - seg.start_s).abs() < 1e-12 => {
+                Some(last)
+                    if last.state == seg.state && (last.end_s - seg.start_s).abs() < 1e-12 =>
+                {
                     last.end_s = seg.end_s;
                 }
                 _ => merged.push(seg),

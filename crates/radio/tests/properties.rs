@@ -9,11 +9,11 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = RadioParams> {
     (
-        0.0f64..100.0,   // idle
-        0.0f64..800.0,   // fach extra
-        0.0f64..800.0,   // dch extra over fach
-        0.1f64..30.0,    // delta dch
-        0.1f64..30.0,    // delta fach
+        0.0f64..100.0, // idle
+        0.0f64..800.0, // fach extra
+        0.0f64..800.0, // dch extra over fach
+        0.1f64..30.0,  // delta dch
+        0.1f64..30.0,  // delta fach
     )
         .prop_map(|(idle, fach_extra, dch_extra, dd, df)| {
             RadioParams::builder()

@@ -81,6 +81,24 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// transmission in this slot.
     fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet>;
 
+    /// Failure feedback: `packet` was released for transmission but the
+    /// transfer failed, and the retry layer has decided to try again. The
+    /// scheduler re-admits it — crucially keeping the packet's *original*
+    /// `arrival_s`, so its delay cost φ_u(t − t_a) keeps growing and
+    /// Algorithm 1's greedy rule prioritises it correctly on re-decision.
+    ///
+    /// The default delegates to [`Scheduler::on_arrival`], which is correct
+    /// for every built-in scheduler: each treats the re-offered packet as a
+    /// queued packet with its historical arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SchedulerError::UnknownApp`] for packets of
+    /// unregistered apps.
+    fn on_tx_failure(&mut self, packet: Packet, now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
+        self.on_arrival(packet, now_s)
+    }
+
     /// The slot length this scheduler operates on, in seconds (1 s for
     /// eTrain and PerES, 60 s for eTime — paper Sec. VI-A).
     fn slot_s(&self) -> f64 {
@@ -101,6 +119,9 @@ mod tests {
     #[test]
     fn error_display() {
         let err = SchedulerError::UnknownApp { app: CargoAppId(3) };
-        assert_eq!(err.to_string(), "packet references unregistered cargo app cargo#3");
+        assert_eq!(
+            err.to_string(),
+            "packet references unregistered cargo app cargo#3"
+        );
     }
 }

@@ -108,14 +108,20 @@ impl CostProfile {
                     d / deadline_s - 1.0
                 }
             }
-            CostProfile::LinearThenConstant { deadline_s, ceiling } => {
+            CostProfile::LinearThenConstant {
+                deadline_s,
+                ceiling,
+            } => {
                 if d <= deadline_s {
                     (d / deadline_s).min(ceiling)
                 } else {
                     ceiling
                 }
             }
-            CostProfile::LinearThenSteep { deadline_s, steepness } => {
+            CostProfile::LinearThenSteep {
+                deadline_s,
+                steepness,
+            } => {
                 if d <= deadline_s {
                     d / deadline_s
                 } else {
@@ -144,12 +150,14 @@ impl CostProfile {
         assert!(deadline_s > 0.0, "deadline must be positive");
         match self {
             CostProfile::DeadlineLinear { .. } => CostProfile::DeadlineLinear { deadline_s },
-            CostProfile::LinearThenConstant { ceiling, .. } => {
-                CostProfile::LinearThenConstant { deadline_s, ceiling }
-            }
-            CostProfile::LinearThenSteep { steepness, .. } => {
-                CostProfile::LinearThenSteep { deadline_s, steepness }
-            }
+            CostProfile::LinearThenConstant { ceiling, .. } => CostProfile::LinearThenConstant {
+                deadline_s,
+                ceiling,
+            },
+            CostProfile::LinearThenSteep { steepness, .. } => CostProfile::LinearThenSteep {
+                deadline_s,
+                steepness,
+            },
         }
     }
 }

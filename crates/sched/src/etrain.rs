@@ -62,7 +62,10 @@ impl ETrainConfig {
             "theta must be finite and non-negative"
         );
         assert!(self.slot_s > 0.0, "slot length must be positive");
-        assert!(self.k != Some(0), "k must be at least 1 (or None for infinity)");
+        assert!(
+            self.k != Some(0),
+            "k must be at least 1 (or None for infinity)"
+        );
     }
 }
 
@@ -76,6 +79,10 @@ impl ETrainConfig {
 pub struct ETrainScheduler {
     config: ETrainConfig,
     queues: WaitingQueues,
+    /// Latched from the last slot's `trains_alive`: while `true` the
+    /// scheduler is stopped (paper Sec. V-3) and arrivals pass straight
+    /// through instead of waiting up to a full slot for the next drain.
+    trains_dead: bool,
 }
 
 impl ETrainScheduler {
@@ -89,6 +96,7 @@ impl ETrainScheduler {
         ETrainScheduler {
             config,
             queues: WaitingQueues::new(profiles),
+            trains_dead: false,
         }
     }
 
@@ -148,8 +156,7 @@ impl ETrainScheduler {
                 }
             }
             let Some((_, packet)) = best else { break };
-            selected_sum[packet.app.index()] +=
-                self.queues.speculative_cost(&packet, now_s, slot);
+            selected_sum[packet.app.index()] += self.queues.speculative_cost(&packet, now_s, slot);
             let removed = self
                 .queues
                 .remove(packet.app, packet.id)
@@ -166,13 +173,22 @@ impl Scheduler for ETrainScheduler {
     }
 
     fn on_arrival(&mut self, packet: Packet, _now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
+        // While the scheduler is stopped (all trains dead) arrivals are
+        // released immediately rather than parked until the next slot.
+        if self.trains_dead {
+            // Still validate the app id against the registered profiles.
+            self.queues.push(packet)?;
+            return Ok(self.queues.drain_all());
+        }
         self.queues.push(packet)?;
         Ok(Vec::new())
     }
 
     fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet> {
         // Paper Sec. V-3: with no train app alive, stop deferring so cargo
-        // apps never wait indefinitely.
+        // apps never wait indefinitely. The latch clears as soon as a slot
+        // observes a live train again (restart recovery).
+        self.trains_dead = !ctx.trains_alive;
         if !ctx.trains_alive {
             return self.queues.drain_all();
         }

@@ -14,7 +14,11 @@
 //!   two Lyapunov-based comparators (PerES and eTime, refs. 15/16), which time
 //!   transmissions by *predicted bandwidth* instead of heartbeats;
 //! - [`Scheduler`] — the common driving interface used by the simulator and
-//!   the live eTrain system.
+//!   the live eTrain system, including the [`Scheduler::on_tx_failure`]
+//!   feedback hook through which failed transmissions are re-admitted;
+//! - [`RetryPolicy`] — exponential backoff with jitter, bounded attempts and
+//!   deadline-aware give-up, shared by the simulator's fault layer and the
+//!   live core's retry state machine.
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@ mod etrain;
 mod offline;
 mod peres;
 mod queue;
+mod retry;
 
 pub use api::{Scheduler, SchedulerError, SlotContext};
 pub use baseline::BaselineScheduler;
@@ -60,3 +65,4 @@ pub use etrain::{ETrainConfig, ETrainScheduler};
 pub use offline::{OfflineProblem, OfflineRelease, OfflineSchedule};
 pub use peres::{PerEsConfig, PerEsScheduler};
 pub use queue::{AppProfile, WaitingQueues};
+pub use retry::{RetryDecision, RetryPolicy};

@@ -167,13 +167,9 @@ impl OfflineProblem {
                 .collect();
             let (energy, cost) = self.evaluate(&releases);
             if cost <= self.cost_budget {
-                let better = best.as_ref().map_or(true, |(e, _, _)| energy < *e);
+                let better = best.as_ref().is_none_or(|(e, _, _)| energy < *e);
                 if better {
-                    best = Some((
-                        energy,
-                        releases.iter().map(|(_, t)| *t).collect(),
-                        cost,
-                    ));
+                    best = Some((energy, releases.iter().map(|(_, t)| *t).collect(), cost));
                 }
             }
             // Advance the mixed-radix counter.

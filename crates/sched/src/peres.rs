@@ -98,7 +98,9 @@ impl PerEsScheduler {
             "v_min_bytes must not exceed v_max_bytes"
         );
         PerEsScheduler {
-            v_bytes: config.v_init_bytes.clamp(config.v_min_bytes, config.v_max_bytes),
+            v_bytes: config
+                .v_init_bytes
+                .clamp(config.v_min_bytes, config.v_max_bytes),
             config,
             queues: WaitingQueues::new(profiles),
             cost_accum: 0.0,
@@ -155,15 +157,18 @@ impl Scheduler for PerEsScheduler {
         let b_ref = self.bw_sum / self.bw_count as f64;
 
         // Deadline guard first: PerES is deadline-aware.
-        let mut released = self
-            .queues
-            .drain_deadline_critical(now, self.config.slot_s);
+        let mut released = self.queues.drain_deadline_critical(now, self.config.slot_s);
 
         let threshold_bytes = self.v_bytes * b_ref / bw;
         let app_count = self.queues.app_count();
         for i in 0..app_count {
             let app = CargoAppId(i);
-            let backlog: u64 = self.queues.app_queue(app).iter().map(|p| p.size_bytes).sum();
+            let backlog: u64 = self
+                .queues
+                .app_queue(app)
+                .iter()
+                .map(|p| p.size_bytes)
+                .sum();
             if backlog as f64 >= threshold_bytes && backlog > 0 {
                 let ids: Vec<u64> = self.queues.app_queue(app).iter().map(|p| p.id).collect();
                 for id in ids {

@@ -9,7 +9,9 @@
 //! heuristic (the paper calls it "near-optimal") — these tests quantify
 //! that claim on small instances.
 
-use etrain_sched::{AppProfile, CostProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext};
+use etrain_sched::{
+    AppProfile, CostProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext,
+};
 use etrain_trace::packets::Packet;
 use etrain_trace::CargoAppId;
 use proptest::prelude::*;
@@ -78,7 +80,9 @@ fn greedy_objective(phis: &Pending, k: usize) -> (f64, [f64; APPS]) {
         p_bar[app] += phi;
         // Arrivals may be "in the future" relative to each other; the
         // scheduler does not care (queues only hold packets).
-        sched.on_arrival(packet, arrival.min(now)).expect("registered");
+        sched
+            .on_arrival(packet, arrival.min(now))
+            .expect("registered");
     }
     let released = sched.on_slot(&SlotContext {
         now_s: now,

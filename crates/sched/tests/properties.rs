@@ -2,8 +2,8 @@
 //! bound-respect for every algorithm under arbitrary arrival sequences.
 
 use etrain_sched::{
-    AppProfile, BaselineScheduler, CostProfile, ETimeConfig, ETimeScheduler, ETrainConfig,
-    ETrainScheduler, PerEsConfig, PerEsScheduler, Scheduler, SlotContext,
+    AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig, ETrainScheduler,
+    PerEsConfig, PerEsScheduler, Scheduler, SlotContext,
 };
 use etrain_trace::packets::Packet;
 use etrain_trace::CargoAppId;
@@ -49,7 +49,10 @@ fn build(algo: Algo) -> Box<dyn Scheduler> {
 fn arb_algo() -> impl Strategy<Value = Algo> {
     prop_oneof![
         Just(Algo::Baseline),
-        (0.0f64..8.0, prop_oneof![Just(None), (1usize..16).prop_map(Some)])
+        (
+            0.0f64..8.0,
+            prop_oneof![Just(None), (1usize..16).prop_map(Some)]
+        )
             .prop_map(|(theta, k)| Algo::ETrain { theta, k }),
         (0.01f64..5.0).prop_map(|omega| Algo::PerEs { omega }),
         (0.0f64..100_000.0).prop_map(|v_bytes| Algo::ETime { v_bytes }),

@@ -60,7 +60,14 @@ impl Comparison {
     pub fn to_table(&self, title: impl Into<String>) -> Table {
         let mut table = Table::new(
             title,
-            &["algorithm", "energy_j", "tail_j", "delay_s", "violation_pct", "promotions"],
+            &[
+                "algorithm",
+                "energy_j",
+                "tail_j",
+                "delay_s",
+                "violation_pct",
+                "promotions",
+            ],
         );
         for r in &self.reports {
             table.push_row_strings(vec![
@@ -125,7 +132,11 @@ mod tests {
             for other in &c.reports {
                 let dominates = other.extra_energy_j < member.extra_energy_j
                     && other.deadline_violation_ratio <= member.deadline_violation_ratio;
-                assert!(!dominates, "{} dominated by {}", member.scheduler, other.scheduler);
+                assert!(
+                    !dominates,
+                    "{} dominated by {}",
+                    member.scheduler, other.scheduler
+                );
             }
         }
     }

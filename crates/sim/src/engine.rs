@@ -20,13 +20,17 @@
 //! eTime. `trains_alive` is ground truth from the heartbeat trace (the live
 //! system in `etrain-core` uses the `etrain-hb` monitor instead).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use etrain_radio::{PowerTrace, Radio, RadioParams, Timeline, Transmission};
-use etrain_sched::{Scheduler, SlotContext};
+use etrain_sched::{RetryDecision, RetryPolicy, Scheduler, SlotContext};
 use etrain_trace::bandwidth::BandwidthTrace;
+use etrain_trace::faults::{hash_unit, FaultPlan};
 use etrain_trace::heartbeats::Heartbeat;
 use etrain_trace::packets::Packet;
+
+/// Salt decorrelating retry-jitter draws from the fault plan's loss coins.
+const JITTER_SALT: u64 = 0x6a69_7474_6572_5f75;
 
 /// A cargo packet that completed transmission, with its full timing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +52,18 @@ impl CompletedPacket {
     }
 }
 
+/// A cargo packet the retry layer gave up on: its attempts were exhausted
+/// or its age crossed the policy's deadline-aware give-up threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbandonedPacket {
+    /// The packet that was abandoned.
+    pub packet: Packet,
+    /// When the final failed attempt ended, in seconds.
+    pub abandoned_at_s: f64,
+    /// Transfer attempts made (all failed).
+    pub attempts: u32,
+}
+
 /// Raw output of one engine run, consumed by
 /// [`RunReport`](crate::RunReport).
 #[derive(Debug, Clone)]
@@ -56,6 +72,14 @@ pub struct EngineOutput {
     pub completed: Vec<CompletedPacket>,
     /// Packets released by the scheduler but not finished by the horizon.
     pub in_flight: Vec<Packet>,
+    /// Packets the retry layer abandoned (terminal state).
+    pub abandoned: Vec<AbandonedPacket>,
+    /// Retry attempts scheduled after failed transfers.
+    pub retries: usize,
+    /// Energy burned by transfer attempts that failed, in joules — already
+    /// included in `transmission_energy_j`, broken out here because it is
+    /// the fault layer's direct waste.
+    pub wasted_retry_energy_j: f64,
     /// Packets still deferred inside the scheduler at the horizon.
     pub still_deferred: usize,
     /// Heartbeats transmitted.
@@ -132,7 +156,56 @@ pub fn run_engine(
     radio_params: &RadioParams,
     horizon_s: f64,
 ) -> EngineOutput {
+    run_engine_with_faults(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
+        horizon_s,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    )
+}
+
+/// Runs one simulation under a [`FaultPlan`], with failed transfers retried
+/// per `retry`.
+///
+/// On top of [`run_engine`]'s semantics:
+///
+/// - heartbeats dropped by the plan (or falling in a train-death window)
+///   never depart; during a death window the slot context reports
+///   `trains_alive = false`, so eTrain stops deferring (paper Sec. V-3) and
+///   resumes piggybacking when the window ends;
+/// - outage windows carry zero bits, stretching any overlapping transfer;
+/// - each transfer attempt may be lost per the plan's loss coin. A lost
+///   attempt still burns its radio energy (and fires its tail); the packet
+///   is then either re-queued — after the policy's backoff, through
+///   [`Scheduler::on_tx_failure`], keeping its *original* arrival time so
+///   its delay cost keeps growing — or abandoned (deadline-aware give-up).
+///
+/// `FaultPlan::none()` short-circuits every fault query, making this
+/// bit-for-bit identical to [`run_engine`].
+///
+/// # Panics
+///
+/// Panics as [`run_engine`] does, and if `retry` fails
+/// [`RetryPolicy::validate`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_with_faults(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+) -> EngineOutput {
     assert!(horizon_s > 0.0, "horizon must be positive");
+    if let Err(why) = retry.validate() {
+        panic!("invalid retry policy: {why}");
+    }
     assert!(
         packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "packet trace must be sorted by arrival time"
@@ -142,23 +215,68 @@ pub fn run_engine(
         "heartbeat trace must be sorted by time"
     );
 
+    // Heartbeats dropped by the plan (or inside a death window) never
+    // depart. A no-op plan leaves the slice untouched.
+    let filtered_heartbeats: Vec<Heartbeat>;
+    let heartbeats: &[Heartbeat] = if plan.is_noop() {
+        heartbeats
+    } else {
+        filtered_heartbeats = plan.apply_to_heartbeats(heartbeats);
+        &filtered_heartbeats
+    };
+
     let mut radio = Radio::new(radio_params.clone());
     let slot_s = scheduler.slot_s();
     let mut txq: VecDeque<TxItem> = VecDeque::new();
     let mut in_flight: Option<(TxItem, f64, f64)> = None; // (item, start, end)
 
     let mut completed = Vec::new();
+    let mut abandoned: Vec<AbandonedPacket> = Vec::new();
     let mut transmissions: Vec<Transmission> = Vec::new();
     let mut heartbeats_sent = 0usize;
     let mut arrival_idx = 0usize;
     let mut hb_idx = 0usize;
     let mut next_slot_s = 0.0f64;
 
+    // Retry state: packets awaiting their backed-off re-offer, keyed by
+    // due time, and each packet's failed-attempt count.
+    let mut retryq: Vec<(f64, Packet)> = Vec::new();
+    let mut failed_attempts: HashMap<u64, u32> = HashMap::new();
+    let mut retries = 0usize;
+    let mut wasted_retry_energy_j = 0.0f64;
+
+    // The fate of a cargo transfer attempt that just ended at `end`.
+    // Burned energy stays burned; a retried packet keeps its original
+    // arrival time so φ_u(t − t_a) keeps growing.
+    enum TxFate {
+        Delivered,
+        Retry { due_s: f64 },
+        Abandon { attempts: u32 },
+    }
+    let mut settle_attempt = |packet: &Packet,
+                              start: f64,
+                              end: f64,
+                              failed_attempts: &mut HashMap<u64, u32>|
+     -> TxFate {
+        let attempt = failed_attempts.get(&packet.id).copied().unwrap_or(0) + 1;
+        if !plan.loses_transmission(packet.id, attempt) {
+            return TxFate::Delivered;
+        }
+        wasted_retry_energy_j += (end - start) * radio_params.dch_extra_mw() / 1000.0;
+        failed_attempts.insert(packet.id, attempt);
+        let jitter = hash_unit(plan.seed ^ JITTER_SALT, packet.id, u64::from(attempt));
+        match retry.decide(attempt, end, packet.arrival_s, jitter) {
+            RetryDecision::RetryAfter(delay) => TxFate::Retry { due_s: end + delay },
+            RetryDecision::Abandon => TxFate::Abandon { attempts: attempt },
+        }
+    };
+
     // Event priorities at equal time (lower runs first).
     const PRIO_TX_COMPLETE: u8 = 0;
     const PRIO_SLOT: u8 = 1;
     const PRIO_HEARTBEAT: u8 = 2;
     const PRIO_ARRIVAL: u8 = 3;
+    const PRIO_RETRY: u8 = 4;
 
     loop {
         // Find the earliest next event.
@@ -182,6 +300,9 @@ pub fn run_engine(
         if arrival_idx < packets.len() {
             consider(packets[arrival_idx].arrival_s, PRIO_ARRIVAL, &mut next);
         }
+        if let Some(due) = retryq.iter().map(|(due, _)| *due).reduce(f64::min) {
+            consider(due, PRIO_RETRY, &mut next);
+        }
 
         let Some((t, prio)) = next else { break };
         if t > horizon_s {
@@ -190,16 +311,26 @@ pub fn run_engine(
 
         match prio {
             PRIO_TX_COMPLETE => {
-                let (item, start, end) =
-                    in_flight.take().expect("tx-complete implies in-flight");
+                let (item, start, end) = in_flight.take().expect("tx-complete implies in-flight");
                 radio.end_transmission(end);
                 if let TxItem::Packet { packet, release_s } = item {
-                    completed.push(CompletedPacket {
-                        packet,
-                        release_s,
-                        tx_start_s: start,
-                        tx_end_s: end,
-                    });
+                    match settle_attempt(&packet, start, end, &mut failed_attempts) {
+                        TxFate::Delivered => completed.push(CompletedPacket {
+                            packet,
+                            release_s,
+                            tx_start_s: start,
+                            tx_end_s: end,
+                        }),
+                        TxFate::Retry { due_s } => {
+                            retries += 1;
+                            retryq.push((due_s, packet));
+                        }
+                        TxFate::Abandon { attempts } => abandoned.push(AbandonedPacket {
+                            packet,
+                            abandoned_at_s: end,
+                            attempts,
+                        }),
+                    }
                 }
             }
             PRIO_SLOT => {
@@ -207,7 +338,7 @@ pub fn run_engine(
                     .iter()
                     .take_while(|hb| hb.time_s < t + slot_s)
                     .any(|hb| hb.time_s >= t);
-                let trains_alive = hb_idx < heartbeats.len();
+                let trains_alive = hb_idx < heartbeats.len() && !plan.trains_dead_at(t);
                 let ctx = SlotContext {
                     now_s: t,
                     heartbeat_departing,
@@ -242,6 +373,27 @@ pub fn run_engine(
                     });
                 }
             }
+            PRIO_RETRY => {
+                // Pop the earliest-due retry (first of equals — insertion
+                // order keeps this deterministic) and re-offer it through
+                // the scheduler's failure-feedback hook.
+                let idx = retryq
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (a, _)), (_, (b, _))| a.total_cmp(b))
+                    .map(|(i, _)| i)
+                    .expect("retry event implies non-empty retry queue");
+                let (_, packet) = retryq.remove(idx);
+                let released = scheduler
+                    .on_tx_failure(packet, t)
+                    .expect("retried packets belong to registered apps");
+                for packet in released {
+                    txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+            }
             _ => unreachable!("unknown event priority"),
         }
 
@@ -256,8 +408,8 @@ pub fn run_engine(
                     etrain_radio::RrcState::Fach => radio_params.promotion_fach_to_dch_s(),
                     etrain_radio::RrcState::Dch => 0.0,
                 };
-                let duration =
-                    promotion_s + bandwidth.transfer_time_s(t + promotion_s, item.size_bytes());
+                let duration = promotion_s
+                    + plan.transfer_time_s(bandwidth, t + promotion_s, item.size_bytes());
                 radio.start_transmission(t);
                 transmissions.push(Transmission::new(t, duration));
                 in_flight = Some((item, t, t + duration));
@@ -266,18 +418,31 @@ pub fn run_engine(
     }
 
     // Let the in-flight transmission finish if it ends exactly at the
-    // horizon boundary; otherwise count it as unfinished.
+    // horizon boundary; otherwise count it as unfinished. A boundary
+    // completion still flips its loss coin: a lost final attempt whose
+    // retry falls past the horizon counts as unfinished, not completed.
     let mut in_flight_unfinished = Vec::new();
     if let Some((item, start, end)) = in_flight {
         if end <= horizon_s {
             radio.end_transmission(end);
             if let TxItem::Packet { packet, release_s } = item {
-                completed.push(CompletedPacket {
-                    packet,
-                    release_s,
-                    tx_start_s: start,
-                    tx_end_s: end,
-                });
+                match settle_attempt(&packet, start, end, &mut failed_attempts) {
+                    TxFate::Delivered => completed.push(CompletedPacket {
+                        packet,
+                        release_s,
+                        tx_start_s: start,
+                        tx_end_s: end,
+                    }),
+                    TxFate::Retry { .. } => {
+                        retries += 1;
+                        in_flight_unfinished.push(packet);
+                    }
+                    TxFate::Abandon { attempts } => abandoned.push(AbandonedPacket {
+                        packet,
+                        abandoned_at_s: end,
+                        attempts,
+                    }),
+                }
             }
         } else if let TxItem::Packet { packet, .. } = item {
             in_flight_unfinished.push(packet);
@@ -289,10 +454,18 @@ pub fn run_engine(
             in_flight_unfinished.push(packet);
         }
     }
+    // Retries still backing off at the horizon were released but never
+    // re-delivered: unfinished.
+    for (_, packet) in retryq {
+        in_flight_unfinished.push(packet);
+    }
 
     EngineOutput {
         completed,
         in_flight: in_flight_unfinished,
+        abandoned,
+        retries,
+        wasted_retry_energy_j,
         still_deferred: scheduler.pending(),
         heartbeats_sent,
         transmission_energy_j: radio.transmission_energy_j(),
@@ -453,7 +626,11 @@ mod tests {
         assert_eq!(out.heartbeats_sent, 12);
         // 12 isolated QQ heartbeats: 12 full tails (300 s apart).
         let expected = 12.0 * RadioParams::galaxy_s4_3g().full_tail_energy_j();
-        assert!((out.tail_energy_j - expected).abs() < 0.2, "{}", out.tail_energy_j);
+        assert!(
+            (out.tail_energy_j - expected).abs() < 0.2,
+            "{}",
+            out.tail_energy_j
+        );
     }
 
     #[test]
@@ -558,6 +735,115 @@ mod tests {
         // And the sampled power trace approximates the same total.
         let sampled = out.power_trace(0.1).energy_above_j(20.0);
         assert!((sampled - online_energy).abs() / online_energy < 0.02);
+    }
+
+    #[test]
+    fn lost_attempt_burns_energy_and_retried_packet_keeps_arrival() {
+        // One packet, first attempt always lost, second always delivered.
+        let packets = mk_packets(&[10.0]);
+        let plan = {
+            let mut seed = 0u64;
+            // Find a fault seed whose coin loses attempt 1 but not 2.
+            loop {
+                let p = FaultPlan::seeded(seed).with_loss(0.5);
+                if p.loses_transmission(0, 1) && !p.loses_transmission(0, 2) {
+                    break p;
+                }
+                seed += 1;
+            }
+        };
+        let mut sched = BaselineScheduler::new(profiles());
+        let out = run_engine_with_faults(
+            &mut sched,
+            &packets,
+            &[],
+            &BandwidthTrace::constant(1_000_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            400.0,
+            &plan,
+            &RetryPolicy {
+                jitter_frac: 0.0,
+                ..RetryPolicy::default()
+            },
+        );
+        assert_eq!(out.retries, 1);
+        assert_eq!(out.completed.len(), 1);
+        assert!(out.abandoned.is_empty());
+        let c = &out.completed[0];
+        // The re-delivery kept the original arrival: scheduling delay is
+        // release − arrival ≈ the 2 s backoff, not zero.
+        assert!((c.packet.arrival_s - 10.0).abs() < 1e-9);
+        assert!(
+            c.scheduling_delay_s() > 1.9,
+            "delay {} should include the backoff",
+            c.scheduling_delay_s()
+        );
+        // The failed attempt's energy is charged and broken out.
+        assert!(out.wasted_retry_energy_j > 0.0);
+        assert!(out.wasted_retry_energy_j < out.transmission_energy_j);
+    }
+
+    #[test]
+    fn conservation_holds_under_heavy_faults() {
+        let workload = CargoWorkload::paper_default(0.10);
+        let packets = workload.generate(1800.0, 3);
+        let heartbeats = synthesize(&TrainAppSpec::paper_trio(), 1800.0, 3);
+        let plan = FaultPlan::seeded(8)
+            .with_loss(0.5)
+            .with_heartbeat_drops(0.2)
+            .with_outage(200.0, 400.0)
+            .with_train_death(900.0, 1200.0);
+        let mut sched = ETrainScheduler::new(ETrainConfig::default(), profiles());
+        let out = run_engine_with_faults(
+            &mut sched,
+            &packets,
+            &heartbeats,
+            &BandwidthTrace::constant(500_000.0),
+            &RadioParams::galaxy_s4_3g(),
+            1800.0,
+            &plan,
+            &RetryPolicy::default(),
+        );
+        assert_eq!(
+            out.completed.len() + out.abandoned.len() + out.in_flight.len() + out.still_deferred,
+            packets.len(),
+            "every packet is completed, abandoned, in flight, or deferred"
+        );
+        // No packet appears in two terminal states.
+        let mut ids: Vec<u64> = out
+            .completed
+            .iter()
+            .map(|c| c.packet.id)
+            .chain(out.abandoned.iter().map(|a| a.packet.id))
+            .chain(out.in_flight.iter().map(|p| p.id))
+            .collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "no duplicate terminal states");
+        assert!(
+            out.heartbeats_sent < heartbeats.len(),
+            "drops + death window bite"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid retry policy")]
+    fn invalid_retry_policy_rejected() {
+        let mut sched = BaselineScheduler::new(profiles());
+        let _ = run_engine_with_faults(
+            &mut sched,
+            &[],
+            &[],
+            &BandwidthTrace::constant(1e6),
+            &RadioParams::galaxy_s4_3g(),
+            100.0,
+            &FaultPlan::none(),
+            &RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+        );
     }
 
     #[test]

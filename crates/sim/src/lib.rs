@@ -53,8 +53,15 @@ mod scenario;
 pub mod sweep;
 
 pub use compare::Comparison;
-pub use engine::{run_engine, CompletedPacket, EngineOutput};
+pub use engine::{
+    run_engine, run_engine_with_faults, AbandonedPacket, CompletedPacket, EngineOutput,
+};
 pub use metrics::{AppReport, RunReport};
 pub use replicate::{replicate, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
-pub use scenario::{BandwidthSource, Scenario, SchedulerKind};
+pub use scenario::{BandwidthSource, Scenario, ScenarioError, SchedulerKind};
+
+// Re-exported so fault-injection experiments can be described with this
+// crate alone.
+pub use etrain_sched::{RetryDecision, RetryPolicy};
+pub use etrain_trace::faults::{FaultPlan, FaultWindow};

@@ -50,6 +50,18 @@ pub struct RunReport {
     /// Cargo packets unfinished at the horizon (in flight or still
     /// deferred).
     pub packets_unfinished: usize,
+    /// Cargo packets the retry layer abandoned (attempts exhausted or
+    /// deadline-aware give-up).
+    pub packets_abandoned: usize,
+    /// Fraction of settled-or-unfinished packets that were abandoned:
+    /// `abandoned / (completed + abandoned + unfinished)`, 0 for an empty
+    /// run.
+    pub abandonment_ratio: f64,
+    /// Retry attempts scheduled after failed transfers.
+    pub retries: usize,
+    /// Energy burned by failed transfer attempts, in joules (a subset of
+    /// `transmission_energy_j`).
+    pub wasted_retry_energy_j: f64,
     /// The paper's normalized delay: mean scheduling delay per completed
     /// packet, in seconds.
     pub normalized_delay_s: f64,
@@ -114,6 +126,14 @@ impl RunReport {
             0.0
         };
         let extra = output.transmission_energy_j + output.tail_energy_j;
+        let packets_unfinished = output.in_flight.len() + output.still_deferred;
+        let packets_abandoned = output.abandoned.len();
+        let settled = packets_completed + packets_abandoned + packets_unfinished;
+        let abandonment_ratio = if settled > 0 {
+            packets_abandoned as f64 / settled as f64
+        } else {
+            0.0
+        };
 
         RunReport {
             scheduler: scheduler.into(),
@@ -125,7 +145,11 @@ impl RunReport {
             total_energy_j: extra + output.idle_energy_j,
             heartbeats_sent: output.heartbeats_sent,
             packets_completed,
-            packets_unfinished: output.in_flight.len() + output.still_deferred,
+            packets_unfinished,
+            packets_abandoned,
+            abandonment_ratio,
+            retries: output.retries,
+            wasted_retry_energy_j: output.wasted_retry_energy_j,
             normalized_delay_s,
             deadline_violation_ratio,
             busy_time_s: output.busy_time_s,
@@ -170,6 +194,9 @@ mod tests {
         EngineOutput {
             completed: completed_packets,
             in_flight: Vec::new(),
+            abandoned: Vec::new(),
+            retries: 0,
+            wasted_retry_energy_j: 0.0,
             still_deferred: 0,
             heartbeats_sent: 5,
             transmission_energy_j: 2.0,
@@ -205,6 +232,30 @@ mod tests {
         assert_eq!(report.packets_completed, 0);
         assert_eq!(report.normalized_delay_s, 0.0);
         assert_eq!(report.deadline_violation_ratio, 0.0);
+    }
+
+    #[test]
+    fn abandonment_ratio_counts_all_terminal_states() {
+        let mut out = output(vec![completed(0, 0.0, 5.0)]);
+        out.abandoned.push(crate::engine::AbandonedPacket {
+            packet: Packet {
+                id: 9,
+                app: CargoAppId(1),
+                arrival_s: 0.0,
+                size_bytes: 1_000,
+            },
+            abandoned_at_s: 50.0,
+            attempts: 6,
+        });
+        out.retries = 7;
+        out.wasted_retry_energy_j = 1.5;
+        out.still_deferred = 2;
+        let report = RunReport::from_engine("Test", &out, &AppProfile::paper_trio(30.0));
+        assert_eq!(report.packets_abandoned, 1);
+        assert_eq!(report.retries, 7);
+        assert_eq!(report.wasted_retry_energy_j, 1.5);
+        // 1 abandoned of (1 completed + 1 abandoned + 2 unfinished).
+        assert!((report.abandonment_ratio - 0.25).abs() < 1e-12);
     }
 
     #[test]

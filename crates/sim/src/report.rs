@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.61803, 2), "1.62");
         assert_eq!(fmt_f(1000.0, 0), "1000");
     }
 }

@@ -3,14 +3,76 @@
 use etrain_radio::RadioParams;
 use etrain_sched::{
     AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig, ETrainScheduler,
-    PerEsConfig, PerEsScheduler, Scheduler,
+    PerEsConfig, PerEsScheduler, RetryPolicy, Scheduler,
 };
 use etrain_trace::bandwidth::{wuhan_drive_synthetic, BandwidthTrace};
+use etrain_trace::faults::FaultPlan;
 use etrain_trace::heartbeats::{synthesize, Heartbeat, TrainAppSpec};
 use etrain_trace::packets::{CargoWorkload, Packet};
 
-use crate::engine::run_engine;
+use crate::engine::run_engine_with_faults;
 use crate::metrics::RunReport;
+
+/// A scenario that cannot run, detected by [`Scenario::validate`] before
+/// any simulation work starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The horizon is zero, negative, or non-finite.
+    InvalidDuration {
+        /// The offending horizon, in seconds.
+        horizon_s: f64,
+    },
+    /// The workload's total arrival rate is negative or non-finite.
+    InvalidWorkload {
+        /// The offending total rate, in pkt/s.
+        total_rate: f64,
+    },
+    /// The bandwidth source cannot supply a usable trace.
+    InvalidBandwidth {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The fault plan violates an invariant (see `FaultPlan::validate`).
+    InvalidFaultPlan {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The retry policy violates an invariant (see `RetryPolicy::validate`).
+    InvalidRetryPolicy {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidDuration { horizon_s } => {
+                write!(
+                    f,
+                    "scenario duration must be positive and finite, got {horizon_s} s"
+                )
+            }
+            ScenarioError::InvalidWorkload { total_rate } => {
+                write!(
+                    f,
+                    "workload total rate must be non-negative and finite, got {total_rate} pkt/s"
+                )
+            }
+            ScenarioError::InvalidBandwidth { reason } => {
+                write!(f, "invalid bandwidth source: {reason}")
+            }
+            ScenarioError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
+            ScenarioError::InvalidRetryPolicy { reason } => {
+                write!(f, "invalid retry policy: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Which scheduling algorithm a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,9 +154,9 @@ pub enum BandwidthSource {
 /// A complete experiment description with builder-style configuration.
 ///
 /// [`Scenario::paper_default`] reproduces the paper's simulation setup
-/// (Sec. VI-A): train apps QQ + WeChat + WhatsApp, cargo apps Mail + Weibo
-/// + Cloud at total rate λ = 0.08 pkt/s, the synthetic drive bandwidth
-/// trace, Galaxy S4 3G radio parameters, 7200-second horizon.
+/// (Sec. VI-A): train apps QQ + WeChat + WhatsApp, cargo apps Mail +
+/// Weibo + Cloud at total rate λ = 0.08 pkt/s, the synthetic drive
+/// bandwidth trace, Galaxy S4 3G radio parameters, 7200-second horizon.
 ///
 /// # Examples
 ///
@@ -121,6 +183,8 @@ pub struct Scenario {
     horizon_s: f64,
     scheduler: SchedulerKind,
     seed: u64,
+    faults: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl Scenario {
@@ -140,6 +204,8 @@ impl Scenario {
                 k: None,
             },
             seed: 0,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -220,19 +286,69 @@ impl Scenario {
         self
     }
 
+    /// Injects a fault plan: channel outages, transmission loss, heartbeat
+    /// drops and train deaths. `FaultPlan::none()` (the default) is a
+    /// strict no-op — the run is bit-for-bit identical to a fault-free one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the retry policy applied to transmissions the fault plan
+    /// fails.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The registered app profiles.
     pub fn profiles_ref(&self) -> &[AppProfile] {
         &self.profiles
+    }
+
+    /// Checks the scenario's inputs without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found: non-positive duration, negative
+    /// workload rate, unusable bandwidth source, or an invalid fault plan
+    /// or retry policy.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if !(self.horizon_s.is_finite() && self.horizon_s > 0.0) {
+            return Err(ScenarioError::InvalidDuration {
+                horizon_s: self.horizon_s,
+            });
+        }
+        let total_rate = self.workload.total_rate();
+        if !(total_rate.is_finite() && total_rate >= 0.0) && self.packets_override.is_none() {
+            return Err(ScenarioError::InvalidWorkload { total_rate });
+        }
+        if let BandwidthSource::Constant(bps) = &self.bandwidth {
+            if !(bps.is_finite() && *bps > 0.0) {
+                return Err(ScenarioError::InvalidBandwidth {
+                    reason: format!(
+                        "constant bandwidth must be positive and finite, got {bps} bps"
+                    ),
+                });
+            }
+        }
+        self.faults
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidFaultPlan { reason })?;
+        self.retry
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidRetryPolicy { reason })?;
+        Ok(())
     }
 
     /// Runs the scenario and reports the paper's metrics.
     ///
     /// # Panics
     ///
-    /// Panics if an explicit packet trace references an app index outside
-    /// the registered profiles.
+    /// Panics if [`Scenario::validate`] fails or an explicit packet trace
+    /// references an app index outside the registered profiles.
     pub fn run(&self) -> RunReport {
-        self.run_with_output().0
+        self.try_run().expect("invalid scenario")
     }
 
     /// Runs the scenario and returns both the metrics report and the raw
@@ -241,9 +357,30 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if an explicit packet trace references an app index outside
-    /// the registered profiles.
+    /// Panics if [`Scenario::validate`] fails or an explicit packet trace
+    /// references an app index outside the registered profiles.
     pub fn run_with_output(&self) -> (RunReport, crate::engine::EngineOutput) {
+        self.try_run_with_output().expect("invalid scenario")
+    }
+
+    /// Fallible [`Scenario::run`]: validates first, then runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns what [`Scenario::validate`] returns.
+    pub fn try_run(&self) -> Result<RunReport, ScenarioError> {
+        Ok(self.try_run_with_output()?.0)
+    }
+
+    /// Fallible [`Scenario::run_with_output`]: validates first, then runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns what [`Scenario::validate`] returns.
+    pub fn try_run_with_output(
+        &self,
+    ) -> Result<(RunReport, crate::engine::EngineOutput), ScenarioError> {
+        self.validate()?;
         let packets = match &self.packets_override {
             Some(p) => p.clone(),
             None => self.workload.generate(self.horizon_s, self.seed),
@@ -258,16 +395,18 @@ impl Scenario {
             BandwidthSource::Trace(trace) => trace.clone(),
         };
         let mut scheduler = self.scheduler.build(self.profiles.clone());
-        let output = run_engine(
+        let output = run_engine_with_faults(
             scheduler.as_mut(),
             &packets,
             &heartbeats,
             &bandwidth,
             &self.radio,
             self.horizon_s,
+            &self.faults,
+            &self.retry,
         );
         let report = RunReport::from_engine(scheduler.name(), &output, &self.profiles);
-        (report, output)
+        Ok((report, output))
     }
 }
 
@@ -342,5 +481,117 @@ mod tests {
             .seed(2)
             .run();
         assert!(report.busy_time_s > 0.0);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_for_bit_identical_on_every_scheduler() {
+        // The fault layer must be strictly additive: a fault-free plan —
+        // even with a non-zero seed — reproduces the default run exactly,
+        // for every scheduler kind.
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::ETrain {
+                theta: 0.2,
+                k: None,
+            },
+            SchedulerKind::PerEs { omega: 0.5 },
+            SchedulerKind::ETime { v_bytes: 50_000.0 },
+        ] {
+            let base = Scenario::paper_default()
+                .duration_secs(1200)
+                .scheduler(kind)
+                .seed(7);
+            let plain = base.clone().run();
+            let faulted = base
+                .faults(FaultPlan::seeded(123_456))
+                .retry_policy(RetryPolicy::default())
+                .run();
+            assert_eq!(plain, faulted, "fault layer leaked into {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn lossy_channel_produces_retries_and_wasted_energy() {
+        let report = Scenario::paper_default()
+            .duration_secs(1800)
+            .scheduler(SchedulerKind::Baseline)
+            .seed(5)
+            .faults(FaultPlan::seeded(1).with_loss(0.3))
+            .run();
+        assert!(report.retries > 0, "30% loss must trigger retries");
+        assert!(report.wasted_retry_energy_j > 0.0);
+        assert!(report.wasted_retry_energy_j < report.transmission_energy_j);
+    }
+
+    #[test]
+    fn impossible_loss_abandons_everything_released() {
+        // Every attempt fails: nothing completes, everything released is
+        // eventually abandoned (or still backing off at the horizon).
+        let report = Scenario::paper_default()
+            .duration_secs(1800)
+            .scheduler(SchedulerKind::Baseline)
+            .seed(5)
+            .faults(FaultPlan::seeded(1).with_loss(1.0))
+            .run();
+        assert_eq!(report.packets_completed, 0);
+        assert!(report.packets_abandoned > 0);
+        assert!(report.abandonment_ratio > 0.5);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            Scenario::paper_default()
+                .duration_secs(1500)
+                .seed(9)
+                .faults(
+                    FaultPlan::seeded(4)
+                        .with_loss(0.2)
+                        .with_outage(300.0, 420.0)
+                        .with_train_death(600.0, 900.0),
+                )
+                .run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn train_death_window_suppresses_heartbeats() {
+        let dead_all_run = Scenario::paper_default()
+            .duration_secs(900)
+            .seed(2)
+            .faults(FaultPlan::seeded(0).with_train_death(0.0, 900.0))
+            .run();
+        assert_eq!(dead_all_run.heartbeats_sent, 0);
+        // eTrain stops deferring when no train is alive: delay collapses.
+        assert!(dead_all_run.normalized_delay_s < 2.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        let ok = Scenario::paper_default();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let err = Scenario::paper_default().duration_secs(0).try_run();
+        assert!(matches!(err, Err(ScenarioError::InvalidDuration { .. })));
+
+        let err = Scenario::paper_default()
+            .bandwidth(BandwidthSource::Constant(0.0))
+            .try_run();
+        assert!(matches!(err, Err(ScenarioError::InvalidBandwidth { .. })));
+
+        let mut bad_plan = FaultPlan::none();
+        bad_plan.loss_probability = 2.0;
+        let err = Scenario::paper_default().faults(bad_plan).try_run();
+        assert!(matches!(err, Err(ScenarioError::InvalidFaultPlan { .. })));
+
+        let bad_retry = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let err = Scenario::paper_default().retry_policy(bad_retry).try_run();
+        assert!(matches!(err, Err(ScenarioError::InvalidRetryPolicy { .. })));
+        // Errors render readably.
+        assert!(err.unwrap_err().to_string().contains("max_attempts"));
     }
 }

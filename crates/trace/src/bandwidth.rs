@@ -103,7 +103,10 @@ impl BandwidthTrace {
 
     /// Minimum sample in bits per second.
     pub fn min_bps(&self) -> f64 {
-        self.samples_bps.iter().copied().fold(f64::INFINITY, f64::min)
+        self.samples_bps
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum sample in bits per second.
@@ -117,7 +120,14 @@ impl BandwidthTrace {
     /// Beyond the end of the trace the last sample's bandwidth applies
     /// indefinitely.
     pub fn transfer_time_s(&self, start_s: f64, size_bytes: u64) -> f64 {
-        let mut remaining_bits = size_bytes as f64 * 8.0;
+        self.transfer_time_for_bits(start_s, size_bytes as f64 * 8.0)
+    }
+
+    /// Time needed to push `bits` bits starting at `start_s` — the
+    /// fractional-precision core of [`BandwidthTrace::transfer_time_s`],
+    /// used by the fault layer to resume transfers interrupted by outages.
+    pub fn transfer_time_for_bits(&self, start_s: f64, bits: f64) -> f64 {
+        let mut remaining_bits = bits;
         if remaining_bits <= 0.0 {
             return 0.0;
         }
@@ -136,6 +146,31 @@ impl BandwidthTrace {
                 return t - start_s.max(0.0) + remaining_bits / bps;
             }
             remaining_bits -= capacity;
+            t = sample_end;
+        }
+    }
+
+    /// Bits that flow through the channel over `[start_s, end_s)` —
+    /// the inverse of [`BandwidthTrace::transfer_time_for_bits`]. Negative
+    /// times clamp to zero; an empty or inverted interval carries no bits.
+    pub fn bits_transferred(&self, start_s: f64, end_s: f64) -> f64 {
+        let mut t = start_s.max(0.0);
+        if end_s <= t {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        loop {
+            let idx = (t / self.dt_s) as usize;
+            if idx >= self.samples_bps.len() - 1 {
+                let bps = self.samples_bps[self.samples_bps.len() - 1];
+                return bits + bps * (end_s - t);
+            }
+            let sample_end = (idx as f64 + 1.0) * self.dt_s;
+            let bps = self.samples_bps[idx];
+            if end_s <= sample_end {
+                return bits + bps * (end_s - t);
+            }
+            bits += bps * (sample_end - t);
             t = sample_end;
         }
     }
@@ -266,10 +301,8 @@ mod tests {
     fn synthetic_trace_has_expected_shape() {
         let trace = wuhan_drive_synthetic(1);
         assert_eq!(trace.len(), 7200);
-        let first_half: f64 =
-            trace.samples_bps()[..3600].iter().sum::<f64>() / 3600.0;
-        let second_half: f64 =
-            trace.samples_bps()[3600..].iter().sum::<f64>() / 3600.0;
+        let first_half: f64 = trace.samples_bps()[..3600].iter().sum::<f64>() / 3600.0;
+        let second_half: f64 = trace.samples_bps()[3600..].iter().sum::<f64>() / 3600.0;
         assert!(
             second_half > first_half,
             "campus regime ({second_half}) should outpace bus regime ({first_half})"
@@ -293,7 +326,10 @@ mod tests {
         };
         let bus = cv(&trace.samples_bps()[..3600]);
         let campus = cv(&trace.samples_bps()[3600..]);
-        assert!(bus > campus, "bus CV {bus} should exceed campus CV {campus}");
+        assert!(
+            bus > campus,
+            "bus CV {bus} should exceed campus CV {campus}"
+        );
     }
 
     #[test]

@@ -187,8 +187,7 @@ mod tests {
     #[test]
     fn output_is_sorted_with_dense_ids() {
         let workload = CargoWorkload::paper_default(0.08);
-        let packets =
-            generate_diurnal(&workload, DiurnalProfile::evening_heavy(), 9.0, 7200.0, 6);
+        let packets = generate_diurnal(&workload, DiurnalProfile::evening_heavy(), 9.0, 7200.0, 6);
         assert!(packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
         for (i, p) in packets.iter().enumerate() {
             assert_eq!(p.id, i as u64);

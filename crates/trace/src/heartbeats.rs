@@ -173,7 +173,11 @@ impl TrainAppSpec {
 
     /// The paper's simulation trio (Sec. VI-A): QQ + WeChat + WhatsApp.
     pub fn paper_trio() -> Vec<TrainAppSpec> {
-        vec![TrainAppSpec::qq(), TrainAppSpec::wechat(), TrainAppSpec::whatsapp()]
+        vec![
+            TrainAppSpec::qq(),
+            TrainAppSpec::wechat(),
+            TrainAppSpec::whatsapp(),
+        ]
     }
 
     /// Sets the jitter half-width, returning the modified spec (used by the
@@ -191,12 +195,7 @@ impl TrainAppSpec {
 
     /// Generates this app's heartbeats over `[0, horizon_s)` as
     /// [`TrainAppId`] `id`.
-    pub fn generate(
-        &self,
-        id: TrainAppId,
-        horizon_s: f64,
-        rng: &mut impl Rng,
-    ) -> Vec<Heartbeat> {
+    pub fn generate(&self, id: TrainAppId, horizon_s: f64, rng: &mut impl Rng) -> Vec<Heartbeat> {
         self.pattern
             .departure_times(self.phase_s, horizon_s)
             .into_iter()

@@ -151,7 +151,11 @@ pub fn read_bandwidth_csv<R: Read>(reader: R) -> Result<BandwidthTrace, TraceIoE
             message: "bandwidth trace is empty".to_owned(),
         });
     }
-    let dt = if times.len() >= 2 { times[1] - times[0] } else { 1.0 };
+    let dt = if times.len() >= 2 {
+        times[1] - times[0]
+    } else {
+        1.0
+    };
     Ok(BandwidthTrace::new(dt, samples))
 }
 
@@ -163,7 +167,14 @@ pub fn read_bandwidth_csv<R: Read>(reader: R) -> Result<BandwidthTrace, TraceIoE
 pub fn write_packets_csv<W: Write>(packets: &[Packet], mut writer: W) -> Result<(), TraceIoError> {
     writeln!(writer, "id,app,arrival_s,size_bytes")?;
     for p in packets {
-        writeln!(writer, "{},{},{},{}", p.id, p.app.index(), p.arrival_s, p.size_bytes)?;
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            p.id,
+            p.app.index(),
+            p.arrival_s,
+            p.size_bytes
+        )?;
     }
     Ok(())
 }
@@ -202,7 +213,13 @@ pub fn write_heartbeats_csv<W: Write>(
 ) -> Result<(), TraceIoError> {
     writeln!(writer, "train,time_s,size_bytes")?;
     for hb in heartbeats {
-        writeln!(writer, "{},{},{}", hb.train.index(), hb.time_s, hb.size_bytes)?;
+        writeln!(
+            writer,
+            "{},{},{}",
+            hb.train.index(),
+            hb.time_s,
+            hb.size_bytes
+        )?;
     }
     Ok(())
 }
@@ -241,7 +258,11 @@ pub fn write_user_csv<W: Write>(
 ) -> Result<(), TraceIoError> {
     writeln!(writer, "user_id,behavior,time_s,size_bytes")?;
     for r in records {
-        writeln!(writer, "{},{},{},{}", r.user_id, r.behavior, r.time_s, r.size_bytes)?;
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            r.user_id, r.behavior, r.time_s, r.size_bytes
+        )?;
     }
     Ok(())
 }

@@ -42,6 +42,7 @@
 pub mod bandwidth;
 pub mod capture;
 pub mod diurnal;
+pub mod faults;
 pub mod heartbeats;
 pub mod io;
 pub mod packets;

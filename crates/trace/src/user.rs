@@ -41,7 +41,11 @@ impl Activeness {
 
     /// All categories, in the order the paper reports them.
     pub fn all() -> [Activeness; 3] {
-        [Activeness::Active, Activeness::Moderate, Activeness::Inactive]
+        [
+            Activeness::Active,
+            Activeness::Moderate,
+            Activeness::Inactive,
+        ]
     }
 }
 
@@ -210,7 +214,11 @@ mod tests {
 
     #[test]
     fn upload_counts_match_categories() {
-        for (seed, category) in [(1, Activeness::Active), (2, Activeness::Moderate), (3, Activeness::Inactive)] {
+        for (seed, category) in [
+            (1, Activeness::Active),
+            (2, Activeness::Moderate),
+            (3, Activeness::Inactive),
+        ] {
             for user in 0..20 {
                 let trace = generate_app_use(user, category, seed);
                 let (lo, hi) = category.upload_range();

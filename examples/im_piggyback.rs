@@ -29,7 +29,10 @@ fn main() {
         Transmission::new(300.0, hb_tx),
     ];
     for i in 0..5 {
-        piggybacked.push(Transmission::new(300.0 + hb_tx + i as f64 * email_tx, email_tx));
+        piggybacked.push(Transmission::new(
+            300.0 + hb_tx + i as f64 * email_tx,
+            email_tx,
+        ));
     }
 
     let tl_scattered = Timeline::from_transmissions(&params, &scattered, horizon);

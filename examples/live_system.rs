@@ -22,6 +22,7 @@ fn main() {
             k: None,
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            ..CoreConfig::default()
         },
         time_scale: 3600.0, // one simulated hour per real second
     };
@@ -35,8 +36,12 @@ fn main() {
     println!("=== live eTrain system (time scale 3600x) ===\n");
 
     // The apps generate some traffic, then heartbeats depart.
-    let mail_req = mail.submit(TransmitRequest::upload(5_000)).expect("system running");
-    let weibo_req = weibo.submit(TransmitRequest::upload(2_000)).expect("system running");
+    let mail_req = mail
+        .submit(TransmitRequest::upload(5_000))
+        .expect("system running");
+    let weibo_req = weibo
+        .submit(TransmitRequest::upload(2_000))
+        .expect("system running");
     println!(
         "submitted {mail_req} (5 KB mail) and {weibo_req} (2 KB weibo post) at t={:.1}s",
         system.now_s()
@@ -64,7 +69,9 @@ fn main() {
     }
 
     // A second round riding WeChat's heartbeat.
-    let late = weibo.submit(TransmitRequest::upload(1_200)).expect("system running");
+    let late = weibo
+        .submit(TransmitRequest::upload(1_200))
+        .expect("system running");
     std::thread::sleep(Duration::from_millis(30));
     wechat.heartbeat().expect("system running");
     if let Some(decision) = weibo.next_decision(Duration::from_secs(2)) {

@@ -26,11 +26,17 @@ fn main() {
     for report in [&baseline, &etrain] {
         println!("{}:", report.scheduler);
         println!("  radio energy above idle  {:8.1} J", report.extra_energy_j);
-        println!("    transmitting           {:8.1} J", report.transmission_energy_j);
+        println!(
+            "    transmitting           {:8.1} J",
+            report.transmission_energy_j
+        );
         println!("    tails                  {:8.1} J", report.tail_energy_j);
         println!("  heartbeats sent          {:8}", report.heartbeats_sent);
         println!("  packets transmitted      {:8}", report.packets_completed);
-        println!("  normalized delay         {:8.1} s", report.normalized_delay_s);
+        println!(
+            "  normalized delay         {:8.1} s",
+            report.normalized_delay_s
+        );
         println!(
             "  deadline violations      {:8.1} %",
             report.deadline_violation_ratio * 100.0

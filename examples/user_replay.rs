@@ -19,6 +19,7 @@ fn main() {
         k: Some(20),
         slot_s: 1.0,
         startup_grace_s: 600.0,
+        ..CoreConfig::default()
     };
 
     println!("=== 10-minute app-use replays through the live eTrain core ===\n");

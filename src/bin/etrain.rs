@@ -170,18 +170,42 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         format!("{} — {} s simulated", report.scheduler, report.horizon_s),
         &["metric", "value"],
     );
-    table.push_row_strings(vec!["radio energy (J)".into(), format!("{:.1}", report.extra_energy_j)]);
-    table.push_row_strings(vec!["  transmitting (J)".into(), format!("{:.1}", report.transmission_energy_j)]);
-    table.push_row_strings(vec!["  tails (J)".into(), format!("{:.1}", report.tail_energy_j)]);
-    table.push_row_strings(vec!["heartbeats".into(), report.heartbeats_sent.to_string()]);
-    table.push_row_strings(vec!["packets completed".into(), report.packets_completed.to_string()]);
-    table.push_row_strings(vec!["packets unfinished".into(), report.packets_unfinished.to_string()]);
-    table.push_row_strings(vec!["normalized delay (s)".into(), format!("{:.1}", report.normalized_delay_s)]);
+    table.push_row_strings(vec![
+        "radio energy (J)".into(),
+        format!("{:.1}", report.extra_energy_j),
+    ]);
+    table.push_row_strings(vec![
+        "  transmitting (J)".into(),
+        format!("{:.1}", report.transmission_energy_j),
+    ]);
+    table.push_row_strings(vec![
+        "  tails (J)".into(),
+        format!("{:.1}", report.tail_energy_j),
+    ]);
+    table.push_row_strings(vec![
+        "heartbeats".into(),
+        report.heartbeats_sent.to_string(),
+    ]);
+    table.push_row_strings(vec![
+        "packets completed".into(),
+        report.packets_completed.to_string(),
+    ]);
+    table.push_row_strings(vec![
+        "packets unfinished".into(),
+        report.packets_unfinished.to_string(),
+    ]);
+    table.push_row_strings(vec![
+        "normalized delay (s)".into(),
+        format!("{:.1}", report.normalized_delay_s),
+    ]);
     table.push_row_strings(vec![
         "deadline violations".into(),
         format!("{:.1}%", report.deadline_violation_ratio * 100.0),
     ]);
-    table.push_row_strings(vec!["radio promotions".into(), report.promotions.to_string()]);
+    table.push_row_strings(vec![
+        "radio promotions".into(),
+        report.promotions.to_string(),
+    ]);
     println!("{table}");
     Ok(())
 }
@@ -283,6 +307,7 @@ fn cmd_replay_user(flags: &Flags) -> Result<(), String> {
             k: Some(20),
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            ..CoreConfig::default()
         },
     );
     let mut table = Table::new(
@@ -320,9 +345,15 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
         },
     ];
     let comparison = Comparison::run(&base, &contenders);
-    println!("{}", comparison.to_table("scheduler comparison (same workload/channel)"));
+    println!(
+        "{}",
+        comparison.to_table("scheduler comparison (same workload/channel)")
+    );
     if let Some(best) = comparison.most_efficient() {
-        println!("most efficient: {} ({:.1} J)", best.scheduler, best.extra_energy_j);
+        println!(
+            "most efficient: {} ({:.1} J)",
+            best.scheduler, best.extra_energy_j
+        );
     }
     let front: Vec<String> = comparison
         .pareto_front()
@@ -410,7 +441,13 @@ mod tests {
 
     #[test]
     fn replay_user_smoke() {
-        run(&args(&["replay-user", "--category", "inactive", "--seed", "3"]))
-            .expect("replay runs");
+        run(&args(&[
+            "replay-user",
+            "--category",
+            "inactive",
+            "--seed",
+            "3",
+        ]))
+        .expect("replay runs");
     }
 }

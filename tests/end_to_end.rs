@@ -20,12 +20,9 @@ fn paper_default_pipeline_produces_consistent_report() {
     // Energy identities.
     assert!(report.extra_energy_j > 0.0);
     assert!(
-        (report.extra_energy_j - report.transmission_energy_j - report.tail_energy_j).abs()
-            < 1e-9
+        (report.extra_energy_j - report.transmission_energy_j - report.tail_energy_j).abs() < 1e-9
     );
-    assert!(
-        (report.total_energy_j - report.extra_energy_j - report.idle_energy_j).abs() < 1e-9
-    );
+    assert!((report.total_energy_j - report.extra_energy_j - report.idle_energy_j).abs() < 1e-9);
     // One hour of the paper trio: 12 (QQ) + 14 (WeChat) + 15 (WhatsApp).
     assert_eq!(report.heartbeats_sent, 41);
     // Metrics sanity.

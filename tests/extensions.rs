@@ -3,7 +3,7 @@
 //! raw engine output.
 
 use etrain::apps::FileSync;
-use etrain::core::{CoreConfig, EnergyMeter, ETrainCore, TransmitRequest};
+use etrain::core::{CoreConfig, ETrainCore, EnergyMeter, TransmitRequest};
 use etrain::hb::{identify_heartbeat_flows, IdentifyConfig};
 use etrain::radio::{Battery, RadioParams};
 use etrain::sched::{AppProfile, CostProfile};
@@ -30,6 +30,7 @@ fn chunked_file_sync_piggybacks_across_trains_and_meters_savings() {
         k: None,
         slot_s: 1.0,
         startup_grace_s: 600.0,
+        ..CoreConfig::default()
     });
     let train = core.register_train("QQ");
     let cloud = core.register_cargo(AppProfile::new("Cloud", CostProfile::cloud(600.0)));
@@ -50,7 +51,11 @@ fn chunked_file_sync_piggybacks_across_trains_and_meters_savings() {
             meter.record_decision(d);
         }
     }
-    assert_eq!(core.pending_requests(), 0, "k = ∞ drains on the first train");
+    assert_eq!(
+        core.pending_requests(),
+        0,
+        "k = ∞ drains on the first train"
+    );
     assert_eq!(meter.decisions(), 4);
     assert_eq!(meter.piggyback_ratio(), 1.0);
     // The four chunks were submitted one second apart, so the baseline
@@ -76,7 +81,10 @@ fn replication_narrows_the_comparison() {
     let etrain = replicate(
         &Scenario::paper_default()
             .duration_secs(1200)
-            .scheduler(SchedulerKind::ETrain { theta: 2.0, k: None }),
+            .scheduler(SchedulerKind::ETrain {
+                theta: 2.0,
+                k: None,
+            }),
         &seeds,
     );
     // The gap must exceed the combined spread — a statistically meaningful
@@ -99,7 +107,10 @@ fn diurnal_day_simulation_is_consistent() {
         .duration_secs(DAY_S as u64)
         .packets(packets)
         .bandwidth(BandwidthSource::Constant(500_000.0))
-        .scheduler(SchedulerKind::ETrain { theta: 2.0, k: None })
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
         .seed(3)
         .run();
     assert_eq!(
@@ -115,7 +126,10 @@ fn raw_output_exposes_a_power_monitor_view() {
     let (report, output) = Scenario::paper_default()
         .duration_secs(900)
         .bandwidth(BandwidthSource::Constant(500_000.0))
-        .scheduler(SchedulerKind::ETrain { theta: 1.0, k: None })
+        .scheduler(SchedulerKind::ETrain {
+            theta: 1.0,
+            k: None,
+        })
         .seed(5)
         .run_with_output();
     // The sampled power trace integrates to the reported energy.

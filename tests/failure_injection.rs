@@ -3,8 +3,8 @@
 //! degenerate.
 
 use etrain::core::{CoreConfig, ETrainCore, TransmitRequest};
-use etrain::sched::{AppProfile, CostProfile};
-use etrain::sim::{BandwidthSource, Scenario, SchedulerKind};
+use etrain::sched::{AppProfile, CostProfile, RetryPolicy};
+use etrain::sim::{BandwidthSource, FaultPlan, Scenario, SchedulerKind};
 use etrain::trace::heartbeats::TrainAppSpec;
 use etrain::trace::packets::CargoWorkload;
 
@@ -12,26 +12,107 @@ use etrain::trace::packets::CargoWorkload;
 /// its scheduler to avoid cargo apps' indefinite waiting."
 #[test]
 fn train_death_mid_run_flushes_cargo() {
-    // One train whose daemon dies halfway: heartbeats only in the first
-    // 1200 s of a 3600 s run.
-    let dying_train = TrainAppSpec::fixed("Dying", 300.0, 300, 0.0);
-    let heartbeats: Vec<_> =
-        etrain::trace::heartbeats::synthesize(&[dying_train], 1200.0, 1);
+    // Every train's daemon dies at t = 1200 s of a 3600 s run.
     let report = Scenario::paper_default()
         .duration_secs(3600)
-        .heartbeats(heartbeats)
         .scheduler(SchedulerKind::ETrain {
             theta: 1e9, // gate never opens: trains are the only outlet
             k: None,
         })
+        .faults(FaultPlan::seeded(2).with_train_death(1200.0, 3600.0))
         .seed(2)
         .run();
-    // Nothing may be stranded: once the train is gone the scheduler stops
-    // deferring (the engine signals trains_alive = false).
+    // Nothing may be stranded: once the trains are gone the scheduler
+    // stops deferring (the engine signals trains_alive = false).
     assert_eq!(
         report.packets_unfinished, 0,
         "cargo stranded after train death"
     );
+}
+
+/// A lossy channel costs retries and wasted joules, but the retry layer
+/// still delivers everything that fits in the horizon.
+#[test]
+fn lossy_channel_retries_to_completion() {
+    let report = Scenario::paper_default()
+        .duration_secs(3600)
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
+        .faults(FaultPlan::seeded(11).with_loss(0.25))
+        .retry_policy(RetryPolicy::default())
+        .seed(3)
+        .run();
+    assert!(report.retries > 0, "a 25% lossy channel must retry");
+    assert!(report.wasted_retry_energy_j > 0.0);
+    assert!(
+        report.packets_completed > 0,
+        "retries should still deliver most packets"
+    );
+    assert_eq!(
+        report.abandonment_ratio, 0.0,
+        "default policy has attempts to spare at 25% loss"
+    );
+}
+
+/// A coverage hole stretches transfers across its far edge instead of
+/// dropping them: accounting stays exact.
+#[test]
+fn bandwidth_outage_stretches_transfers() {
+    let base = Scenario::paper_default()
+        .duration_secs(2400)
+        .scheduler(SchedulerKind::Baseline)
+        .seed(5);
+    let clean = base.clone().run();
+    let holed = base
+        .faults(FaultPlan::seeded(5).with_outage(600.0, 1200.0))
+        .run();
+    assert!(
+        holed.normalized_delay_s >= clean.normalized_delay_s,
+        "a 10-minute hole cannot speed transfers up"
+    );
+    assert_eq!(
+        holed.packets_completed + holed.packets_unfinished + holed.packets_abandoned,
+        clean.packets_completed + clean.packets_unfinished,
+        "the outage must not lose packets"
+    );
+}
+
+/// Chaos: train death + coverage hole + lossy channel in one run. The run
+/// must terminate, conserve packets, and keep every metric finite.
+#[test]
+fn chaos_run_survives_combined_faults() {
+    let plan = FaultPlan::seeded(77)
+        .with_loss(0.4)
+        .with_heartbeat_drops(0.2)
+        .with_outage(300.0, 700.0)
+        .with_train_death(900.0, 1500.0)
+        .with_periodic_outages(1600.0, 60.0, 400.0, 2400.0);
+    let report = Scenario::paper_default()
+        .duration_secs(2400)
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
+        .faults(plan)
+        .retry_policy(RetryPolicy {
+            max_attempts: 3,
+            give_up_age_s: 400.0,
+            ..RetryPolicy::default()
+        })
+        .seed(9)
+        .run();
+    let generated = CargoWorkload::paper_default(0.08).generate(2400.0, 9).len();
+    assert_eq!(
+        report.packets_completed + report.packets_abandoned + report.packets_unfinished,
+        generated,
+        "chaos must not create or destroy packets"
+    );
+    assert!(report.retries > 0, "40% loss must trigger retries");
+    assert!(report.extra_energy_j.is_finite());
+    assert!(report.normalized_delay_s.is_finite());
+    assert!(report.abandonment_ratio <= 1.0);
 }
 
 #[test]
@@ -64,7 +145,13 @@ fn heavy_heartbeat_jitter_does_not_break_alignment() {
         .map(|t| t.with_jitter(30.0))
         .collect();
     let base = Scenario::paper_default().duration_secs(2400).seed(6);
-    let clean = base.clone().scheduler(SchedulerKind::ETrain { theta: 2.0, k: None }).run();
+    let clean = base
+        .clone()
+        .scheduler(SchedulerKind::ETrain {
+            theta: 2.0,
+            k: None,
+        })
+        .run();
     let noisy = base
         .trains(jittered)
         .scheduler(SchedulerKind::ETrain {
@@ -125,9 +212,15 @@ fn core_rejects_bad_inputs_and_survives() {
     let app = core.register_cargo(AppProfile::new("W", CostProfile::weibo(60.0)));
 
     // Unknown train, unknown app, time travel — all reported as errors.
-    assert!(core.on_heartbeat(etrain::trace::TrainAppId(3), 1.0).is_err());
     assert!(core
-        .submit(etrain::trace::CargoAppId(9), TransmitRequest::upload(1), 2.0)
+        .on_heartbeat(etrain::trace::TrainAppId(3), 1.0)
+        .is_err());
+    assert!(core
+        .submit(
+            etrain::trace::CargoAppId(9),
+            TransmitRequest::upload(1),
+            2.0
+        )
         .is_err());
     core.submit(app, TransmitRequest::upload(1), 50.0).unwrap();
     assert!(core.submit(app, TransmitRequest::upload(1), 10.0).is_err());

@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use etrain::apps::{replay, CargoAppModel};
-use etrain::core::{CoreConfig, ETrainSystem, SystemConfig, TransmitRequest};
+use etrain::core::{
+    CoreConfig, ETrainSystem, RetryPolicy, RetryVerdict, SystemConfig, TransmitRequest, TxResult,
+};
 use etrain::sched::{AppProfile, CostProfile};
 use etrain::trace::heartbeats::TrainAppSpec;
 use etrain::trace::user::{generate_app_use, Activeness};
@@ -16,6 +18,7 @@ fn fast_system(theta: f64) -> ETrainSystem {
             k: None,
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            ..CoreConfig::default()
         },
         time_scale: 2000.0,
     })
@@ -51,13 +54,101 @@ fn decisions_keep_flowing_across_heartbeats() {
     let client = system.cargo_client(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
 
     for round in 0..3 {
-        client.submit(TransmitRequest::upload(1_000 + round)).unwrap();
+        client
+            .submit(TransmitRequest::upload(1_000 + round))
+            .unwrap();
         train.heartbeat().unwrap();
         let decision = client
             .next_decision(Duration::from_secs(3))
             .unwrap_or_else(|| panic!("round {round} decision missing"));
         assert_eq!(decision.size_bytes, 1_000 + round);
     }
+    system.shutdown();
+}
+
+/// The full failure loop on the threaded runtime: submit → decision →
+/// report a failed transfer → backed-off re-decision on a later heartbeat
+/// → delivery; then a deadline-bounded request that is abandoned on its
+/// first failure.
+#[test]
+fn failed_transfers_back_off_then_deliver_or_abandon() {
+    let system = ETrainSystem::start(SystemConfig {
+        core: CoreConfig {
+            theta: 1e6, // only heartbeats release
+            retry: RetryPolicy {
+                base_backoff_s: 5.0,
+                jitter_frac: 0.0,
+                max_attempts: 4,
+                give_up_age_s: 1e9,
+                ..RetryPolicy::default()
+            },
+            ..CoreConfig::default()
+        },
+        time_scale: 2000.0,
+    });
+    let train = system.train_handle("QQ");
+    let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+
+    // Round 1: decision arrives, the transfer fails mid-flight.
+    let id = client.submit(TransmitRequest::upload(3_000)).unwrap();
+    train.heartbeat().unwrap();
+    let first = client
+        .next_decision(Duration::from_secs(3))
+        .expect("first decision rides the heartbeat");
+    assert_eq!(first.request, id);
+    let verdict = client.report_result(id, TxResult::Failed).unwrap();
+    let resume_at_s = match verdict {
+        RetryVerdict::RetryScheduled { resume_at_s } => resume_at_s,
+        other => panic!("first failure should schedule a retry, got {other:?}"),
+    };
+    assert!(
+        resume_at_s >= system.now_s() - 1.0,
+        "backoff must point into the future"
+    );
+
+    // A second report for the same request is rejected: it is no longer
+    // awaiting a result.
+    assert!(client.report_result(id, TxResult::Failed).is_err());
+
+    // Round 2: after the backoff elapses the request re-enters the
+    // scheduler and rides the next heartbeat — same request id.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let second = loop {
+        train.heartbeat().unwrap();
+        if let Some(d) = client.next_decision(Duration::from_millis(100)) {
+            break d;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retried request never re-decided"
+        );
+    };
+    assert_eq!(second.request, id, "retry must keep the request id");
+    assert!(second.decided_at_s >= resume_at_s - 1.0);
+    assert_eq!(
+        client.report_result(id, TxResult::Delivered).unwrap(),
+        RetryVerdict::Delivered
+    );
+
+    // A deadline-bounded request: the give-up check sees the deadline
+    // cannot be met after the first failure and abandons immediately.
+    let doomed = client
+        .submit(TransmitRequest::upload(500).with_deadline(1.0))
+        .unwrap();
+    train.heartbeat().unwrap();
+    let decision = client
+        .next_decision(Duration::from_secs(3))
+        .expect("doomed request still gets its first decision");
+    assert_eq!(decision.request, doomed);
+    assert_eq!(
+        client.report_result(doomed, TxResult::Failed).unwrap(),
+        RetryVerdict::Abandoned
+    );
+
+    let stats = system.stats();
+    assert_eq!(stats.delivered, 1);
+    assert!(stats.retries >= 1);
+    assert_eq!(stats.abandoned, 1);
     system.shutdown();
 }
 
@@ -86,6 +177,7 @@ fn replay_pipeline_through_live_core_matches_counts() {
             k: Some(20),
             slot_s: 1.0,
             startup_grace_s: 600.0,
+            ..CoreConfig::default()
         },
     );
     assert_eq!(outcome.undelivered, 0);

@@ -9,7 +9,10 @@ use proptest::prelude::*;
 fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
     prop_oneof![
         Just(SchedulerKind::Baseline),
-        (0.0f64..6.0, prop_oneof![Just(None), (1usize..32).prop_map(Some)])
+        (
+            0.0f64..6.0,
+            prop_oneof![Just(None), (1usize..32).prop_map(Some)]
+        )
             .prop_map(|(theta, k)| SchedulerKind::ETrain { theta, k }),
         (0.02f64..4.0).prop_map(|omega| SchedulerKind::PerEs { omega }),
         (1_000.0f64..200_000.0).prop_map(|v_bytes| SchedulerKind::ETime { v_bytes }),
@@ -123,7 +126,6 @@ proptest! {
         prop_assert_eq!(make(), make());
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

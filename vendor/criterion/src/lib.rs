@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/type surface used by `benches/perf.rs` with a
+//! minimal wall-clock harness: each benchmark runs a small fixed number
+//! of iterations and prints the mean time per iteration. There is no
+//! statistical analysis — the goal is that bench targets compile, run
+//! fast under `cargo test`/`cargo bench`, and print plausible numbers.
+
+use std::time::Instant;
+
+/// Iterations per benchmark. Kept tiny because `cargo test` also runs
+/// `harness = false` bench targets.
+const DEFAULT_ITERS: u64 = 10;
+
+/// How per-iteration inputs are sized for [`Bencher::iter_batched`].
+/// The shim runs every batch size identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, executed `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn run_one(id: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed_ns: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / u128::from(iters.max(1));
+    println!("bench {id:<48} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+impl Criterion {
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, DEFAULT_ITERS, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            iters: DEFAULT_ITERS,
+        }
+    }
+}
+
+/// A named group with its own iteration count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (mapped to iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.iters, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("shim/smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= DEFAULT_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = Vec::new();
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                Vec::<u8>::new,
+                |v| seen.push(v.len()),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based data model, this shim uses a concrete
+//! [`Value`] tree: `Serialize` maps a type *into* a `Value`,
+//! `Deserialize` maps a `Value` back *out*. `serde_json` (the companion
+//! shim) renders `Value` to JSON text and parses it back. The observable
+//! behaviour matches real serde for the constructs this workspace uses:
+//! named-field structs, tuple/newtype structs, externally-tagged enums,
+//! primitives, `String`, `Option`, `Vec`, and small tuples.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-shaped value tree — the interchange format between
+/// `Serialize`/`Deserialize` impls and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map (JSON objects preserve field order here).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving whether it was written as an integer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            Value::Number(Number::F64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromValueError {
+    message: String,
+}
+
+impl FromValueError {
+    pub fn new(message: impl Into<String>) -> Self {
+        FromValueError {
+            message: message.into(),
+        }
+    }
+
+    pub fn expected(expected: &str, got: &Value) -> Self {
+        FromValueError::new(format!("expected {expected}, found {}", got.kind()))
+    }
+
+    pub fn missing_field(name: &str) -> Self {
+        FromValueError::new(format!("missing field `{name}`"))
+    }
+
+    pub fn unknown_variant(name: &str, ty: &str) -> Self {
+        FromValueError::new(format!("unknown variant `{name}` for {ty}"))
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for FromValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FromValueError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, FromValueError>;
+
+    /// The value to use when a struct field is missing entirely.
+    /// `None` means "missing is an error"; `Option<T>` overrides this to
+    /// `Some(None)` so absent optional fields deserialize leniently.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+pub mod de {
+    //! Deserialization helpers mirroring `serde::de`.
+
+    /// Owned deserialization — with this shim's value-tree model every
+    /// [`Deserialize`](crate::Deserialize) is already owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization helpers mirroring `serde::ser`.
+
+    pub use crate::Serialize;
+}
+
+/// Looks up a named struct field in an object, falling back to
+/// [`Deserialize::absent`] when the key is not present. Used by derived
+/// impls.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &'static str,
+) -> Result<T, FromValueError> {
+    match entries.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => T::from_value(value),
+        None => T::absent().ok_or_else(|| FromValueError::missing_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_bool()
+            .ok_or_else(|| FromValueError::expected("bool", value))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, FromValueError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| FromValueError::expected(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    FromValueError::new(format!(
+                        "number {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, FromValueError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| FromValueError::expected(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    FromValueError::new(format!(
+                        "number {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_f64()
+            .ok_or_else(|| FromValueError::expected("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| FromValueError::expected("f32", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| FromValueError::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| FromValueError::expected("single-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(FromValueError::expected("single-char string", value)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("array", value))?;
+        if items.len() != N {
+            return Err(FromValueError::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| FromValueError::new("array length changed during conversion"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_array()
+            .ok_or_else(|| FromValueError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (matches BTreeMap/serde_json's
+        // "preserve_order = false" canonical form closely enough).
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_object()
+            .ok_or_else(|| FromValueError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, FromValueError> {
+        value
+            .as_object()
+            .ok_or_else(|| FromValueError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, FromValueError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| FromValueError::expected("tuple array", value))?;
+                let expected = [$( stringify!($idx) ),+].len();
+                if items.len() != expected {
+                    return Err(FromValueError::new(format!(
+                        "expected array of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($( $name::from_value(&items[$idx])?, )+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip_and_absent() {
+        assert_eq!(Some(3u32).to_value(), Value::Number(Number::U64(3)));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::absent(), Some(None));
+        assert_eq!(u32::absent(), None);
+    }
+
+    #[test]
+    fn vec_of_tuples_round_trips() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let val = v.to_value();
+        let back: Vec<(u64, String)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let big = Value::Number(Number::U64(300));
+        assert!(u8::from_value(&big).is_err());
+        assert_eq!(u16::from_value(&big).unwrap(), 300);
+        let neg = Value::Number(Number::I64(-1));
+        assert!(u64::from_value(&neg).is_err());
+        assert_eq!(i32::from_value(&neg).unwrap(), -1);
+    }
+
+    #[test]
+    fn field_lookup_uses_absent() {
+        let obj = vec![("present".to_string(), Value::Bool(true))];
+        let hit: bool = __field(&obj, "present").unwrap();
+        assert!(hit);
+        let miss: Option<bool> = __field(&obj, "gone").unwrap();
+        assert_eq!(miss, None);
+        assert!(__field::<bool>(&obj, "gone").is_err());
+    }
+}

@@ -1,0 +1,510 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace declares: named-field structs, tuple structs,
+//! unit structs, and enums with unit / newtype / tuple / struct-field
+//! variants. Generated impls target the companion `serde` shim's
+//! value-tree model (`to_value` / `from_value`).
+//!
+//! Written against raw `proc_macro` (no `syn`/`quote` — the build is
+//! fully offline): a small hand-rolled parser extracts just the names
+//! (type, fields, variants); field *types* never need to be parsed
+//! because trait dispatch resolves them. `#[serde(...)]` attributes are
+//! rejected loudly rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `Some(name)` for named fields, index-only otherwise.
+#[derive(Debug, Clone)]
+struct Field {
+    name: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, b: U }` or `struct S(T, U);`
+    Struct { fields: Vec<Field> },
+    /// `enum E { ... }`
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(fields)` otherwise (named or tuple).
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim does not support generic type `{name}`");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Struct {
+                    fields: parse_named_fields(g.stream()),
+                },
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::Struct {
+                    fields: parse_tuple_fields(g.stream()),
+                },
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum {
+                    variants: parse_variants(g.stream()),
+                },
+            },
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past doc comments, attributes, and visibility modifiers.
+/// Rejects `#[serde(...)]` so unsupported renames/flags fail at compile
+/// time instead of changing the wire format silently.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") {
+                        panic!("serde derive shim does not support #[serde(...)] attributes");
+                    }
+                }
+                *i += 2; // `#` + `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, tracking `<>`
+/// nesting. Groups are single atomic tokens, so only angle brackets need
+/// depth counting.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i64 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the comma
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        fields.push(Field { name: Some(name) });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        fields.push(Field { name: None });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some(parse_tuple_fields(g.stream()))
+            }
+            _ => None,
+        };
+        // Discriminants (`= expr`) are not supported with payload-free
+        // serialization semantics differing; reject for clarity.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde derive shim does not support explicit enum discriminants");
+            }
+        }
+        // Trailing comma between variants.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Struct { fields } => serialize_struct_body(fields),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_struct_body(fields: &[Field]) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    match fields[0].name {
+        Some(_) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        None if fields.len() == 1 => {
+            // Newtype struct: serialize transparently as the inner value.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        None => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        None => format!(
+            "{ty}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+        ),
+        Some(fields) if fields.is_empty() => format!(
+            "{ty}::{vn} {{}} => \
+             ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+        ),
+        Some(fields) if fields[0].name.is_some() => {
+            let names: Vec<&str> = fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+            let bind = names.join(", ");
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value({n}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {bind} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                  ::serde::Value::Object(::std::vec![{}]))]),\n",
+                entries.join(", ")
+            )
+        }
+        Some(fields) if fields.len() == 1 => format!(
+            "{ty}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{vn}\"), \
+              ::serde::Serialize::to_value(__f0))]),\n"
+        ),
+        Some(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                  ::serde::Value::Array(::std::vec![{}]))]),\n",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "match __value {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(\
+             ::serde::FromValueError::expected(\"null\", __other)) }}"
+        ),
+        Shape::Struct { fields } => deserialize_struct_body(name, fields),
+        Shape::Enum { variants } => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::FromValueError> {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &[Field]) -> String {
+    if fields.is_empty() {
+        return format!("{{ let _ = __value; ::std::result::Result::Ok({name} {{}}) }}");
+    }
+    match fields[0].name {
+        Some(_) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!("{n}: ::serde::__field(__entries, \"{n}\")?")
+                })
+                .collect();
+            format!(
+                "{{ let __entries = __value.as_object().ok_or_else(|| \
+                 ::serde::FromValueError::expected(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        None if fields.len() == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        None => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::FromValueError::expected(\"array\", __value))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::FromValueError::new(::std::format!(\
+                 \"expected array of length {n}, found {{}}\", __items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as Value::String(tag); payload variants as a
+    // single-entry object { tag: payload } (serde's externally-tagged
+    // representation).
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            Some(fields) if fields.is_empty() => {
+                if fields.is_empty() {
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{}}),\n"
+                    ));
+                }
+            }
+            Some(fields) if fields[0].name.is_some() => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = f.name.as_ref().unwrap();
+                        format!("{n}: ::serde::__field(__entries, \"{n}\")?")
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{ let __entries = __payload.as_object().ok_or_else(|| \
+                     ::serde::FromValueError::expected(\"object\", __payload))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},\n",
+                    inits.join(", ")
+                ));
+            }
+            Some(fields) if fields.len() == 1 => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload)?)),\n"
+                ));
+            }
+            Some(fields) => {
+                let n = fields.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{ let __items = __payload.as_array().ok_or_else(|| \
+                     ::serde::FromValueError::expected(\"array\", __payload))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::FromValueError::new(::std::format!(\
+                     \"expected array of length {n}, found {{}}\", __items.len()))); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\
+         ::serde::Value::String(__tag) => match __tag.as_str() {{\n\
+             {unit_arms}\
+             __other => ::std::result::Result::Err(\
+             ::serde::FromValueError::unknown_variant(__other, \"{name}\")),\n\
+         }},\n\
+         ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+             let (__tag, __payload) = &__obj[0];\n\
+             let _ = __payload;\n\
+             match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::FromValueError::unknown_variant(__other, \"{name}\")),\n\
+             }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::FromValueError::expected(\"enum tag\", __other)),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive shim generated invalid Deserialize impl")
+}
