@@ -112,11 +112,39 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same Θ sweep run point-by-point (each point re-synthesizes the
+/// packet/heartbeat/bandwidth traces) vs through the [`RunGrid`] (one
+/// shared synthesis in the trace cache, workers in parallel). The gap is
+/// the runner's speedup; on a single core it isolates the cache's share.
+fn bench_sweep_runner(c: &mut Criterion) {
+    let base = Scenario::paper_default().duration_secs(600).seed(3);
+    let thetas = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+    group.bench_function("theta_sweep_serial_resynthesized", |b| {
+        b.iter(|| {
+            thetas
+                .iter()
+                .map(|&theta| {
+                    base.clone()
+                        .scheduler(SchedulerKind::ETrain { theta, k: None })
+                        .run()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("theta_sweep_grid_shared_traces", |b| {
+        b.iter(|| etrain_sim::sweep::theta_sweep(std::hint::black_box(&base), &thetas, None))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tail_energy,
     bench_greedy_selection,
     bench_cycle_detector,
+    bench_sweep_runner,
     bench_end_to_end
 );
 criterion_main!(benches);

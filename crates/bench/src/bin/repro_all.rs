@@ -1,12 +1,75 @@
-//! Runs every reproduction experiment in paper order and prints all
-//! tables. Pass `--quick` for a fast smoke run of the whole suite.
+//! Runs every reproduction experiment concurrently across a worker pool
+//! and prints all tables in paper (registry) order, then writes the
+//! machine-readable `BENCH_repro.json` with per-experiment wall-clock and
+//! headline metrics.
+//!
+//! Flags:
+//! - `--quick` — reduced horizons/sweeps for a CI-speed smoke run;
+//! - `--jobs N` — worker count (default: `ETRAIN_JOBS` env, then the
+//!   machine's available parallelism);
+//! - `--json PATH` — where to write the report (default
+//!   `BENCH_repro.json`); `--no-json` skips it.
+
+use std::time::Instant;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for experiment in etrain_bench::registry() {
-        println!("# {} — {}", experiment.id, experiment.artifact);
-        for table in (experiment.run)(quick) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .expect("--jobs needs a positive integer")
+        })
+        .unwrap_or_else(etrain_bench::default_jobs);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--json needs a file path")
+                .to_owned()
+        })
+        .unwrap_or_else(|| "BENCH_repro.json".to_owned());
+
+    let registry = etrain_bench::registry();
+    eprintln!(
+        "# running {} experiments on {} worker(s){}",
+        registry.len(),
+        jobs,
+        if quick { " (quick mode)" } else { "" }
+    );
+    let started = Instant::now();
+    let runs = etrain_bench::run_experiments(&registry, quick, jobs);
+    let total_s = started.elapsed().as_secs_f64();
+
+    for run in &runs {
+        println!("# {} — {}", run.record.name, run.record.description);
+        for table in &run.result.tables {
             println!("{table}");
         }
+        for headline in &run.record.headlines {
+            println!(
+                "# headline {} = {} {}",
+                headline.metric, headline.value, headline.unit
+            );
+        }
+        println!("# wall-clock: {:.2} s", run.record.wall_s);
+        println!();
+    }
+    let serial_s: f64 = runs.iter().map(|r| r.record.wall_s).sum();
+    eprintln!(
+        "# suite wall-clock: {total_s:.2} s across {jobs} worker(s) \
+         (sum of experiment times: {serial_s:.2} s)"
+    );
+
+    if !no_json {
+        std::fs::write(&json_path, etrain_bench::repro_report_json(&runs))
+            .expect("writing the JSON report");
+        eprintln!("# wrote {json_path}");
     }
 }

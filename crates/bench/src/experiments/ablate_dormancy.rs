@@ -11,13 +11,14 @@
 //! a fast-dormancy baseline (tails cut to 1 s), and eTrain on the normal
 //! radio — reporting both energy and the promotion count.
 
+use crate::ExperimentResult;
 use etrain_radio::RadioParams;
 use etrain_sim::{SchedulerKind, Table};
 
 use super::{j, paper_base, s};
 
 /// Runs the fast-dormancy ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     // Fast dormancy cuts the tail to 1 s but every transmission from IDLE
     // then pays a 2 s DCH promotion — the paper's Sec. VII argument made
@@ -71,7 +72,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             s(report.normalized_delay_s),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "etrain_energy_j",
+        0,
+        -1,
+        "energy_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -80,7 +87,7 @@ mod tests {
 
     #[test]
     fn fast_dormancy_saves_energy_but_multiplies_promotions() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let rows: Vec<Vec<String>> = tables[0]
             .to_csv()
             .lines()

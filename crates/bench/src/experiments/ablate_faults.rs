@@ -9,6 +9,7 @@
 //! piggybacking stay ahead of the baseline when attempts can fail — i.e.
 //! is the energy saving robust, or an artifact of a lossless channel?
 
+use crate::ExperimentResult;
 use etrain_sim::{FaultPlan, RetryPolicy, Scenario, SchedulerKind, Table};
 
 use super::{j, paper_base, pct, s};
@@ -31,7 +32,7 @@ fn scheduler_name(kind: &SchedulerKind) -> &'static str {
 }
 
 /// Runs the fault ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let horizon_s = if quick { 2400.0 } else { 7200.0 };
     let losses: &[f64] = if quick {
@@ -82,7 +83,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             }
         }
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "worst_case_retries",
+        0,
+        -1,
+        "retries",
+        "count",
+    )
 }
 
 fn run_one(base: Scenario, kind: SchedulerKind, plan: FaultPlan) -> etrain_sim::RunReport {
@@ -98,7 +105,7 @@ mod tests {
 
     #[test]
     fn faults_cost_energy_and_trigger_retries() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<&str>> = csv
             .lines()

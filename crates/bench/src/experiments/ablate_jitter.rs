@@ -8,13 +8,14 @@
 //! heartbeat really leaves), moderate jitter should barely matter — the
 //! result quantifies that robustness.
 
+use crate::ExperimentResult;
 use etrain_sim::{SchedulerKind, Table};
 use etrain_trace::heartbeats::TrainAppSpec;
 
 use super::{j, paper_base, s};
 
 /// Runs the jitter ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let jitters: &[f64] = if quick {
         &[0.0, 10.0]
@@ -46,7 +47,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             report.heartbeats_sent.to_string(),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "energy_at_max_jitter",
+        0,
+        -1,
+        "energy_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -55,7 +62,7 @@ mod tests {
 
     #[test]
     fn moderate_jitter_changes_little() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let energies: Vec<f64> = tables[0]
             .to_csv()
             .lines()

@@ -4,12 +4,13 @@
 //! `k = ∞`. This ablation quantifies the residual-backlog cost of small
 //! `k` at a fixed Θ.
 
+use crate::ExperimentResult;
 use etrain_sim::{SchedulerKind, Table};
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the k ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let theta = 2.0;
     let ks: &[Option<usize>] = if quick {
@@ -34,7 +35,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(report.deadline_violation_ratio),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "delay_at_k_inf",
+        0,
+        -1,
+        "delay_s",
+        "s",
+    )
 }
 
 #[cfg(test)]
@@ -43,7 +50,7 @@ mod tests {
 
     #[test]
     fn unbounded_k_never_delays_more_than_k1() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let rows: Vec<Vec<String>> = tables[0]
             .to_csv()
             .lines()

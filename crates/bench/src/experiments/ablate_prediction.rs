@@ -8,13 +8,14 @@
 //! so the gap between the two columns isolates how much each algorithm
 //! loses to prediction error. eTrain's loss should be the smallest.
 
+use crate::ExperimentResult;
 use etrain_sim::{BandwidthSource, SchedulerKind, Table};
 use etrain_trace::bandwidth::wuhan_drive_synthetic;
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the prediction ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     // Constant channel with the drive trace's mean: prediction is perfect.
     let mean_bps = wuhan_drive_synthetic(9).mean_bps();
@@ -57,7 +58,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(delta / oracle.extra_energy_j.max(f64::MIN_POSITIVE)),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "etrain_loss_to_prediction",
+        0,
+        0,
+        "loss_to_prediction",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -66,7 +73,7 @@ mod tests {
 
     #[test]
     fn table_covers_all_three_algorithms() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let csv = tables[0].to_csv();
         for name in ["eTrain", "PerES", "eTime"] {
             assert!(csv.contains(name), "{name} missing");

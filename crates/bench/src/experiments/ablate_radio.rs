@@ -5,13 +5,14 @@
 //! re-use, so eTrain's advantage over the baseline should nearly vanish —
 //! confirming the mechanism rather than some artifact.
 
+use crate::ExperimentResult;
 use etrain_radio::RadioParams;
 use etrain_sim::{SchedulerKind, Table};
 
 use super::{j, paper_base, pct};
 
 /// Runs the radio ablation.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let radios = [
         ("3G (Galaxy S4)", RadioParams::galaxy_s4_3g()),
@@ -42,7 +43,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(1.0 - etrain.extra_energy_j / baseline.extra_energy_j),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "wifi_like_saving",
+        0,
+        -1,
+        "saving",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -51,7 +58,7 @@ mod tests {
 
     #[test]
     fn saving_shrinks_with_short_tails() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let savings: Vec<f64> = tables[0]
             .to_csv()
             .lines()

@@ -7,6 +7,7 @@
 //! terms of paper Sec. II-D (1700 mAh @ 3.7 V): what fraction of a charge
 //! eTrain returns to the user per day, on 3G and on an LTE-DRX radio.
 
+use crate::ExperimentResult;
 use etrain_radio::{Battery, RadioParams};
 use etrain_sim::{replicate, Scenario, SchedulerKind, Table};
 use etrain_trace::diurnal::{generate_diurnal, DiurnalProfile, DAY_S};
@@ -15,7 +16,7 @@ use etrain_trace::packets::CargoWorkload;
 use super::pct;
 
 /// Runs the day-scale battery projection.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let horizon = if quick { DAY_S / 4.0 } else { DAY_S };
     let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let battery = Battery::paper_reference();
@@ -71,7 +72,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             etrain.normalized_delay_s.display(),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell("saved_j_3g", 0, 0, "saved_j", "J")
 }
 
 #[cfg(test)]
@@ -80,7 +81,7 @@ mod tests {
 
     #[test]
     fn day_scale_savings_are_positive_on_both_radios() {
-        let tables = run(true);
+        let tables = run(true).tables;
         for row in tables[0].to_csv().lines().skip(1) {
             let cells: Vec<&str> = row.split(',').collect();
             let saved: f64 = cells[3].parse().unwrap();
@@ -90,7 +91,7 @@ mod tests {
 
     #[test]
     fn lte_saves_fewer_joules_than_3g() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let saved: Vec<f64> = tables[0]
             .to_csv()
             .lines()

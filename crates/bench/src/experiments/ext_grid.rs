@@ -8,12 +8,13 @@
 //! monotone in Θ at every λ, so a single conservative Θ is safe — the
 //! knob's effect weakens but never inverts as traffic grows.)
 
-use etrain_sim::{SchedulerKind, Table};
+use crate::ExperimentResult;
+use etrain_sim::{RunGrid, RunSpec, SchedulerKind, Table};
 
 use super::{paper_base, pct};
 
 /// Runs the Θ × λ grid.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let thetas: &[f64] = if quick {
         &[0.5, 2.0, 8.0]
@@ -34,30 +35,46 @@ pub fn run(quick: bool) -> Vec<Table> {
         &header_refs,
     );
 
-    let baselines: Vec<f64> = lambdas
-        .iter()
-        .map(|&lambda| {
+    // One grid: |λ| baseline cells first, then the Θ × λ eTrain cells.
+    // All cells at one λ share a single trace synthesis in the grid's
+    // cache (the scheduler knob is not part of the trace key).
+    let mut grid = RunGrid::new();
+    for &lambda in lambdas {
+        grid.push(RunSpec::new(
+            format!("baseline λ={lambda}"),
             base.clone()
                 .lambda(lambda)
-                .scheduler(SchedulerKind::Baseline)
-                .run()
-                .extra_energy_j
-        })
-        .collect();
-
+                .scheduler(SchedulerKind::Baseline),
+        ));
+    }
     for &theta in thetas {
+        for &lambda in lambdas {
+            grid.push(RunSpec::new(
+                format!("Θ={theta} λ={lambda}"),
+                base.clone()
+                    .lambda(lambda)
+                    .scheduler(SchedulerKind::ETrain { theta, k: None }),
+            ));
+        }
+    }
+    let reports = grid.run();
+    let (baselines, cells) = reports.split_at(lambdas.len());
+
+    for (t, &theta) in thetas.iter().enumerate() {
         let mut row = vec![format!("{theta:.1}")];
-        for (i, &lambda) in lambdas.iter().enumerate() {
-            let report = base
-                .clone()
-                .lambda(lambda)
-                .scheduler(SchedulerKind::ETrain { theta, k: None })
-                .run();
-            row.push(pct(1.0 - report.extra_energy_j / baselines[i]));
+        for (i, baseline) in baselines.iter().enumerate() {
+            let report = &cells[t * lambdas.len() + i];
+            row.push(pct(1.0 - report.extra_energy_j / baseline.extra_energy_j));
         }
         table.push_row_strings(row);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "saving_theta_max_lambda_012",
+        0,
+        -1,
+        "saving@λ=0.12",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -65,7 +82,7 @@ mod tests {
     use super::*;
 
     fn savings_matrix(quick: bool) -> Vec<Vec<f64>> {
-        run(quick)[0]
+        run(quick).tables[0]
             .to_csv()
             .lines()
             .skip(1)

@@ -11,6 +11,7 @@
 //! than fast polling — the quantified justification for the always-on
 //! connection eTrain builds upon.
 
+use crate::ExperimentResult;
 use etrain_apps::freshness::{generate_updates, plan_polling, plan_push_fetch};
 use etrain_sched::{AppProfile, CostProfile};
 use etrain_sim::{BandwidthSource, Scenario, SchedulerKind, Table};
@@ -23,7 +24,7 @@ use super::{j, s};
 const FETCH_BYTES: u64 = 20_000;
 
 /// Runs the push-vs-poll comparison.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let horizon = if quick { 3600.0 } else { 7200.0 };
     let updates = generate_updates(300.0, horizon, 17);
     let heartbeats = synthesize(&TrainAppSpec::paper_trio(), horizon, 17);
@@ -78,7 +79,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         j(energy_of(push.packets) - floor),
         s(push.mean_staleness_s),
     ]);
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "push_fetch_energy_j",
+        0,
+        -1,
+        "fetch_energy_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -86,7 +93,7 @@ mod tests {
     use super::*;
 
     fn rows() -> Vec<Vec<String>> {
-        run(true)[0]
+        run(true).tables[0]
             .to_csv()
             .lines()
             .skip(1)

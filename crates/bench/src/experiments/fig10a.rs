@@ -8,14 +8,15 @@
 //! trains is half the delay with 1 train; with no trains all packets go
 //! out on arrival (zero delay).
 
-use etrain_sim::{Scenario, SchedulerKind, Table};
+use crate::ExperimentResult;
+use etrain_sim::{RunGrid, RunSpec, SchedulerKind, Table};
 use etrain_trace::heartbeats::TrainAppSpec;
 use etrain_trace::packets::CargoWorkload;
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the Fig. 10(a) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let all_trains = TrainAppSpec::paper_trio();
     let etrain = SchedulerKind::ETrain {
@@ -36,24 +37,43 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
 
-    // Reference: cargo under the baseline (transmit on arrival), no trains.
-    let hb_only = |scenario: &Scenario| -> f64 {
-        scenario
-            .clone()
-            .workload(CargoWorkload::new(Vec::new()))
-            .scheduler(SchedulerKind::Baseline)
-            .run()
-            .extra_energy_j
-    };
-
+    // Three grid jobs per train count (heartbeats-only reference, eTrain,
+    // baseline), run concurrently; the n = 0 row has no heartbeat job.
+    let mut grid = RunGrid::new();
     for n in 0..=all_trains.len() {
         let scenario = base.clone().trains(all_trains[..n].to_vec());
-        let hb_energy = if n == 0 { 0.0 } else { hb_only(&scenario) };
-        let report = scenario.clone().scheduler(etrain).run();
+        if n > 0 {
+            grid.push(RunSpec::new(
+                format!("hb-only/trains={n}"),
+                scenario
+                    .clone()
+                    .workload(CargoWorkload::new(Vec::new()))
+                    .scheduler(SchedulerKind::Baseline),
+            ));
+        }
+        grid.push(RunSpec::new(
+            format!("etrain/trains={n}"),
+            scenario.clone().scheduler(etrain),
+        ));
+        grid.push(RunSpec::new(
+            format!("baseline/trains={n}"),
+            scenario.scheduler(SchedulerKind::Baseline),
+        ));
+    }
+    let reports = grid.run();
+    let mut next = reports.iter();
+
+    for n in 0..=all_trains.len() {
+        let hb_energy = if n == 0 {
+            0.0
+        } else {
+            next.next().expect("hb-only report").extra_energy_j
+        };
+        let report = next.next().expect("etrain report");
         let cargo_energy = report.extra_energy_j - hb_energy;
 
         // The same trains + cargo under the baseline, for the saving columns.
-        let baseline = scenario.scheduler(SchedulerKind::Baseline).run();
+        let baseline = next.next().expect("baseline report");
         let baseline_cargo = baseline.extra_energy_j - hb_energy;
 
         table.push_row_strings(vec![
@@ -70,7 +90,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(1.0 - report.extra_energy_j / baseline.extra_energy_j),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "total_saving_3_trains",
+        0,
+        -1,
+        "total_saving",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -78,7 +104,7 @@ mod tests {
     use super::*;
 
     fn rows(quick: bool) -> Vec<Vec<String>> {
-        run(quick)[0]
+        run(quick).tables[0]
             .to_csv()
             .lines()
             .skip(1)

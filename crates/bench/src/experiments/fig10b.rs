@@ -5,13 +5,14 @@
 //! (≈ 30 % reduction) while the average delay grows from 48 s to 62 s
 //! (≈ 30 % increase) — the user picks their point on the tradeoff.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::{lin_space, theta_sweep};
 use etrain_sim::Table;
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the Fig. 10(b) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let thetas = if quick {
         lin_space(0.1, 0.5, 3)
@@ -41,7 +42,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(report.normalized_delay_s / first_delay.max(f64::MIN_POSITIVE) - 1.0),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "energy_change_at_max_theta",
+        0,
+        -1,
+        "energy_change",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -50,7 +57,7 @@ mod tests {
 
     #[test]
     fn theta_reduces_energy_and_raises_delay() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let rows: Vec<Vec<String>> = tables[0]
             .to_csv()
             .lines()

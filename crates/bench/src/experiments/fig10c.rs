@@ -5,13 +5,14 @@
 //! tradeoff similar to Θ's — a larger deadline lets packets wait for more
 //! piggybacking opportunities and saves more energy.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::deadline_sweep;
 use etrain_sim::{SchedulerKind, Table};
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the Fig. 10(c) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick).scheduler(SchedulerKind::ETrain {
         theta: 0.2,
         k: None,
@@ -37,7 +38,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(1.0 - report.extra_energy_j / first_energy),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "saving_at_180s_deadline",
+        0,
+        -1,
+        "vs_10s",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -46,7 +53,7 @@ mod tests {
 
     #[test]
     fn larger_deadline_saves_energy() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let rows: Vec<Vec<String>> = tables[0]
             .to_csv()
             .lines()

@@ -7,6 +7,7 @@
 //! users, 134.5 J (19.4 %) for moderate, 63.2 J (13.3 %) for inactive —
 //! more uploads mean more cargo to piggyback.
 
+use crate::ExperimentResult;
 use etrain_apps::replay::to_packets;
 use etrain_sched::{AppProfile, CostProfile};
 use etrain_sim::{BandwidthSource, Scenario, SchedulerKind, Table};
@@ -16,7 +17,7 @@ use etrain_trace::CargoAppId;
 use super::{j, pct};
 
 /// Runs the Fig. 11 reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let users_per_category = if quick { 3 } else { 10 };
     // The paper states "Θ = k = 20 (maximum number of packets allowed to
     // piggyback); and the deadline for Weibo is 30 seconds" — we take
@@ -73,7 +74,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(1.0 - etrain_total / base_total),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "active_user_saved_j",
+        0,
+        0,
+        "saved_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -82,7 +89,7 @@ mod tests {
 
     #[test]
     fn more_active_users_save_more_joules() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let saved: Vec<f64> = tables[0]
             .to_csv()
             .lines()
@@ -102,7 +109,7 @@ mod tests {
 
     #[test]
     fn etrain_never_costs_more() {
-        let tables = run(true);
+        let tables = run(true).tables;
         for row in tables[0].to_csv().lines().skip(1) {
             let cells: Vec<&str> = row.split(',').collect();
             let without: f64 = cells[3].parse().unwrap();

@@ -5,14 +5,15 @@
 //! phone spends nearly 87 % of its standby energy (≈ 2000 J) on heartbeat
 //! transmissions.
 
-use etrain_sim::{BandwidthSource, Scenario, SchedulerKind, Table};
+use crate::ExperimentResult;
+use etrain_sim::{BandwidthSource, RunGrid, RunSpec, Scenario, SchedulerKind, Table};
 use etrain_trace::heartbeats::TrainAppSpec;
 use etrain_trace::packets::CargoWorkload;
 
 use super::{j, pct};
 
 /// Runs the Fig. 1(a) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let horizon = if quick { 3600 } else { 4 * 3600 };
     let all_trains = TrainAppSpec::paper_trio();
 
@@ -27,15 +28,24 @@ pub fn run(quick: bool) -> Vec<Table> {
             "hb_share",
         ],
     );
-    for n in 0..=all_trains.len() {
-        let report = Scenario::paper_default()
-            .duration_secs(horizon)
-            .trains(all_trains[..n].to_vec())
-            .workload(CargoWorkload::new(Vec::new())) // display off, no cargo
-            .bandwidth(BandwidthSource::Constant(450_000.0))
-            .scheduler(SchedulerKind::Baseline)
-            .seed(1)
-            .run();
+    // One grid job per train-app count, run concurrently.
+    let grid = RunGrid::from_specs(
+        (0..=all_trains.len())
+            .map(|n| {
+                RunSpec::new(
+                    format!("trains={n}"),
+                    Scenario::paper_default()
+                        .duration_secs(horizon)
+                        .trains(all_trains[..n].to_vec())
+                        .workload(CargoWorkload::new(Vec::new())) // display off, no cargo
+                        .bandwidth(BandwidthSource::Constant(450_000.0))
+                        .scheduler(SchedulerKind::Baseline)
+                        .seed(1),
+                )
+            })
+            .collect(),
+    );
+    for (n, report) in grid.run().iter().enumerate() {
         let hb = report.extra_energy_j;
         let idle = report.idle_energy_j;
         table.push_row_strings(vec![
@@ -47,7 +57,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(hb / (hb + idle).max(f64::MIN_POSITIVE)),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "hb_share_3_trains",
+        0,
+        -1,
+        "hb_share",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -56,7 +72,7 @@ mod tests {
 
     #[test]
     fn three_apps_dominate_standby_budget() {
-        let tables = run(true);
+        let tables = run(true).tables;
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].len(), 4); // 0..=3 apps
         let csv = tables[0].to_csv();

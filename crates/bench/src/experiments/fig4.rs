@@ -5,13 +5,14 @@
 //! DCH lingering for δ_D = 10 s after the end; FACH for δ_F = 7.5 s; then
 //! back to IDLE. The tail is `T_tail = 17.5 s`.
 
+use crate::ExperimentResult;
 use etrain_radio::{RadioParams, Timeline, Transmission};
 use etrain_sim::Table;
 
 use super::s;
 
 /// Runs the Fig. 4 reproduction.
-pub fn run(_quick: bool) -> Vec<Table> {
+pub fn run(_quick: bool) -> ExperimentResult {
     let params = RadioParams::galaxy_s4_3g();
     // One WeChat-sized heartbeat at t = 5 s on a 450 kbps uplink.
     let tx = Transmission::new(5.0, 74.0 * 8.0 / 450_000.0);
@@ -57,7 +58,13 @@ pub fn run(_quick: bool) -> Vec<Table> {
             params.full_tail_energy_j()
         ),
     ]);
-    vec![states, trace, constants]
+    ExperimentResult::from_tables(vec![states, trace, constants]).headline_cell(
+        "tail_end_s",
+        0,
+        2,
+        "to_s",
+        "s",
+    )
 }
 
 #[cfg(test)]
@@ -66,7 +73,7 @@ mod tests {
 
     #[test]
     fn state_walk_is_idle_dch_fach_idle() {
-        let tables = run(false);
+        let tables = run(false).tables;
         let states: Vec<String> = tables[0]
             .to_csv()
             .lines()
@@ -78,7 +85,7 @@ mod tests {
 
     #[test]
     fn tail_lengths_match_paper() {
-        let tables = run(false);
+        let tables = run(false).tables;
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<String>> = csv
             .lines()

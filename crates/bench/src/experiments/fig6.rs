@@ -4,12 +4,13 @@
 //! f2 (Weibo): `d/deadline` before the deadline, constant 2 after.
 //! f3 (Cloud): `d/deadline` before, `3·d/deadline − 2` after.
 
+use crate::ExperimentResult;
 use etrain_sched::CostProfile;
 use etrain_sim::Table;
 
 /// Runs the Fig. 6 reproduction: the three profiles over d ∈ [0, 3D] in
 /// units of the deadline.
-pub fn run(_quick: bool) -> Vec<Table> {
+pub fn run(_quick: bool) -> ExperimentResult {
     let deadline = 60.0;
     let f1 = CostProfile::mail(deadline);
     let f2 = CostProfile::weibo(deadline);
@@ -28,7 +29,13 @@ pub fn run(_quick: bool) -> Vec<Table> {
             format!("{:.3}", f3.cost(d)),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "f3_at_3x_deadline",
+        0,
+        -1,
+        "f3_cloud",
+        "cost",
+    )
 }
 
 #[cfg(test)]
@@ -37,7 +44,7 @@ mod tests {
 
     #[test]
     fn profile_values_at_landmarks() {
-        let tables = run(false);
+        let tables = run(false).tables;
         let rows: Vec<Vec<f64>> = tables[0]
             .to_csv()
             .lines()

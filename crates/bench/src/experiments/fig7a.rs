@@ -5,13 +5,14 @@
 //! ≈ 600 J (≈ 40 % reduction) while average delay grows from 18 s to 70 s
 //! — larger delay buys more energy saving.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::{lin_space, theta_sweep};
 use etrain_sim::Table;
 
 use super::{j, paper_base, pct, s};
 
 /// Runs the Fig. 7(a) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let thetas = if quick {
         lin_space(0.0, 3.0, 4)
@@ -37,7 +38,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             pct(1.0 - report.extra_energy_j / baseline_energy),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table])
+        .headline_cell("energy_at_max_theta", 0, -1, "energy_j", "J")
+        .headline_cell("saving_at_max_theta", 0, -1, "vs_theta0", "%")
 }
 
 #[cfg(test)]
@@ -46,7 +49,7 @@ mod tests {
 
     #[test]
     fn theta_trades_delay_for_energy() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let rows: Vec<Vec<String>> = tables[0]
             .to_csv()
             .lines()

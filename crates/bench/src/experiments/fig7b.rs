@@ -5,13 +5,14 @@
 //! more saving at the same delay), with strongly diminishing returns past
 //! k = 8 — which is why the deployed system uses k = ∞.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::{lin_space, theta_sweep};
 use etrain_sim::Table;
 
 use super::{j, paper_base, s};
 
 /// Runs the Fig. 7(b) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let thetas = if quick {
         lin_space(0.5, 3.0, 3)
@@ -43,7 +44,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             s(report.normalized_delay_s),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "energy_kinf_max_theta",
+        0,
+        -1,
+        "energy_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -54,7 +61,7 @@ mod tests {
     /// larger k never costs more energy there.
     #[test]
     fn larger_k_dominates_at_matched_delay() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let mut per_k: std::collections::BTreeMap<String, Vec<(f64, f64)>> = Default::default();
         for row in tables[0].to_csv().lines().skip(1) {
             let cells: Vec<&str> = row.split(',').collect();

@@ -5,13 +5,14 @@
 //! spends the least energy; eTime sits between eTrain and PerES; the
 //! baseline is a single point at zero delay and maximum energy.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::{ed_curve, log_space};
 use etrain_sim::{SchedulerKind, Table};
 
 use super::{j, paper_base, s};
 
 /// Runs the Fig. 8(a) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let n = if quick { 3 } else { 8 };
 
@@ -58,7 +59,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             s(p.delay_s),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "baseline_energy_j",
+        0,
+        0,
+        "energy_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -91,7 +98,7 @@ mod tests {
         // Quick-mode grids are too sparse for the full four-way ordering
         // (see the ignored full-fidelity test below), but eTrain must
         // already dominate PerES and the baseline.
-        let tables = run(true);
+        let tables = run(true).tables;
         let t = &tables[0];
         let probe = 55.0;
         let etrain = near(&curve(t, "eTrain"), probe);
@@ -115,7 +122,7 @@ mod tests {
     #[test]
     #[ignore = "full-fidelity run; execute in release mode"]
     fn full_ordering_at_matched_delay() {
-        let tables = run(false);
+        let tables = run(false).tables;
         let t = &tables[0];
         let probe = 55.0;
         let etrain = near(&curve(t, "eTrain"), probe);

@@ -7,6 +7,7 @@
 //! the baseline's energy flattens near λ = 0.10 (tails start overlapping);
 //! eTrain saves 628–1650 J vs the baseline; eTime outperforms PerES.
 
+use crate::ExperimentResult;
 use etrain_sim::sweep::{log_space, match_delay};
 use etrain_sim::{SchedulerKind, Table};
 
@@ -15,7 +16,7 @@ use super::{j, paper_base, pct, s};
 const TARGET_DELAY_S: f64 = 55.0;
 
 /// Runs the Fig. 8(b) reproduction.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let base = paper_base(quick);
     let lambdas: &[f64] = if quick {
         &[0.04, 0.08, 0.12]
@@ -88,7 +89,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             ]);
         }
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "etrain_saving_at_max_lambda_j",
+        0,
+        -3,
+        "saving_vs_baseline_j",
+        "J",
+    )
 }
 
 #[cfg(test)]
@@ -97,7 +104,7 @@ mod tests {
 
     #[test]
     fn etrain_saves_most_at_every_lambda() {
-        let tables = run(true);
+        let tables = run(true).tables;
         let csv = tables[0].to_csv();
         let mut by_lambda: std::collections::BTreeMap<String, Vec<(String, f64)>> =
             Default::default();

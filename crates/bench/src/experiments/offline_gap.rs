@@ -9,6 +9,7 @@
 //! energy minimum), by the offline greedy heuristic, and by online eTrain
 //! at a high Θ, on the same constant-bandwidth channel.
 
+use crate::ExperimentResult;
 use etrain_sched::{AppProfile, CostProfile, OfflineProblem};
 use etrain_sim::{BandwidthSource, Scenario, SchedulerKind, Table};
 use etrain_trace::heartbeats::{synthesize, TrainAppSpec};
@@ -21,7 +22,7 @@ const BANDWIDTH_BPS: f64 = 450_000.0;
 const HORIZON_S: f64 = 600.0;
 
 /// Runs the offline-gap experiment.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(quick: bool) -> ExperimentResult {
     let instances = if quick { 3 } else { 8 };
     let profiles = vec![AppProfile::new("Weibo", CostProfile::weibo(120.0))];
     let trains = vec![TrainAppSpec::wechat().with_phase(30.0)];
@@ -86,7 +87,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             ),
         ]);
     }
-    vec![table]
+    ExperimentResult::from_tables(vec![table]).headline_cell(
+        "online_gap_first_instance",
+        0,
+        0,
+        "online_gap",
+        "%",
+    )
 }
 
 #[cfg(test)]
@@ -95,7 +102,7 @@ mod tests {
 
     #[test]
     fn online_never_beats_the_offline_optimum() {
-        let tables = run(true);
+        let tables = run(true).tables;
         for row in tables[0].to_csv().lines().skip(1) {
             let cells: Vec<&str> = row.split(',').collect();
             let optimal: f64 = cells[2].parse().unwrap();

@@ -14,175 +14,384 @@
 //! `--quick` shrinks horizons/sweeps for CI-speed smoke runs; the shapes
 //! remain, the absolute numbers lose precision.
 //!
-//! The mapping from experiment id to paper artifact lives in `DESIGN.md`;
-//! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+//! Every experiment returns an [`ExperimentResult`]: the printable tables
+//! plus the headline metrics that `repro_all` collects — concurrently,
+//! across a worker pool — into the machine-readable `BENCH_repro.json`.
+//!
+//! The mapping from experiment name to paper artifact lives in
+//! `DESIGN.md`; measured-vs-paper numbers are recorded in
+//! `EXPERIMENTS.md`.
 
 pub mod experiments;
 
+use std::time::Instant;
+
 use etrain_sim::Table;
+use serde::Serialize;
+
+/// One headline metric of an experiment — the single number (per axis of
+/// interest) a reader checks first, extracted for machine-readable
+/// reproduction logs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Headline {
+    /// What the number is (`hb_share_3_trains`, `toy_saving`, ...).
+    pub metric: String,
+    /// The value, unit-normalized (percent columns are parsed to their
+    /// numeric percentage, `12.3% → 12.3`).
+    pub value: f64,
+    /// The unit the value is in (`J`, `s`, `%`, `count`, ...).
+    pub unit: String,
+}
+
+/// The structured outcome of one experiment run: the printable tables and
+/// the headline metrics distilled from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// The tables, in print order.
+    pub tables: Vec<Table>,
+    /// Headline metrics, in declaration order.
+    pub headlines: Vec<Headline>,
+}
+
+impl ExperimentResult {
+    /// Wraps already-built tables with no headlines (yet).
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        ExperimentResult {
+            tables,
+            headlines: Vec::new(),
+        }
+    }
+
+    /// Adds an explicit headline metric.
+    pub fn headline(
+        mut self,
+        metric: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> Self {
+        self.headlines.push(Headline {
+            metric: metric.into(),
+            value,
+            unit: unit.into(),
+        });
+        self
+    }
+
+    /// Extracts a headline from a cell of an already-built table: data row
+    /// `row` (negative indexes from the end) of the column named `column`
+    /// in table `table`. Trailing `%`/`s` unit suffixes are stripped
+    /// before parsing.
+    ///
+    /// A missing table/row/column skips the headline (experiments may
+    /// legitimately produce fewer rows in quick mode); a cell that is
+    /// present but not numeric panics — that is a wiring bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the addressed cell exists but does not parse as a number.
+    pub fn headline_cell(
+        self,
+        metric: &str,
+        table: usize,
+        row: isize,
+        column: &str,
+        unit: &str,
+    ) -> Self {
+        let Some(cell) = self.tables.get(table).and_then(|t| t.cell(row, column)) else {
+            return self;
+        };
+        let value: f64 = cell
+            .trim()
+            .trim_end_matches(['%', 's'])
+            .parse()
+            .unwrap_or_else(|_| panic!("headline `{metric}`: cell `{cell}` is not numeric"));
+        self.headline(metric, value, unit)
+    }
+}
 
 /// An experiment that reproduces one paper artifact.
+#[derive(Clone, Copy)]
 pub struct Experiment {
-    /// Short id (`fig7a`, `table1`, ...).
-    pub id: &'static str,
+    /// Short name (`fig7a`, `table1`, ...) — also the binary name.
+    pub name: &'static str,
     /// The paper artifact it reproduces.
-    pub artifact: &'static str,
+    pub description: &'static str,
     /// Runs the experiment; `quick` trades fidelity for speed.
-    pub run: fn(quick: bool) -> Vec<Table>,
+    pub run: fn(quick: bool) -> ExperimentResult,
 }
 
 /// All experiments in paper order, followed by the ablations.
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
-            id: "fig1a",
-            artifact: "Fig. 1(a): 4-hour standby energy vs number of IM apps",
+            name: "fig1a",
+            description: "Fig. 1(a): 4-hour standby energy vs number of IM apps",
             run: experiments::fig1a::run,
         },
         Experiment {
-            id: "fig1b",
-            artifact: "Fig. 1(b): heartbeat size and timing of three IM apps",
+            name: "fig1b",
+            description: "Fig. 1(b): heartbeat size and timing of three IM apps",
             run: experiments::fig1b::run,
         },
         Experiment {
-            id: "fig2",
-            artifact: "Fig. 2: piggybacking toy example (five 5 KB e-mails)",
+            name: "fig2",
+            description: "Fig. 2: piggybacking toy example (five 5 KB e-mails)",
             run: experiments::fig2::run,
         },
         Experiment {
-            id: "fig3",
-            artifact: "Fig. 3: heartbeat cycles with data traffic; NetEase doubling",
+            name: "fig3",
+            description: "Fig. 3: heartbeat cycles with data traffic; NetEase doubling",
             run: experiments::fig3::run,
         },
         Experiment {
-            id: "table1",
-            artifact: "Table 1: detected heartbeat cycles per app and device",
+            name: "table1",
+            description: "Table 1: detected heartbeat cycles per app and device",
             run: experiments::table1::run,
         },
         Experiment {
-            id: "fig4",
-            artifact: "Fig. 4: instantaneous power across RRC states for one heartbeat",
+            name: "fig4",
+            description: "Fig. 4: instantaneous power across RRC states for one heartbeat",
             run: experiments::fig4::run,
         },
         Experiment {
-            id: "fig6",
-            artifact: "Fig. 6: delay-cost profile functions f1, f2, f3",
+            name: "fig6",
+            description: "Fig. 6: delay-cost profile functions f1, f2, f3",
             run: experiments::fig6::run,
         },
         Experiment {
-            id: "fig7a",
-            artifact: "Fig. 7(a): impact of the cost bound Θ",
+            name: "fig7a",
+            description: "Fig. 7(a): impact of the cost bound Θ",
             run: experiments::fig7a::run,
         },
         Experiment {
-            id: "fig7b",
-            artifact: "Fig. 7(b): E-D panel for k = 2..16",
+            name: "fig7b",
+            description: "Fig. 7(b): E-D panel for k = 2..16",
             run: experiments::fig7b::run,
         },
         Experiment {
-            id: "fig8a",
-            artifact: "Fig. 8(a): E-D panel, eTrain vs PerES vs eTime vs baseline",
+            name: "fig8a",
+            description: "Fig. 8(a): E-D panel, eTrain vs PerES vs eTime vs baseline",
             run: experiments::fig8a::run,
         },
         Experiment {
-            id: "fig8b",
-            artifact: "Fig. 8(b): energy vs arrival rate λ at matched delay",
+            name: "fig8b",
+            description: "Fig. 8(b): energy vs arrival rate λ at matched delay",
             run: experiments::fig8b::run,
         },
         Experiment {
-            id: "fig10a",
-            artifact: "Fig. 10(a): controlled experiment, impact of train apps",
+            name: "fig10a",
+            description: "Fig. 10(a): controlled experiment, impact of train apps",
             run: experiments::fig10a::run,
         },
         Experiment {
-            id: "fig10b",
-            artifact: "Fig. 10(b): controlled experiment, impact of Θ",
+            name: "fig10b",
+            description: "Fig. 10(b): controlled experiment, impact of Θ",
             run: experiments::fig10b::run,
         },
         Experiment {
-            id: "fig10c",
-            artifact: "Fig. 10(c): controlled experiment, impact of the deadline",
+            name: "fig10c",
+            description: "Fig. 10(c): controlled experiment, impact of the deadline",
             run: experiments::fig10c::run,
         },
         Experiment {
-            id: "fig11",
-            artifact: "Fig. 11: energy saving by user activeness",
+            name: "fig11",
+            description: "Fig. 11: energy saving by user activeness",
             run: experiments::fig11::run,
         },
         Experiment {
-            id: "ablate_k",
-            artifact: "Ablation: finite k vs the paper's deployed k = infinity",
+            name: "ablate_k",
+            description: "Ablation: finite k vs the paper's deployed k = infinity",
             run: experiments::ablate_k::run,
         },
         Experiment {
-            id: "ablate_jitter",
-            artifact: "Ablation: heartbeat jitter sensitivity",
+            name: "ablate_jitter",
+            description: "Ablation: heartbeat jitter sensitivity",
             run: experiments::ablate_jitter::run,
         },
         Experiment {
-            id: "ablate_prediction",
-            artifact: "Ablation: oracle bandwidth for PerES/eTime",
+            name: "ablate_prediction",
+            description: "Ablation: oracle bandwidth for PerES/eTime",
             run: experiments::ablate_prediction::run,
         },
         Experiment {
-            id: "ablate_radio",
-            artifact: "Ablation: 3G long tails vs WiFi-like short tails",
+            name: "ablate_radio",
+            description: "Ablation: 3G long tails vs WiFi-like short tails",
             run: experiments::ablate_radio::run,
         },
         Experiment {
-            id: "ablate_dormancy",
-            artifact: "Ablation: eTrain vs fast dormancy (promotion cost)",
+            name: "ablate_dormancy",
+            description: "Ablation: eTrain vs fast dormancy (promotion cost)",
             run: experiments::ablate_dormancy::run,
         },
         Experiment {
-            id: "ablate_faults",
-            artifact: "Ablation: lossy channel and outages (retries, wasted joules, abandonment)",
+            name: "ablate_faults",
+            description:
+                "Ablation: lossy channel and outages (retries, wasted joules, abandonment)",
             run: experiments::ablate_faults::run,
         },
         Experiment {
-            id: "offline_gap",
-            artifact: "Extension: online eTrain vs the Sec. III offline optimum",
+            name: "offline_gap",
+            description: "Extension: online eTrain vs the Sec. III offline optimum",
             run: experiments::offline_gap::run,
         },
         Experiment {
-            id: "capture_study",
-            artifact: "Extension: Sec. II-B capture analysis (Wireshark methodology)",
+            name: "capture_study",
+            description: "Extension: Sec. II-B capture analysis (Wireshark methodology)",
             run: experiments::capture_study::run,
         },
         Experiment {
-            id: "ext_day",
-            artifact: "Extension: 24-hour diurnal battery projection (3G vs LTE DRX)",
+            name: "ext_day",
+            description: "Extension: 24-hour diurnal battery projection (3G vs LTE DRX)",
             run: experiments::ext_day::run,
         },
         Experiment {
-            id: "ext_grid",
-            artifact: "Extension: energy-saving surface over the Theta x lambda grid",
+            name: "ext_grid",
+            description: "Extension: energy-saving surface over the Theta x lambda grid",
             run: experiments::ext_grid::run,
         },
         Experiment {
-            id: "ext_push_poll",
-            artifact: "Extension: push-fetch over heartbeats vs polling",
+            name: "ext_push_poll",
+            description: "Extension: push-fetch over heartbeats vs polling",
             run: experiments::ext_push_poll::run,
         },
     ]
 }
 
-/// Looks up an experiment by id.
-pub fn find(id: &str) -> Option<Experiment> {
-    registry().into_iter().find(|e| e.id == id)
+/// Looks up an experiment by name.
+pub fn find(name: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
+/// Everything `repro_all` records about one finished experiment — the
+/// machine-readable row of `BENCH_repro.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReproRecord {
+    /// The experiment name.
+    pub name: String,
+    /// The paper artifact it reproduces.
+    pub description: String,
+    /// Whether the run was in quick (reduced-fidelity) mode.
+    pub quick: bool,
+    /// Wall-clock seconds the experiment took on its worker.
+    pub wall_s: f64,
+    /// Number of tables produced.
+    pub tables: usize,
+    /// The experiment's headline metrics.
+    pub headlines: Vec<Headline>,
+}
+
+/// One finished experiment: the record for the JSON report plus the full
+/// result for printing.
+#[derive(Debug, Clone)]
+pub struct ReproRun {
+    /// The machine-readable summary.
+    pub record: ReproRecord,
+    /// The tables and headlines.
+    pub result: ExperimentResult,
+}
+
+/// The number of workers `repro_all` uses by default: the `ETRAIN_JOBS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var(etrain_sim::JOBS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `experiments` across `jobs` workers and returns the finished runs
+/// **in input order**, regardless of which worker finished first — the
+/// same deterministic reassembly the simulator's `RunGrid` uses.
+/// Experiment `run` functions are deterministic, so the output is
+/// bit-for-bit identical to a serial loop.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the experiment itself panicked).
+pub fn run_experiments(experiments: &[Experiment], quick: bool, jobs: usize) -> Vec<ReproRun> {
+    let jobs = jobs.clamp(1, experiments.len().max(1));
+    let mut slots: Vec<Option<ReproRun>> = (0..experiments.len()).map(|_| None).collect();
+    if jobs <= 1 {
+        for (slot, experiment) in slots.iter_mut().zip(experiments) {
+            *slot = Some(run_timed(experiment, quick));
+        }
+    } else {
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, &Experiment)>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, ReproRun)>();
+        for pair in experiments.iter().enumerate() {
+            job_tx.send(pair).expect("receiver alive");
+        }
+        drop(job_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((index, experiment)) = job_rx.recv() {
+                        let run = run_timed(experiment, quick);
+                        if result_tx.send((index, run)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+        });
+        for (index, run) in result_rx.try_iter() {
+            slots[index] = Some(run);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every experiment ran"))
+        .collect()
+}
+
+fn run_timed(experiment: &Experiment, quick: bool) -> ReproRun {
+    let started = Instant::now();
+    let result = (experiment.run)(quick);
+    ReproRun {
+        record: ReproRecord {
+            name: experiment.name.to_owned(),
+            description: experiment.description.to_owned(),
+            quick,
+            wall_s: started.elapsed().as_secs_f64(),
+            tables: result.tables.len(),
+            headlines: result.headlines.clone(),
+        },
+        result,
+    }
+}
+
+/// Serializes the records of finished runs as the pretty-printed JSON body
+/// of `BENCH_repro.json`.
+///
+/// # Panics
+///
+/// Panics if serialization fails (the record types are plain data, so it
+/// cannot).
+pub fn repro_report_json(runs: &[ReproRun]) -> String {
+    let records: Vec<&ReproRecord> = runs.iter().map(|r| &r.record).collect();
+    serde_json::to_string_pretty(&records).expect("plain-data records serialize")
 }
 
 /// Binary entry point shared by all `src/bin/*.rs` wrappers: runs the
-/// experiment and prints its tables. CLI flags: `--quick` shrinks the run;
-/// `--csv DIR` additionally writes each table as
+/// experiment and prints its tables and headlines. CLI flags: `--quick`
+/// shrinks the run; `--csv DIR` additionally writes each table as
 /// `DIR/<experiment>_<index>.csv` for plotting.
 ///
 /// # Panics
 ///
-/// Panics if `id` is not in the registry (binaries are generated from it),
-/// or if `--csv` is given without a directory or the directory cannot be
-/// written.
-pub fn run_binary(id: &str) {
+/// Panics if `name` is not in the registry (binaries are generated from
+/// it), or if `--csv` is given without a directory or the directory cannot
+/// be written.
+pub fn run_binary(name: &str) {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv_dir = args
@@ -190,21 +399,124 @@ pub fn run_binary(id: &str) {
         .position(|a| a == "--csv")
         .map(|i| args.get(i + 1).expect("--csv needs a directory").clone());
 
-    let experiment = find(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"));
-    println!("# {} — {}", experiment.id, experiment.artifact);
+    let experiment = find(name).unwrap_or_else(|| panic!("unknown experiment `{name}`"));
+    println!("# {} — {}", experiment.name, experiment.description);
     if quick {
         println!("# (quick mode: reduced horizons/sweeps)");
     }
-    let tables = (experiment.run)(quick);
-    for table in &tables {
+    let result = (experiment.run)(quick);
+    for table in &result.tables {
         println!("{table}");
+    }
+    for headline in &result.headlines {
+        println!(
+            "# headline {} = {} {}",
+            headline.metric, headline.value, headline.unit
+        );
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("creating the --csv directory");
-        for (index, table) in tables.iter().enumerate() {
-            let path = format!("{dir}/{id}_{index}.csv");
+        for (index, table) in result.tables.iter().enumerate() {
+            let path = format!("{dir}/{name}_{index}.csv");
             std::fs::write(&path, table.to_csv()).expect("writing the CSV file");
             println!("# wrote {path}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_table() -> Table {
+        let mut t = Table::new("toy", &["knob", "energy_j", "saving"]);
+        t.push_row(&["0.5", "812.5", "10.0%"]);
+        t.push_row(&["2.0", "640.0", "21.2%"]);
+        t
+    }
+
+    #[test]
+    fn headline_cell_parses_units_and_signed_rows() {
+        let result = ExperimentResult::from_tables(vec![toy_table()])
+            .headline_cell("last_energy", 0, -1, "energy_j", "J")
+            .headline_cell("first_saving", 0, 0, "saving", "%");
+        assert_eq!(
+            result.headlines,
+            vec![
+                Headline {
+                    metric: "last_energy".into(),
+                    value: 640.0,
+                    unit: "J".into()
+                },
+                Headline {
+                    metric: "first_saving".into(),
+                    value: 10.0,
+                    unit: "%".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn headline_cell_skips_missing_cells() {
+        let result = ExperimentResult::from_tables(vec![toy_table()])
+            .headline_cell("gone", 0, 5, "energy_j", "J")
+            .headline_cell("no_table", 3, 0, "energy_j", "J")
+            .headline_cell("no_column", 0, 0, "missing", "J");
+        assert!(result.headlines.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not numeric")]
+    fn headline_cell_rejects_non_numeric_cells() {
+        let mut t = Table::new("t", &["name"]);
+        t.push_row(&["Baseline"]);
+        let _ = ExperimentResult::from_tables(vec![t]).headline_cell("x", 0, 0, "name", "");
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let registry = registry();
+        let mut names: Vec<&str> = registry.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry.len(), "duplicate experiment names");
+        assert!(find("fig7a").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn concurrent_runs_preserve_registry_order_and_match_serial() {
+        // Three cheap, pure-model experiments exercise the pool without
+        // simulating hours of radio time.
+        let cheap: Vec<Experiment> = ["fig2", "fig4", "fig6"]
+            .iter()
+            .map(|name| find(name).expect("registered"))
+            .collect();
+        let serial = run_experiments(&cheap, true, 1);
+        let parallel = run_experiments(&cheap, true, 3);
+        let names: Vec<&str> = parallel.iter().map(|r| r.record.name.as_str()).collect();
+        assert_eq!(names, vec!["fig2", "fig4", "fig6"]);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.result, b.result, "{} diverged", a.record.name);
+            assert!(b.record.wall_s >= 0.0);
+            assert!(b.record.quick);
+            assert_eq!(b.record.tables, b.result.tables.len());
+        }
+    }
+
+    #[test]
+    fn json_report_carries_names_and_headlines() {
+        let cheap = [find("fig6").expect("registered")];
+        let runs = run_experiments(&cheap, true, 1);
+        let json = repro_report_json(&runs);
+        assert!(json.contains("\"fig6\""));
+        assert!(json.contains("wall_s"));
+        assert!(json.contains("f3_at_3x_deadline"));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::metrics::RunReport;
 use crate::report::Table;
+use crate::runner::RunGrid;
 use crate::scenario::{Scenario, SchedulerKind};
 
 /// The outcome of comparing several schedulers on the same inputs.
@@ -14,13 +15,12 @@ pub struct Comparison {
 
 impl Comparison {
     /// Runs every contender on `base` (same workload, heartbeats, channel
-    /// and horizon — only the scheduler differs).
+    /// and horizon — only the scheduler differs). Contenders run
+    /// concurrently on the deterministic [`RunGrid`], sharing one trace
+    /// synthesis; reports stay in input order.
     pub fn run(base: &Scenario, contenders: &[SchedulerKind]) -> Comparison {
         Comparison {
-            reports: contenders
-                .iter()
-                .map(|&kind| base.clone().scheduler(kind).run())
-                .collect(),
+            reports: RunGrid::over_schedulers(base, contenders).run(),
         }
     }
 

@@ -49,6 +49,7 @@ mod engine;
 mod metrics;
 mod replicate;
 mod report;
+pub mod runner;
 mod scenario;
 pub mod sweep;
 
@@ -59,7 +60,8 @@ pub use engine::{
 pub use metrics::{AppReport, RunReport};
 pub use replicate::{replicate, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
-pub use scenario::{BandwidthSource, Scenario, ScenarioError, SchedulerKind};
+pub use runner::{RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV};
+pub use scenario::{BandwidthSource, Scenario, ScenarioError, SchedulerKind, TraceBundle};
 
 // Re-exported so fault-injection experiments can be described with this
 // crate alone.

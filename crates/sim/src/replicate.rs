@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::RunReport;
+use crate::runner::RunGrid;
 use crate::scenario::Scenario;
 
 /// Mean and sample standard deviation of one metric across replications.
@@ -16,7 +17,18 @@ pub struct Stat {
 }
 
 impl Stat {
-    fn from_samples(samples: &[f64]) -> Stat {
+    /// Mean and sample standard deviation of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice — a mean of zero samples is not a number,
+    /// and silently returning NaN here has historically poisoned every
+    /// downstream aggregate.
+    pub fn from_samples(samples: &[f64]) -> Stat {
+        assert!(
+            !samples.is_empty(),
+            "Stat::from_samples requires at least one sample"
+        );
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = if samples.len() > 1 {
@@ -53,7 +65,9 @@ pub struct ReplicatedReport {
     pub runs: Vec<RunReport>,
 }
 
-/// Runs `scenario` once per seed and aggregates the paper's three metrics.
+/// Runs `scenario` once per seed — concurrently, through the
+/// deterministic [`RunGrid`] — and aggregates the paper's three metrics.
+/// `runs` is in seed order regardless of worker count.
 ///
 /// # Panics
 ///
@@ -73,10 +87,7 @@ pub struct ReplicatedReport {
 /// ```
 pub fn replicate(scenario: &Scenario, seeds: &[u64]) -> ReplicatedReport {
     assert!(!seeds.is_empty(), "at least one seed is required");
-    let runs: Vec<RunReport> = seeds
-        .iter()
-        .map(|&seed| scenario.clone().seed(seed).run())
-        .collect();
+    let runs: Vec<RunReport> = RunGrid::over_seeds(scenario, seeds).run();
     let pick = |f: fn(&RunReport) -> f64| -> Stat {
         Stat::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
     };
@@ -156,5 +167,24 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_list_rejected() {
         let _ = replicate(&Scenario::paper_default(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_slice_rejected() {
+        let _ = Stat::from_samples(&[]);
+    }
+
+    #[test]
+    fn replication_is_identical_serial_and_parallel() {
+        let base = Scenario::paper_default()
+            .duration_secs(600)
+            .scheduler(SchedulerKind::Baseline);
+        let parallel = replicate(&base, &[1, 2, 3]);
+        let serial: Vec<RunReport> = [1u64, 2, 3]
+            .iter()
+            .map(|&seed| base.clone().seed(seed).run())
+            .collect();
+        assert_eq!(parallel.runs, serial);
     }
 }

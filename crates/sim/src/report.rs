@@ -57,6 +57,31 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers, in display order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The cell at data row `row` in the column named `column`.
+    ///
+    /// Negative `row` values index from the end (`-1` is the last row).
+    /// Returns `None` if the row is out of range or no column has that
+    /// header.
+    pub fn cell(&self, row: isize, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        let index = if row < 0 {
+            self.rows.len().checked_sub(row.unsigned_abs())?
+        } else {
+            usize::try_from(row).ok()?
+        };
+        self.rows.get(index)?.get(col).map(String::as_str)
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -132,6 +157,19 @@ mod tests {
         let mut t = Table::new("T", &["x", "y"]);
         t.push_row_strings(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn cell_lookup_by_header_and_signed_row() {
+        let mut t = Table::new("T", &["theta", "energy_j"]);
+        t.push_row(&["0.5", "812.5"]);
+        t.push_row(&["2.0", "640.0"]);
+        assert_eq!(t.cell(0, "theta"), Some("0.5"));
+        assert_eq!(t.cell(-1, "energy_j"), Some("640.0"));
+        assert_eq!(t.cell(-2, "energy_j"), Some("812.5"));
+        assert_eq!(t.cell(2, "theta"), None);
+        assert_eq!(t.cell(-3, "theta"), None);
+        assert_eq!(t.cell(0, "missing"), None);
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Deterministic parallel execution of scenario grids.
+//!
+//! Every experiment layer above the simulator — Θ sweeps, E-D curves,
+//! seed replication, scheduler comparisons, the bench harness — is a grid
+//! of independent [`Scenario`] runs. [`RunGrid`] executes such a grid on a
+//! crossbeam-channel worker pool and guarantees the result is **bit-for-bit
+//! identical** to serial execution:
+//!
+//! - each job is an independent, deterministic function of its
+//!   [`RunSpec`] (the engine holds no global state, and per-run RNG
+//!   streams are derived from the scenario seed);
+//! - jobs complete out of order, but results are re-assembled in
+//!   job-index order before they are returned;
+//! - trace synthesis is shared through a [`TraceCache`] keyed by
+//!   [`Scenario::trace_key`], which never changes what is generated —
+//!   only how often.
+//!
+//! The pool is sized from `std::thread::available_parallelism`, can be
+//! overridden by the `ETRAIN_JOBS` environment variable or the
+//! [`RunGrid::jobs`] builder, and `jobs = 1` degenerates to fully in-line
+//! serial execution (no threads spawned at all).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crossbeam::channel;
+
+use crate::metrics::RunReport;
+use crate::scenario::{Scenario, ScenarioError, SchedulerKind, TraceBundle};
+
+/// The environment variable that overrides the worker-pool size.
+pub const JOBS_ENV: &str = "ETRAIN_JOBS";
+
+/// One job of a grid: a scenario plus the labelling that ties its report
+/// back to the experiment axis that produced it.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Human-readable job label (`"Θ=0.2"`, `"seed=7"`, a scheduler
+    /// display name, ...). Used in error messages and result tables.
+    pub label: String,
+    /// The swept knob value, when the grid has a numeric axis.
+    pub knob: Option<f64>,
+    /// The full scenario to run.
+    pub scenario: Scenario,
+}
+
+impl RunSpec {
+    /// A job with a label and no numeric knob.
+    pub fn new(label: impl Into<String>, scenario: Scenario) -> Self {
+        RunSpec {
+            label: label.into(),
+            knob: None,
+            scenario,
+        }
+    }
+
+    /// A job on a numeric axis (Θ, λ, deadline, seed, ...).
+    pub fn with_knob(label: impl Into<String>, knob: f64, scenario: Scenario) -> Self {
+        RunSpec {
+            label: label.into(),
+            knob: Some(knob),
+            scenario,
+        }
+    }
+}
+
+/// A grid job that failed [`Scenario::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// Index of the failing job in the grid.
+    pub index: usize,
+    /// The failing job's label.
+    pub label: String,
+    /// Why the scenario cannot run.
+    pub error: ScenarioError,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid job #{} ({}): {}",
+            self.index, self.label, self.error
+        )
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A concurrent trace-artifact cache: [`TraceBundle`]s keyed by
+/// [`Scenario::trace_key`].
+///
+/// Generation happens outside the lock, so two workers may briefly
+/// synthesize the same key concurrently; the first insert wins and —
+/// because generation is deterministic — both candidates are
+/// bit-identical, so the race never affects results.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<u64, TraceBundle>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// Returns the bundle for `scenario`'s trace key, generating and
+    /// memoizing it on first use.
+    pub fn get_or_generate(&self, scenario: &Scenario) -> TraceBundle {
+        let key = scenario.trace_key();
+        if let Some(bundle) = self.lock().get(&key) {
+            return bundle.clone();
+        }
+        let fresh = scenario.generate_traces();
+        self.lock().entry(key).or_insert(fresh).clone()
+    }
+
+    /// Number of distinct trace keys generated so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TraceBundle>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A batch of scenario jobs executed with deterministic output order.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_sim::{RunGrid, RunSpec, Scenario, SchedulerKind};
+///
+/// let base = Scenario::paper_default().duration_secs(600).seed(1);
+/// let grid = RunGrid::from_specs(
+///     [0.0_f64, 1.0, 2.0]
+///         .iter()
+///         .map(|&theta| {
+///             RunSpec::with_knob(
+///                 format!("Θ={theta}"),
+///                 theta,
+///                 base.clone()
+///                     .scheduler(SchedulerKind::ETrain { theta, k: None }),
+///             )
+///         })
+///         .collect(),
+/// );
+/// let reports = grid.run();
+/// assert_eq!(reports.len(), 3);
+/// // Results are in job order no matter how many workers ran them.
+/// assert_eq!(reports, grid.jobs(1).run());
+/// ```
+#[derive(Debug)]
+pub struct RunGrid {
+    specs: Vec<RunSpec>,
+    jobs: Option<usize>,
+}
+
+impl RunGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        RunGrid {
+            specs: Vec::new(),
+            jobs: None,
+        }
+    }
+
+    /// A grid over the given jobs.
+    pub fn from_specs(specs: Vec<RunSpec>) -> Self {
+        RunGrid { specs, jobs: None }
+    }
+
+    /// One job per scheduler kind on a shared base scenario (the
+    /// comparison shape).
+    pub fn over_schedulers(base: &Scenario, kinds: &[SchedulerKind]) -> Self {
+        RunGrid::from_specs(
+            kinds
+                .iter()
+                .map(|&kind| RunSpec::new(kind.to_string(), base.clone().scheduler(kind)))
+                .collect(),
+        )
+    }
+
+    /// One job per seed on a shared base scenario (the replication shape).
+    pub fn over_seeds(base: &Scenario, seeds: &[u64]) -> Self {
+        RunGrid::from_specs(
+            seeds
+                .iter()
+                .map(|&seed| {
+                    RunSpec::with_knob(format!("seed={seed}"), seed as f64, base.clone().seed(seed))
+                })
+                .collect(),
+        )
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, spec: RunSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Builder: appends a job.
+    pub fn spec(mut self, spec: RunSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Builder: overrides the worker count (`1` forces in-line serial
+    /// execution). Takes precedence over `ETRAIN_JOBS` and the detected
+    /// parallelism; `0` is treated as `1`.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Number of jobs in the grid.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the grid has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The job specs, in job order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// The worker count this grid will use: the builder override if set,
+    /// else `ETRAIN_JOBS` if parseable, else the machine's available
+    /// parallelism — never more workers than jobs.
+    pub fn effective_jobs(&self) -> usize {
+        let configured = self
+            .jobs
+            .or_else(|| jobs_from_env(std::env::var(JOBS_ENV).ok().as_deref()))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        configured.clamp(1, self.specs.len().max(1))
+    }
+
+    /// Runs every job and returns the reports in job-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's scenario fails validation (see
+    /// [`RunGrid::try_run`] for the fallible form).
+    pub fn run(&self) -> Vec<RunReport> {
+        self.try_run().expect("invalid grid job")
+    }
+
+    /// Fallible [`RunGrid::run`]: returns the lowest-index failure, if
+    /// any — regardless of worker count or completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) scenario-validation failure.
+    pub fn try_run(&self) -> Result<Vec<RunReport>, RunError> {
+        self.try_run_with_cache(&TraceCache::new())
+    }
+
+    /// [`RunGrid::try_run`] against a caller-owned trace cache, so
+    /// several grids over the same workloads (e.g. the per-figure
+    /// experiments of one bench invocation) share synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) scenario-validation failure.
+    pub fn try_run_with_cache(&self, cache: &TraceCache) -> Result<Vec<RunReport>, RunError> {
+        let workers = self.effective_jobs();
+        let outcomes = if workers <= 1 || self.specs.len() <= 1 {
+            self.run_serial(cache)
+        } else {
+            self.run_pool(cache, workers)
+        };
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(report) => reports.push(report),
+                Err(error) => {
+                    return Err(RunError {
+                        index,
+                        label: self.specs[index].label.clone(),
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// In-line execution on the calling thread (the `jobs = 1` path).
+    fn run_serial(&self, cache: &TraceCache) -> Vec<Result<RunReport, ScenarioError>> {
+        self.specs.iter().map(|spec| run_one(spec, cache)).collect()
+    }
+
+    /// Worker-pool execution: jobs are drawn from a shared channel and
+    /// finish out of order; the indexed result channel restores job order.
+    fn run_pool(
+        &self,
+        cache: &TraceCache,
+        workers: usize,
+    ) -> Vec<Result<RunReport, ScenarioError>> {
+        let (job_tx, job_rx) = channel::unbounded::<(usize, &RunSpec)>();
+        let (result_tx, result_rx) =
+            channel::unbounded::<(usize, Result<RunReport, ScenarioError>)>();
+        for job in self.specs.iter().enumerate() {
+            job_tx.send(job).expect("job receiver alive");
+        }
+        drop(job_tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((index, spec)) = job_rx.recv() {
+                        if result_tx.send((index, run_one(spec, cache))).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+
+        let mut slots: Vec<Option<Result<RunReport, ScenarioError>>> =
+            (0..self.specs.len()).map(|_| None).collect();
+        for (index, outcome) in result_rx.try_iter() {
+            slots[index] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job reports exactly once"))
+            .collect()
+    }
+}
+
+impl Default for RunGrid {
+    fn default() -> Self {
+        RunGrid::new()
+    }
+}
+
+fn run_one(spec: &RunSpec, cache: &TraceCache) -> Result<RunReport, ScenarioError> {
+    spec.scenario.validate()?;
+    let traces = cache.get_or_generate(&spec.scenario);
+    spec.scenario
+        .try_run_with_output_on(&traces)
+        .map(|(report, _)| report)
+}
+
+/// Parses an `ETRAIN_JOBS` value; `None`/unparseable/zero mean "not set".
+fn jobs_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&jobs| jobs >= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::BandwidthSource;
+
+    fn theta_grid(jobs: usize) -> RunGrid {
+        let base = Scenario::paper_default().duration_secs(600).seed(3);
+        RunGrid::from_specs(
+            [0.0_f64, 0.5, 1.0, 2.0]
+                .iter()
+                .map(|&theta| {
+                    RunSpec::with_knob(
+                        format!("Θ={theta}"),
+                        theta,
+                        base.clone()
+                            .scheduler(SchedulerKind::ETrain { theta, k: None }),
+                    )
+                })
+                .collect(),
+        )
+        .jobs(jobs)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = theta_grid(1).run();
+        let parallel = theta_grid(4).run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_are_in_job_index_order() {
+        let grid = theta_grid(3);
+        let reports = grid.run();
+        for (spec, report) in grid.specs().iter().zip(&reports) {
+            assert_eq!(report.scheduler, "eTrain", "{}", spec.label);
+        }
+        // Direct per-spec runs agree position by position.
+        for (spec, report) in grid.specs().iter().zip(&reports) {
+            assert_eq!(&spec.scenario.run(), report);
+        }
+    }
+
+    #[test]
+    fn grid_over_one_seed_generates_traces_once() {
+        let cache = TraceCache::new();
+        let grid = theta_grid(2);
+        grid.try_run_with_cache(&cache).unwrap();
+        assert_eq!(cache.len(), 1, "same workload+seed must share one bundle");
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_bundles() {
+        let cache = TraceCache::new();
+        let base = Scenario::paper_default().duration_secs(600);
+        RunGrid::over_seeds(&base, &[1, 2, 3])
+            .jobs(2)
+            .try_run_with_cache(&cache)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn over_schedulers_labels_with_display() {
+        let base = Scenario::paper_default().duration_secs(600).seed(2);
+        let grid = RunGrid::over_schedulers(
+            &base,
+            &[
+                SchedulerKind::Baseline,
+                SchedulerKind::ETime { v_bytes: 20_000.0 },
+            ],
+        );
+        assert_eq!(grid.specs()[0].label, "Baseline");
+        assert_eq!(grid.specs()[1].label, "eTime(V=20000 B)");
+        let reports = grid.run();
+        assert_eq!(reports[0].scheduler, "Baseline");
+        assert_eq!(reports[1].scheduler, "eTime");
+    }
+
+    #[test]
+    fn invalid_job_reports_lowest_index_regardless_of_jobs() {
+        for jobs in [1, 4] {
+            let base = Scenario::paper_default().duration_secs(600).seed(1);
+            let grid = RunGrid::new()
+                .spec(RunSpec::new("ok", base.clone()))
+                .spec(RunSpec::new(
+                    "bad-bandwidth",
+                    base.clone().bandwidth(BandwidthSource::Constant(0.0)),
+                ))
+                .spec(RunSpec::new("bad-duration", base.clone().duration_secs(0)))
+                .jobs(jobs);
+            let err = grid.try_run().unwrap_err();
+            assert_eq!(err.index, 1, "jobs={jobs}");
+            assert_eq!(err.label, "bad-bandwidth");
+            assert!(err.to_string().contains("grid job #1"));
+        }
+    }
+
+    #[test]
+    fn empty_grid_runs_to_empty() {
+        assert!(RunGrid::new().run().is_empty());
+        assert_eq!(RunGrid::new().effective_jobs(), 1);
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        assert_eq!(jobs_from_env(None), None);
+        assert_eq!(jobs_from_env(Some("")), None);
+        assert_eq!(jobs_from_env(Some("zero")), None);
+        assert_eq!(jobs_from_env(Some("0")), None);
+        assert_eq!(jobs_from_env(Some("4")), Some(4));
+        assert_eq!(jobs_from_env(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn builder_jobs_override_wins_and_is_clamped() {
+        let grid = theta_grid(64);
+        // Never more workers than jobs.
+        assert_eq!(grid.effective_jobs(), 4);
+        let serial = theta_grid(0);
+        assert_eq!(serial.effective_jobs(), 1);
+    }
+}

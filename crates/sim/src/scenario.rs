@@ -1,5 +1,8 @@
 //! Scenario builder: a declarative description of one experiment run.
 
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
 use etrain_radio::RadioParams;
 use etrain_sched::{
     AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig, ETrainScheduler,
@@ -9,6 +12,7 @@ use etrain_trace::bandwidth::{wuhan_drive_synthetic, BandwidthTrace};
 use etrain_trace::faults::FaultPlan;
 use etrain_trace::heartbeats::{synthesize, Heartbeat, TrainAppSpec};
 use etrain_trace::packets::{CargoWorkload, Packet};
+use serde::Serialize;
 
 use crate::engine::run_engine_with_faults;
 use crate::metrics::RunReport;
@@ -75,7 +79,11 @@ impl std::fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {}
 
 /// Which scheduling algorithm a scenario runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializes with its knob values (externally tagged), and displays as a
+/// self-describing label (`eTrain(Θ=0.2, k=∞)`), so run specs and reports
+/// carry the full algorithm configuration, not just a name.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum SchedulerKind {
     /// Transmit on arrival (the paper's default baseline).
     Baseline,
@@ -139,6 +147,20 @@ impl SchedulerKind {
     }
 }
 
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Baseline => write!(f, "Baseline"),
+            SchedulerKind::ETrain { theta, k } => match k {
+                Some(k) => write!(f, "eTrain(Θ={theta}, k={k})"),
+                None => write!(f, "eTrain(Θ={theta}, k=∞)"),
+            },
+            SchedulerKind::PerEs { omega } => write!(f, "PerES(Ω={omega})"),
+            SchedulerKind::ETime { v_bytes } => write!(f, "eTime(V={v_bytes} B)"),
+        }
+    }
+}
+
 /// Where a scenario's bandwidth trace comes from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BandwidthSource {
@@ -149,6 +171,24 @@ pub enum BandwidthSource {
     Constant(f64),
     /// An explicit trace.
     Trace(BandwidthTrace),
+}
+
+/// The generated inputs of one run — packet arrivals, heartbeat departures
+/// and the bandwidth trace — behind `Arc`s so many runs over the same
+/// workload + seed (a Θ sweep, a scheduler comparison) share one
+/// synthesis instead of regenerating per point.
+///
+/// Produced by [`Scenario::generate_traces`] and cached across a grid by
+/// the runner's trace cache (see [`crate::runner::TraceCache`]); consumed
+/// by [`Scenario::try_run_with_output_on`].
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Cargo packet arrivals, in arrival order.
+    pub packets: Arc<Vec<Packet>>,
+    /// Train-app heartbeat departures, in departure order.
+    pub heartbeats: Arc<Vec<Heartbeat>>,
+    /// The time-varying channel the transmissions ride.
+    pub bandwidth: Arc<BandwidthTrace>,
 }
 
 /// A complete experiment description with builder-style configuration.
@@ -381,6 +421,39 @@ impl Scenario {
         &self,
     ) -> Result<(RunReport, crate::engine::EngineOutput), ScenarioError> {
         self.validate()?;
+        let traces = self.generate_traces();
+        self.try_run_with_output_on(&traces)
+    }
+
+    /// A key identifying exactly the inputs that [`Scenario::generate_traces`]
+    /// reads: the train specs, cargo workload, any explicit trace
+    /// overrides, the bandwidth source, the horizon and the seed. Two
+    /// scenarios with equal keys generate bit-identical [`TraceBundle`]s,
+    /// so a cache may serve one bundle to both. Scheduler, profiles,
+    /// radio, faults and retry policy deliberately do not contribute —
+    /// sweeping those knobs reuses the traces.
+    pub fn trace_key(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        // `{:?}` on f64 prints the shortest round-trip representation, so
+        // the rendered tuple is injective over the generation inputs.
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.trains,
+            self.workload,
+            self.packets_override,
+            self.heartbeats_override,
+            self.bandwidth,
+            self.horizon_s.to_bits(),
+            self.seed,
+        )
+        .hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Synthesizes (or clones, for explicit overrides) the packet,
+    /// heartbeat and bandwidth traces this scenario runs on. Deterministic
+    /// in the scenario's [`Scenario::trace_key`] inputs.
+    pub fn generate_traces(&self) -> TraceBundle {
         let packets = match &self.packets_override {
             Some(p) => p.clone(),
             None => self.workload.generate(self.horizon_s, self.seed),
@@ -394,12 +467,32 @@ impl Scenario {
             BandwidthSource::Constant(bps) => BandwidthTrace::constant(*bps),
             BandwidthSource::Trace(trace) => trace.clone(),
         };
+        TraceBundle {
+            packets: Arc::new(packets),
+            heartbeats: Arc::new(heartbeats),
+            bandwidth: Arc::new(bandwidth),
+        }
+    }
+
+    /// Runs the scenario on pre-generated traces (validating first). The
+    /// caller is responsible for passing a bundle generated from a
+    /// scenario with the same [`Scenario::trace_key`]; the runner's trace
+    /// cache upholds this.
+    ///
+    /// # Errors
+    ///
+    /// Returns what [`Scenario::validate`] returns.
+    pub fn try_run_with_output_on(
+        &self,
+        traces: &TraceBundle,
+    ) -> Result<(RunReport, crate::engine::EngineOutput), ScenarioError> {
+        self.validate()?;
         let mut scheduler = self.scheduler.build(self.profiles.clone());
         let output = run_engine_with_faults(
             scheduler.as_mut(),
-            &packets,
-            &heartbeats,
-            &bandwidth,
+            &traces.packets,
+            &traces.heartbeats,
+            &traces.bandwidth,
             &self.radio,
             self.horizon_s,
             &self.faults,
@@ -565,6 +658,96 @@ mod tests {
         assert_eq!(dead_all_run.heartbeats_sent, 0);
         // eTrain stops deferring when no train is alive: delay collapses.
         assert!(dead_all_run.normalized_delay_s < 2.0);
+    }
+
+    #[test]
+    fn trace_key_ignores_run_knobs_and_tracks_trace_inputs() {
+        let base = Scenario::paper_default().duration_secs(900).seed(3);
+        let key = base.trace_key();
+        // Scheduler, profiles, faults and retry do not feed the traces.
+        assert_eq!(
+            key,
+            base.clone()
+                .scheduler(SchedulerKind::Baseline)
+                .shared_deadline(15.0)
+                .faults(FaultPlan::seeded(9).with_loss(0.5))
+                .trace_key()
+        );
+        // Seed, horizon, workload and bandwidth do.
+        assert_ne!(key, base.clone().seed(4).trace_key());
+        assert_ne!(key, base.clone().duration_secs(901).trace_key());
+        assert_ne!(key, base.clone().lambda(0.05).trace_key());
+        assert_ne!(
+            key,
+            base.clone()
+                .bandwidth(BandwidthSource::Constant(1e6))
+                .trace_key()
+        );
+    }
+
+    #[test]
+    fn shared_trace_bundle_reproduces_the_direct_run() {
+        // One bundle, four schedulers: each run on the shared bundle must
+        // be bit-for-bit identical to the self-generating path.
+        let base = Scenario::paper_default().duration_secs(900).seed(11);
+        let traces = base.generate_traces();
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::ETrain {
+                theta: 0.2,
+                k: Some(20),
+            },
+            SchedulerKind::PerEs { omega: 0.5 },
+            SchedulerKind::ETime { v_bytes: 50_000.0 },
+        ] {
+            let scenario = base.clone().scheduler(kind);
+            let direct = scenario.run();
+            let (shared, _) = scenario.try_run_with_output_on(&traces).unwrap();
+            assert_eq!(direct, shared, "bundle run diverged for {kind}");
+        }
+    }
+
+    #[test]
+    fn scheduler_kind_display_is_self_describing() {
+        assert_eq!(SchedulerKind::Baseline.to_string(), "Baseline");
+        assert_eq!(
+            SchedulerKind::ETrain {
+                theta: 0.2,
+                k: None
+            }
+            .to_string(),
+            "eTrain(Θ=0.2, k=∞)"
+        );
+        assert_eq!(
+            SchedulerKind::ETrain {
+                theta: 1.5,
+                k: Some(20)
+            }
+            .to_string(),
+            "eTrain(Θ=1.5, k=20)"
+        );
+        assert_eq!(
+            SchedulerKind::PerEs { omega: 0.5 }.to_string(),
+            "PerES(Ω=0.5)"
+        );
+        assert_eq!(
+            SchedulerKind::ETime { v_bytes: 50_000.0 }.to_string(),
+            "eTime(V=50000 B)"
+        );
+    }
+
+    #[test]
+    fn scheduler_kind_serializes_with_knobs() {
+        let json = serde_json::to_string(&SchedulerKind::ETrain {
+            theta: 0.2,
+            k: Some(20),
+        })
+        .unwrap();
+        assert!(json.contains("ETrain"), "{json}");
+        assert!(json.contains("theta"), "{json}");
+        assert!(json.contains("0.2"), "{json}");
+        let json = serde_json::to_string(&SchedulerKind::Baseline).unwrap();
+        assert!(json.contains("Baseline"), "{json}");
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Parameter sweeps behind the paper's figures: Θ sweeps (Fig. 7(a),
 //! Fig. 10(b)), E-D panels (Fig. 7(b), Fig. 8(a)), λ sweeps at matched
 //! delay (Fig. 8(b)) and deadline sweeps (Fig. 10(c)).
+//!
+//! Every sweep is a thin wrapper over the deterministic parallel
+//! [`RunGrid`]: points run concurrently (sharing one trace synthesis per
+//! workload + seed) yet the returned vectors are bit-for-bit identical to
+//! running each point serially in order.
 
 use crate::metrics::RunReport;
+use crate::runner::{RunGrid, RunSpec};
 use crate::scenario::{Scenario, SchedulerKind};
 
 /// One point on an energy–delay (E-D) panel.
@@ -26,26 +32,32 @@ impl From<(f64, &RunReport)> for EdPoint {
     }
 }
 
+/// One grid job per knob value, scenarios derived from `base` by `bind`.
+fn knob_grid(
+    base: &Scenario,
+    knob_values: &[f64],
+    bind: impl Fn(f64, Scenario) -> Scenario,
+) -> RunGrid {
+    RunGrid::from_specs(
+        knob_values
+            .iter()
+            .map(|&knob| RunSpec::with_knob(format!("knob={knob}"), knob, bind(knob, base.clone())))
+            .collect(),
+    )
+}
+
 /// Runs `base` once per Θ value with the eTrain scheduler (Fig. 7(a)).
 pub fn theta_sweep(base: &Scenario, thetas: &[f64], k: Option<usize>) -> Vec<(f64, RunReport)> {
-    thetas
-        .iter()
-        .map(|&theta| {
-            let report = base
-                .clone()
-                .scheduler(SchedulerKind::ETrain { theta, k })
-                .run();
-            (theta, report)
-        })
-        .collect()
+    let grid = knob_grid(base, thetas, |theta, s| {
+        s.scheduler(SchedulerKind::ETrain { theta, k })
+    });
+    thetas.iter().copied().zip(grid.run()).collect()
 }
 
 /// Runs `base` once per shared deadline value (Fig. 10(c)).
 pub fn deadline_sweep(base: &Scenario, deadlines_s: &[f64]) -> Vec<(f64, RunReport)> {
-    deadlines_s
-        .iter()
-        .map(|&d| (d, base.clone().shared_deadline(d).run()))
-        .collect()
+    let grid = knob_grid(base, deadlines_s, |d, s| s.shared_deadline(d));
+    deadlines_s.iter().copied().zip(grid.run()).collect()
 }
 
 /// Traces one algorithm's E-D curve by sweeping its knob: each knob value
@@ -55,12 +67,11 @@ pub fn ed_curve(
     knob_values: &[f64],
     make: impl Fn(f64) -> SchedulerKind,
 ) -> Vec<EdPoint> {
+    let grid = knob_grid(base, knob_values, |knob, s| s.scheduler(make(knob)));
     knob_values
         .iter()
-        .map(|&knob| {
-            let report = base.clone().scheduler(make(knob)).run();
-            EdPoint::from((knob, &report))
-        })
+        .zip(grid.run())
+        .map(|(&knob, report)| EdPoint::from((knob, &report)))
         .collect()
 }
 
@@ -76,17 +87,12 @@ pub fn match_delay(
     make: impl Fn(f64) -> SchedulerKind,
     target_delay_s: f64,
 ) -> Option<(f64, RunReport)> {
-    knob_values
-        .iter()
-        .map(|&knob| {
-            let report = base.clone().scheduler(make(knob)).run();
-            (knob, report)
-        })
-        .min_by(|a, b| {
-            let da = (a.1.normalized_delay_s - target_delay_s).abs();
-            let db = (b.1.normalized_delay_s - target_delay_s).abs();
-            da.total_cmp(&db)
-        })
+    let grid = knob_grid(base, knob_values, |knob, s| s.scheduler(make(knob)));
+    knob_values.iter().copied().zip(grid.run()).min_by(|a, b| {
+        let da = (a.1.normalized_delay_s - target_delay_s).abs();
+        let db = (b.1.normalized_delay_s - target_delay_s).abs();
+        da.total_cmp(&db)
+    })
 }
 
 /// Log-spaced values in `[lo, hi]` (inclusive), used for knob scans.

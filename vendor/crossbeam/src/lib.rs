@@ -1,70 +1,214 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
-//! The workspace uses single-consumer channels exclusively (the broadcast
-//! bus clones one sender per subscriber), so mpsc semantics suffice.
+//! Only the `channel` module is provided: an unbounded multi-producer
+//! **multi-consumer** queue (`Mutex<VecDeque>` + `Condvar`), matching the
+//! `crossbeam-channel` property the workspace relies on — `Receiver` is
+//! `Clone`, so a pool of workers can share one job queue and each queued
+//! item is delivered to exactly one of them. The error types are re-used
+//! from `std::sync::mpsc` so call sites read like the real crate.
 
 pub mod channel {
-    //! Multi-producer single-consumer channels with the `crossbeam`
+    //! Multi-producer multi-consumer channels with the `crossbeam`
     //! method surface used by this workspace.
 
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    pub use mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|poisoned| {
+                // A panicking sender/receiver cannot corrupt a VecDeque of
+                // already-sent values; keep delivering what is queued.
+                poisoned.into_inner()
+            })
+        }
+    }
 
     /// The sending half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe disconnection.
+                self.0.ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only when the receiver is gone.
+        /// Sends a message, failing only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut state = self.0.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
-    /// The receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// The receiving half of an unbounded channel. Cloning produces
+    /// another consumer of the *same* queue (each message is delivered to
+    /// exactly one receiver), which is what lets worker pools share a
+    /// single job channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut state = self.0.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .0
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
         }
 
         /// Blocks up to `timeout` for the next message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .0
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                state = guard;
+            }
         }
 
         /// Returns a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut state = self.0.lock();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
-        /// Iterates over received messages, blocking between them.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
+        /// Iterates over received messages, blocking between them; ends
+        /// when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
         }
 
         /// Iterates over already-queued messages without blocking.
-        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
-            self.0.try_iter()
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Non-blocking iterator returned by [`Receiver::try_iter`].
+    #[derive(Debug)]
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     #[cfg(test)]
@@ -85,6 +229,60 @@ pub mod channel {
             let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
             assert_eq!(err, RecvTimeoutError::Timeout);
             drop(tx);
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_with_no_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx1) = unbounded::<u32>();
+            let rx2 = rx1.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut seen: Vec<u32> = rx1.try_iter().take(50).collect();
+            seen.extend(rx2.iter());
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn workers_drain_shared_receiver_concurrently() {
+            let (tx, rx) = unbounded::<usize>();
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let counted: usize = std::thread::scope(|scope| {
+                (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || rx.iter().count())
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            // The local receiver also competes; drain what it got.
+            let local = rx.try_iter().count();
+            assert_eq!(counted + local, 1000);
         }
     }
 }
