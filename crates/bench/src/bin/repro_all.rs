@@ -9,11 +9,21 @@
 //!   machine's available parallelism);
 //! - `--json PATH` — where to write the report (default
 //!   `BENCH_repro.json`); `--no-json` skips it.
+//!
+//! Every simulated run is audited by the simulation oracle: unless the
+//! `ETRAIN_ORACLE` environment variable is already set, the suite runs in
+//! `record` mode and writes the check/violation tallies into the report.
+//! `ETRAIN_ORACLE=strict` turns any violation into a hard failure.
 
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if std::env::var(etrain_sim::ORACLE_ENV).is_err() {
+        // Default the whole suite to record-mode auditing. Set before any
+        // experiment runs; single-threaded at this point.
+        std::env::set_var(etrain_sim::ORACLE_ENV, "record");
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let no_json = args.iter().any(|a| a == "--no-json");
     let jobs = args
@@ -66,10 +76,19 @@ fn main() {
         "# suite wall-clock: {total_s:.2} s across {jobs} worker(s) \
          (sum of experiment times: {serial_s:.2} s)"
     );
+    let oracle = etrain_bench::oracle_summary();
+    eprintln!(
+        "# oracle: mode {} — {} checks, {} violation(s)",
+        oracle.mode, oracle.checks, oracle.violations
+    );
 
     if !no_json {
         std::fs::write(&json_path, etrain_bench::repro_report_json(&runs))
             .expect("writing the JSON report");
         eprintln!("# wrote {json_path}");
     }
+    assert_eq!(
+        oracle.violations, 0,
+        "the simulation oracle found violated invariants"
+    );
 }

@@ -27,12 +27,12 @@ pub mod experiments;
 use std::time::Instant;
 
 use etrain_sim::Table;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One headline metric of an experiment — the single number (per axis of
 /// interest) a reader checks first, extracted for machine-readable
 /// reproduction logs.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Headline {
     /// What the number is (`hb_share_3_trains`, `toy_saving`, ...).
     pub metric: String,
@@ -369,16 +369,53 @@ fn run_timed(experiment: &Experiment, quick: bool) -> ReproRun {
     }
 }
 
-/// Serializes the records of finished runs as the pretty-printed JSON body
-/// of `BENCH_repro.json`.
+/// The simulation-oracle tallies of one `repro_all` invocation, recorded
+/// at the top of `BENCH_repro.json` so reproduction logs show how much
+/// auditing backed the numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleSummary {
+    /// The process-wide oracle mode the suite ran under (`off`, `record`
+    /// or `strict`).
+    pub mode: String,
+    /// Invariant checks performed across all experiments.
+    pub checks: u64,
+    /// Violations found (must be 0 on a healthy build).
+    pub violations: u64,
+}
+
+/// Snapshot of the process-wide oracle mode and tallies, for the report.
+pub fn oracle_summary() -> OracleSummary {
+    let counters = etrain_sim::oracle::counters();
+    OracleSummary {
+        mode: etrain_sim::OracleMode::from_env().to_string(),
+        checks: counters.checks,
+        violations: counters.violations,
+    }
+}
+
+/// The body of `BENCH_repro.json`: the oracle tallies plus one record per
+/// experiment in registry order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReproReport {
+    /// Simulation-oracle mode and tallies for the whole suite.
+    pub oracle: OracleSummary,
+    /// Per-experiment records.
+    pub experiments: Vec<ReproRecord>,
+}
+
+/// Serializes the records of finished runs — plus the current oracle
+/// tallies — as the pretty-printed JSON body of `BENCH_repro.json`.
 ///
 /// # Panics
 ///
 /// Panics if serialization fails (the record types are plain data, so it
 /// cannot).
 pub fn repro_report_json(runs: &[ReproRun]) -> String {
-    let records: Vec<&ReproRecord> = runs.iter().map(|r| &r.record).collect();
-    serde_json::to_string_pretty(&records).expect("plain-data records serialize")
+    let report = ReproReport {
+        oracle: oracle_summary(),
+        experiments: runs.iter().map(|r| r.record.clone()).collect(),
+    };
+    serde_json::to_string_pretty(&report).expect("plain-data records serialize")
 }
 
 /// Binary entry point shared by all `src/bin/*.rs` wrappers: runs the
@@ -513,6 +550,9 @@ mod tests {
         assert!(json.contains("\"fig6\""));
         assert!(json.contains("wall_s"));
         assert!(json.contains("f3_at_3x_deadline"));
+        // The report leads with the oracle tallies.
+        assert!(json.contains("\"oracle\""));
+        assert!(json.contains("\"violations\""));
     }
 
     #[test]

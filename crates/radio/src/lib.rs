@@ -72,5 +72,7 @@ pub use online::Radio;
 pub use params::{RadioParams, RadioParamsBuilder};
 pub use power::PowerTrace;
 pub use profile::{TailPhase, TailProfile};
-pub use tail::{analytic_extra_energy_j, tail_energy_j};
-pub use timeline::{RrcState, StateSegment, Timeline, Transmission};
+pub use tail::{analytic_extra_energy_j, merge_busy_periods, tail_energy_j};
+pub use timeline::{
+    audit_segments, RrcState, StateSegment, Timeline, TimelineAuditError, Transmission,
+};

@@ -81,10 +81,10 @@ pub fn analytic_extra_energy_j(
 
 /// Merges transmissions into disjoint, sorted busy periods clipped to
 /// `[0, horizon_s]`.
-pub(crate) fn merge_busy_periods(
-    transmissions: &[Transmission],
-    horizon_s: f64,
-) -> Vec<(f64, f64)> {
+///
+/// Exported so audit code (the simulation oracle) can recompute the busy
+/// structure independently of [`crate::Timeline`]'s segment construction.
+pub fn merge_busy_periods(transmissions: &[Transmission], horizon_s: f64) -> Vec<(f64, f64)> {
     let mut intervals: Vec<(f64, f64)> = transmissions
         .iter()
         .map(|t| (t.start_s, (t.start_s + t.duration_s).min(horizon_s)))

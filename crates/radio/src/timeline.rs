@@ -3,7 +3,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::RadioError;
 use crate::params::RadioParams;
 use crate::power::PowerTrace;
-use crate::tail::merge_busy_periods;
+use crate::tail::{analytic_extra_energy_j, merge_busy_periods};
 
 /// RRC power state of the cellular interface (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -266,6 +266,297 @@ impl Timeline {
             .collect();
         PowerTrace::new(dt_s, samples)
     }
+
+    /// Audits this timeline against the transmissions it claims to describe.
+    ///
+    /// Delegates to [`audit_segments`] and additionally checks that
+    /// [`Timeline::state_at`] agrees with the segment containing each probe
+    /// point. Returns the number of individual checks performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TimelineAuditError`] encountered.
+    pub fn audit(&self, transmissions: &[Transmission]) -> Result<usize, TimelineAuditError> {
+        let mut checks =
+            audit_segments(&self.params, &self.segments, transmissions, self.horizon_s)?;
+        for (index, seg) in self.segments.iter().enumerate() {
+            let mid = 0.5 * (seg.start_s + seg.end_s);
+            let looked_up = self.state_at(mid);
+            checks += 1;
+            if looked_up != seg.state {
+                return Err(TimelineAuditError::LookupMismatch {
+                    index,
+                    at_s: mid,
+                    segment_state: seg.state,
+                    lookup_state: looked_up,
+                });
+            }
+        }
+        Ok(checks)
+    }
+}
+
+/// A violation found while auditing a state timeline.
+///
+/// Produced by [`audit_segments`] / [`Timeline::audit`]; the simulation
+/// oracle in `etrain-sim` wraps these into its own violation type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineAuditError {
+    /// A logged transmission has negative or non-finite timing.
+    BadTransmission {
+        /// Index into the transmission log.
+        index: usize,
+        /// Start time of the offending transmission.
+        start_s: f64,
+        /// Duration of the offending transmission.
+        duration_s: f64,
+    },
+    /// A segment has non-positive or non-finite duration.
+    EmptySegment {
+        /// Index into the segment list.
+        index: usize,
+        /// Segment start time.
+        start_s: f64,
+        /// Segment end time.
+        end_s: f64,
+    },
+    /// The first segment does not start at t = 0, or the last does not end
+    /// at the horizon, or adjacent segments leave a gap/overlap.
+    CoverageGap {
+        /// Index of the segment whose start is misplaced (0 for a bad
+        /// first-segment start; `segments.len()` for a bad final end).
+        index: usize,
+        /// Where the previous segment ended (or 0.0 / horizon for the ends).
+        expected_s: f64,
+        /// Where this segment actually starts (or ends, for the final check).
+        actual_s: f64,
+    },
+    /// A segment holds a state the RRC demotion rules do not allow at that
+    /// time (e.g. a DCH tail truncated before δ_D elapsed).
+    IllegalState {
+        /// Index of the offending segment.
+        index: usize,
+        /// Probe time at which the states disagree.
+        at_s: f64,
+        /// State required by the demotion rules at `at_s`.
+        expected: RrcState,
+        /// State the segment claims.
+        actual: RrcState,
+    },
+    /// Segment energy integration disagrees with the independent analytic
+    /// tail model.
+    EnergyMismatch {
+        /// Extra energy summed over the segments, in joules.
+        segment_sum_j: f64,
+        /// Extra energy from [`analytic_extra_energy_j`], in joules.
+        analytic_j: f64,
+        /// Tolerance that was exceeded, in joules.
+        tolerance_j: f64,
+    },
+    /// `Timeline::state_at` disagrees with the segment containing the probe.
+    LookupMismatch {
+        /// Index of the probed segment.
+        index: usize,
+        /// Probe time.
+        at_s: f64,
+        /// State of the segment containing the probe.
+        segment_state: RrcState,
+        /// State `state_at` returned.
+        lookup_state: RrcState,
+    },
+}
+
+impl std::fmt::Display for TimelineAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineAuditError::BadTransmission {
+                index,
+                start_s,
+                duration_s,
+            } => write!(
+                f,
+                "transmission #{index} has invalid timing (start {start_s} s, duration {duration_s} s)"
+            ),
+            TimelineAuditError::EmptySegment {
+                index,
+                start_s,
+                end_s,
+            } => write!(
+                f,
+                "segment #{index} is empty or inverted ([{start_s}, {end_s}] s)"
+            ),
+            TimelineAuditError::CoverageGap {
+                index,
+                expected_s,
+                actual_s,
+            } => write!(
+                f,
+                "segment #{index} breaks coverage: expected boundary at {expected_s} s, found {actual_s} s"
+            ),
+            TimelineAuditError::IllegalState {
+                index,
+                at_s,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "segment #{index} holds {actual} at {at_s} s where the demotion rules require {expected}"
+            ),
+            TimelineAuditError::EnergyMismatch {
+                segment_sum_j,
+                analytic_j,
+                tolerance_j,
+            } => write!(
+                f,
+                "segment energy {segment_sum_j} J disagrees with analytic model {analytic_j} J (tolerance {tolerance_j} J)"
+            ),
+            TimelineAuditError::LookupMismatch {
+                index,
+                at_s,
+                segment_state,
+                lookup_state,
+            } => write!(
+                f,
+                "state_at({at_s}) returned {lookup_state} but segment #{index} holds {segment_state}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimelineAuditError {}
+
+/// Boundary tolerance for segment contiguity checks, in seconds.
+const AUDIT_BOUNDARY_TOL_S: f64 = 1e-9;
+
+/// State required by the RRC demotion rules at time `t`, derived directly
+/// from the merged busy periods (independent of segment construction).
+fn required_state(params: &RadioParams, busy: &[(f64, f64)], t: f64) -> RrcState {
+    let idx = busy.partition_point(|&(start, _)| start <= t);
+    if idx == 0 {
+        return RrcState::Idle;
+    }
+    let (_, end) = busy[idx - 1];
+    if t < end {
+        return RrcState::Dch;
+    }
+    let gap = t - end;
+    if gap < params.delta_dch_s() {
+        RrcState::Dch
+    } else if gap < params.delta_dch_s() + params.delta_fach_s() {
+        RrcState::Fach
+    } else {
+        RrcState::Idle
+    }
+}
+
+/// Audits a segment list against the transmissions that produced it,
+/// re-deriving the legal RRC state from first principles.
+///
+/// Checks, in order: every transmission validates; segments are non-empty,
+/// contiguous, non-overlapping and cover exactly `[0, horizon_s]`; each
+/// segment's state matches the demotion rules (DCH while busy and for δ_D
+/// after, FACH for the following δ_F, IDLE otherwise) at probes near its
+/// start, middle and end; and the piecewise segment energy agrees with the
+/// independent [`analytic_extra_energy_j`] closed form. Returns the number
+/// of individual checks performed.
+///
+/// The function is deliberately *not* implemented in terms of
+/// [`Timeline::from_transmissions`] — it exists to catch regressions there.
+///
+/// # Errors
+///
+/// Returns the first [`TimelineAuditError`] encountered.
+pub fn audit_segments(
+    params: &RadioParams,
+    segments: &[StateSegment],
+    transmissions: &[Transmission],
+    horizon_s: f64,
+) -> Result<usize, TimelineAuditError> {
+    let mut checks = 0usize;
+    for (index, tx) in transmissions.iter().enumerate() {
+        checks += 1;
+        if tx.validate().is_err() {
+            return Err(TimelineAuditError::BadTransmission {
+                index,
+                start_s: tx.start_s,
+                duration_s: tx.duration_s,
+            });
+        }
+    }
+
+    if horizon_s <= 0.0 {
+        return Ok(checks);
+    }
+
+    // Coverage: [0, horizon] partitioned without gaps or overlaps.
+    let mut cursor = 0.0;
+    for (index, seg) in segments.iter().enumerate() {
+        checks += 2;
+        if !seg.start_s.is_finite() || !seg.end_s.is_finite() || seg.end_s <= seg.start_s {
+            return Err(TimelineAuditError::EmptySegment {
+                index,
+                start_s: seg.start_s,
+                end_s: seg.end_s,
+            });
+        }
+        if (seg.start_s - cursor).abs() > AUDIT_BOUNDARY_TOL_S {
+            return Err(TimelineAuditError::CoverageGap {
+                index,
+                expected_s: cursor,
+                actual_s: seg.start_s,
+            });
+        }
+        cursor = seg.end_s;
+    }
+    checks += 1;
+    if (cursor - horizon_s).abs() > AUDIT_BOUNDARY_TOL_S {
+        return Err(TimelineAuditError::CoverageGap {
+            index: segments.len(),
+            expected_s: horizon_s,
+            actual_s: cursor,
+        });
+    }
+
+    // Legality: probe each segment near its start, middle and end against
+    // the state the demotion rules require there.
+    let busy = merge_busy_periods(transmissions, horizon_s);
+    for (index, seg) in segments.iter().enumerate() {
+        let eps = (seg.duration_s() * 0.25).min(1e-6);
+        for t in [
+            seg.start_s + eps,
+            0.5 * (seg.start_s + seg.end_s),
+            seg.end_s - eps,
+        ] {
+            checks += 1;
+            let expected = required_state(params, &busy, t);
+            if expected != seg.state {
+                return Err(TimelineAuditError::IllegalState {
+                    index,
+                    at_s: t,
+                    expected,
+                    actual: seg.state,
+                });
+            }
+        }
+    }
+
+    // Energy: piecewise segment integration vs the closed-form tail model.
+    let segment_sum_j: f64 = segments
+        .iter()
+        .map(|seg| seg.state.extra_power_mw(params) / 1000.0 * seg.duration_s())
+        .sum();
+    let analytic_j = analytic_extra_energy_j(params, transmissions, horizon_s);
+    let tolerance_j = 1e-9 * (1.0 + busy.len() as f64);
+    checks += 1;
+    if (segment_sum_j - analytic_j).abs() > tolerance_j {
+        return Err(TimelineAuditError::EnergyMismatch {
+            segment_sum_j,
+            analytic_j,
+            tolerance_j,
+        });
+    }
+
+    Ok(checks)
 }
 
 #[cfg(test)]
@@ -388,5 +679,94 @@ mod tests {
         assert_eq!(RrcState::Idle.to_string(), "IDLE");
         assert_eq!(RrcState::Fach.to_string(), "FACH");
         assert_eq!(RrcState::Dch.to_string(), "DCH");
+    }
+
+    #[test]
+    fn audit_accepts_well_formed_timelines() {
+        let p = params();
+        let txs = [
+            Transmission::new(3.0, 0.4),
+            Transmission::new(9.0, 1.0),
+            Transmission::new(100.0, 2.0),
+            Transmission::new(114.0, 0.1),
+        ];
+        let tl = Timeline::from_transmissions(&p, &txs, 500.0);
+        let checks = tl.audit(&txs).expect("well-formed timeline must pass");
+        assert!(checks > tl.segments().len());
+
+        let empty = Timeline::from_transmissions(&p, &[], 100.0);
+        assert!(empty.audit(&[]).is_ok());
+    }
+
+    #[test]
+    fn audit_catches_truncated_dch_tail() {
+        let p = params();
+        let txs = [Transmission::new(10.0, 2.0)];
+        let tl = Timeline::from_transmissions(&p, &txs, 100.0);
+        // Corrupt: cut the DCH tail short by 3 s, extending FACH to cover.
+        let mut segments = tl.segments().to_vec();
+        let dch = segments
+            .iter()
+            .position(|s| s.state == RrcState::Dch)
+            .unwrap();
+        segments[dch].end_s -= 3.0;
+        segments[dch + 1].start_s -= 3.0;
+        let err = audit_segments(&p, &segments, &txs, 100.0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TimelineAuditError::IllegalState {
+                    expected: RrcState::Dch,
+                    actual: RrcState::Fach,
+                    ..
+                }
+            ),
+            "unexpected audit error: {err}"
+        );
+    }
+
+    #[test]
+    fn audit_catches_coverage_gap_and_empty_segment() {
+        let p = params();
+        let txs = [Transmission::new(10.0, 2.0)];
+        let tl = Timeline::from_transmissions(&p, &txs, 100.0);
+
+        let mut dropped = tl.segments().to_vec();
+        dropped.remove(1);
+        assert!(matches!(
+            audit_segments(&p, &dropped, &txs, 100.0).unwrap_err(),
+            TimelineAuditError::CoverageGap { .. }
+        ));
+
+        let mut inverted = tl.segments().to_vec();
+        inverted[0].end_s = inverted[0].start_s;
+        assert!(matches!(
+            audit_segments(&p, &inverted, &txs, 100.0).unwrap_err(),
+            TimelineAuditError::EmptySegment { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn audit_catches_invalid_transmission_log() {
+        let p = params();
+        let txs = [Transmission::new(10.0, f64::NAN)];
+        let tl = Timeline::from_transmissions(&p, &[], 100.0);
+        assert!(matches!(
+            tl.audit(&txs).unwrap_err(),
+            TimelineAuditError::BadTransmission { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn audit_errors_render_human_readable() {
+        let err = TimelineAuditError::IllegalState {
+            index: 2,
+            at_s: 15.0,
+            expected: RrcState::Dch,
+            actual: RrcState::Fach,
+        };
+        let text = err.to_string();
+        assert!(text.contains("segment #2"), "{text}");
+        assert!(text.contains("FACH"), "{text}");
     }
 }

@@ -163,6 +163,50 @@ proptest! {
             "aggregated {e_aggregated} > scattered {e_scattered}");
     }
 
+    /// Time spent across the three states always sums to the horizon.
+    #[test]
+    fn time_in_state_sums_to_horizon(
+        params in arb_params(),
+        txs in arb_transmissions(),
+    ) {
+        let horizon = 4000.0;
+        let timeline = Timeline::from_transmissions(&params, &txs, horizon);
+        let total = timeline.time_in_state_s(RrcState::Idle)
+            + timeline.time_in_state_s(RrcState::Fach)
+            + timeline.time_in_state_s(RrcState::Dch);
+        prop_assert!(
+            (total - horizon).abs() < 1e-6,
+            "state times sum to {total}, horizon {horizon}"
+        );
+    }
+
+    /// Transmission::validate accepts exactly the finite, non-negative
+    /// timings and rejects every negative or non-finite corruption.
+    #[test]
+    fn transmission_validate_rejects_bad_inputs(
+        start in 0.0f64..3000.0,
+        dur in 0.0f64..20.0,
+        which in 0usize..5,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1e-9, -5.0][which];
+        prop_assert!(Transmission::new(start, dur).validate().is_ok());
+        prop_assert!(Transmission::new(bad, dur).validate().is_err());
+        prop_assert!(Transmission::new(start, bad).validate().is_err());
+        prop_assert!(Transmission::new(bad, bad).validate().is_err());
+    }
+
+    /// The independent audit accepts every timeline the constructor builds,
+    /// for arbitrary (unsorted, overlapping) valid transmission sets.
+    #[test]
+    fn audit_accepts_constructed_timelines(
+        params in arb_params(),
+        txs in arb_transmissions(),
+    ) {
+        let timeline = Timeline::from_transmissions(&params, &txs, 4000.0);
+        let audit = timeline.audit(&txs);
+        prop_assert!(audit.is_ok(), "audit rejected a valid timeline: {:?}", audit);
+    }
+
     /// state_at is consistent with the segment list.
     #[test]
     fn state_at_matches_segments(

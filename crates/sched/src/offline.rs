@@ -202,6 +202,29 @@ impl OfflineProblem {
         }
     }
 
+    /// Whether [`OfflineProblem::solve_exhaustive`] can handle this
+    /// instance (at most 10 packets).
+    pub fn is_exact_tractable(&self) -> bool {
+        self.packets.len() <= EXHAUSTIVE_LIMIT
+    }
+
+    /// Best known offline schedule, for use as an ordering bound.
+    ///
+    /// Returns the exact candidate-grid optimum when the instance is within
+    /// the exhaustive limit and a feasible assignment exists, otherwise the
+    /// greedy heuristic. The flag is `true` only in the exact case — only
+    /// then is the returned energy a true lower bound (on the candidate
+    /// grid) that an online scheduler must not beat by more than
+    /// discretization slack.
+    pub fn solve_best(&self) -> (OfflineSchedule, bool) {
+        if self.is_exact_tractable() {
+            if let Some(schedule) = self.solve_exhaustive() {
+                return (schedule, true);
+            }
+        }
+        (self.solve_greedy(), false)
+    }
+
     /// Greedy heuristic: each packet rides the next heartbeat after its
     /// arrival if the incremental delay cost fits the remaining budget;
     /// otherwise it transmits on arrival.
@@ -275,6 +298,32 @@ mod tests {
             horizon_s: 700.0,
             cost_budget: budget,
         }
+    }
+
+    #[test]
+    fn solve_best_is_exact_for_small_instances() {
+        let p = problem(
+            vec![packet(0, 10.0), packet(1, 200.0)],
+            vec![heartbeat(60.0), heartbeat(300.0)],
+            f64::MAX,
+        );
+        assert!(p.is_exact_tractable());
+        let (best, exact) = p.solve_best();
+        assert!(exact);
+        let optimum = p.solve_exhaustive().unwrap();
+        assert_eq!(best.energy_j, optimum.energy_j);
+        // Exact optimum never above the greedy heuristic.
+        assert!(best.energy_j <= p.solve_greedy().energy_j + 1e-9);
+    }
+
+    #[test]
+    fn solve_best_falls_back_to_greedy_above_the_limit() {
+        let packets: Vec<Packet> = (0..12).map(|i| packet(i, 10.0 * i as f64)).collect();
+        let p = problem(packets, vec![heartbeat(300.0)], f64::MAX);
+        assert!(!p.is_exact_tractable());
+        let (best, exact) = p.solve_best();
+        assert!(!exact);
+        assert_eq!(best.energy_j, p.solve_greedy().energy_j);
     }
 
     #[test]

@@ -29,6 +29,8 @@ use etrain_trace::faults::{hash_unit, FaultPlan};
 use etrain_trace::heartbeats::Heartbeat;
 use etrain_trace::packets::Packet;
 
+use crate::oracle::{OracleMode, OracleOutcome, OracleViolation};
+
 /// Salt decorrelating retry-jitter draws from the fault plan's loss coins.
 const JITTER_SALT: u64 = 0x6a69_7474_6572_5f75;
 
@@ -477,6 +479,83 @@ pub fn run_engine_with_faults(
         transmissions,
         radio_params: radio_params.clone(),
     }
+}
+
+/// [`run_engine`] under a simulation-oracle mode.
+///
+/// - [`OracleMode::Off`] returns the raw output with zero audit overhead;
+/// - [`OracleMode::Record`] audits the output, adds the tallies to
+///   [`oracle::counters`](crate::oracle::counters) and attaches the
+///   [`OracleOutcome`];
+/// - [`OracleMode::Strict`] does the same but turns the first violation
+///   into an error.
+///
+/// # Errors
+///
+/// In `Strict` mode, the first [`OracleViolation`] the audit finds.
+#[allow(clippy::type_complexity)]
+pub fn run_engine_checked(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+    mode: OracleMode,
+) -> Result<(EngineOutput, Option<OracleOutcome>), OracleViolation> {
+    run_engine_with_faults_checked(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
+        horizon_s,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+        mode,
+    )
+}
+
+/// [`run_engine_with_faults`] under a simulation-oracle mode; see
+/// [`run_engine_checked`] for the mode semantics.
+///
+/// # Errors
+///
+/// In `Strict` mode, the first [`OracleViolation`] the audit finds.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_engine_with_faults_checked(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    mode: OracleMode,
+) -> Result<(EngineOutput, Option<OracleOutcome>), OracleViolation> {
+    let output = run_engine_with_faults(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
+        horizon_s,
+        plan,
+        retry,
+    );
+    if !mode.is_enabled() {
+        return Ok((output, None));
+    }
+    let mut outcome = crate::oracle::audit_engine(&output, packets, heartbeats, plan);
+    outcome.mode = mode;
+    crate::oracle::record_outcome(&outcome);
+    if mode == OracleMode::Strict {
+        if let Some(first) = outcome.violations.first() {
+            return Err(first.clone());
+        }
+    }
+    Ok((output, Some(outcome)))
 }
 
 #[cfg(test)]

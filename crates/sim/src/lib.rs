@@ -47,6 +47,7 @@
 mod compare;
 mod engine;
 mod metrics;
+pub mod oracle;
 mod replicate;
 mod report;
 pub mod runner;
@@ -55,9 +56,14 @@ pub mod sweep;
 
 pub use compare::Comparison;
 pub use engine::{
-    run_engine, run_engine_with_faults, AbandonedPacket, CompletedPacket, EngineOutput,
+    run_engine, run_engine_checked, run_engine_with_faults, run_engine_with_faults_checked,
+    AbandonedPacket, CompletedPacket, EngineOutput,
 };
 pub use metrics::{AppReport, RunReport};
+pub use oracle::{
+    audit_scheduler_ordering, OracleCounters, OracleMode, OracleOutcome, OracleViolation,
+    OrderingAudit, ORACLE_ENV,
+};
 pub use replicate::{replicate, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
 pub use runner::{RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV};

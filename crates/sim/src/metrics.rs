@@ -9,6 +9,7 @@ use etrain_sched::AppProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineOutput;
+use crate::oracle::OracleOutcome;
 
 /// Per-cargo-app breakdown of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +75,9 @@ pub struct RunReport {
     pub promotions: usize,
     /// Per-app breakdown.
     pub per_app: Vec<AppReport>,
+    /// Outcome of the simulation oracle's audit of this run; `None` when
+    /// the run executed with [`OracleMode::Off`](crate::OracleMode::Off).
+    pub oracle: Option<OracleOutcome>,
 }
 
 impl RunReport {
@@ -155,14 +159,16 @@ impl RunReport {
             busy_time_s: output.busy_time_s,
             promotions: output.promotions,
             per_app,
+            oracle: None,
         }
     }
 
     /// The fraction of extra energy spent in tails (the waste eTrain
-    /// targets), in `[0, 1]`.
+    /// targets), in `[0, 1]`. Degenerate runs (empty workload, zero extra
+    /// energy) report `0.0`, never NaN.
     pub fn tail_fraction(&self) -> f64 {
-        if self.extra_energy_j > 0.0 {
-            self.tail_energy_j / self.extra_energy_j
+        if self.extra_energy_j.is_finite() && self.extra_energy_j > 0.0 {
+            (self.tail_energy_j / self.extra_energy_j).clamp(0.0, 1.0)
         } else {
             0.0
         }
@@ -232,6 +238,26 @@ mod tests {
         assert_eq!(report.packets_completed, 0);
         assert_eq!(report.normalized_delay_s, 0.0);
         assert_eq!(report.deadline_violation_ratio, 0.0);
+    }
+
+    #[test]
+    fn ratio_metrics_never_nan_on_zero_energy() {
+        // A run with no radio activity at all: every ratio must degrade to
+        // exactly 0.0, not NaN.
+        let mut out = output(vec![]);
+        out.transmission_energy_j = 0.0;
+        out.tail_energy_j = 0.0;
+        out.busy_time_s = 0.0;
+        out.heartbeats_sent = 0;
+        out.promotions = 0;
+        let report = RunReport::from_engine("Test", &out, &AppProfile::paper_trio(30.0));
+        assert_eq!(report.extra_energy_j, 0.0);
+        assert_eq!(report.tail_fraction(), 0.0);
+        assert_eq!(report.abandonment_ratio, 0.0);
+        assert_eq!(report.normalized_delay_s, 0.0);
+        assert_eq!(report.deadline_violation_ratio, 0.0);
+        assert!(report.tail_fraction().is_finite());
+        assert!(report.oracle.is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Mutex;
 use crossbeam::channel;
 
 use crate::metrics::RunReport;
+use crate::oracle::OracleMode;
 use crate::scenario::{Scenario, ScenarioError, SchedulerKind, TraceBundle};
 
 /// The environment variable that overrides the worker-pool size.
@@ -222,6 +223,15 @@ impl RunGrid {
     /// parallelism; `0` is treated as `1`.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Builder: sets the simulation-oracle mode on every job in the grid
+    /// (see [`Scenario::oracle`]). Apply after all specs are pushed.
+    pub fn oracle(mut self, mode: OracleMode) -> Self {
+        for spec in &mut self.specs {
+            spec.scenario = spec.scenario.clone().oracle(mode);
+        }
         self
     }
 

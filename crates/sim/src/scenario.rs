@@ -16,6 +16,7 @@ use serde::Serialize;
 
 use crate::engine::run_engine_with_faults;
 use crate::metrics::RunReport;
+use crate::oracle::{self, OracleMode, OracleViolation};
 
 /// A scenario that cannot run, detected by [`Scenario::validate`] before
 /// any simulation work starts.
@@ -46,6 +47,12 @@ pub enum ScenarioError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The run executed but the simulation oracle (in
+    /// [`OracleMode::Strict`]) found a violated invariant.
+    OracleViolation {
+        /// The first violated invariant.
+        violation: OracleViolation,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -71,6 +78,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidRetryPolicy { reason } => {
                 write!(f, "invalid retry policy: {reason}")
+            }
+            ScenarioError::OracleViolation { violation } => {
+                write!(f, "oracle violation: {violation}")
             }
         }
     }
@@ -225,6 +235,7 @@ pub struct Scenario {
     seed: u64,
     faults: FaultPlan,
     retry: RetryPolicy,
+    oracle: OracleMode,
 }
 
 impl Scenario {
@@ -246,6 +257,7 @@ impl Scenario {
             seed: 0,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            oracle: OracleMode::from_env(),
         }
     }
 
@@ -339,6 +351,20 @@ impl Scenario {
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Sets the simulation-oracle mode for this scenario's runs.
+    /// [`Scenario::paper_default`] starts from the `ETRAIN_ORACLE`
+    /// environment variable ([`OracleMode::from_env`], default `Off`);
+    /// this builder overrides it.
+    pub fn oracle(mut self, mode: OracleMode) -> Self {
+        self.oracle = mode;
+        self
+    }
+
+    /// The simulation-oracle mode this scenario runs under.
+    pub fn oracle_mode(&self) -> OracleMode {
+        self.oracle
     }
 
     /// The registered app profiles.
@@ -498,7 +524,26 @@ impl Scenario {
             &self.faults,
             &self.retry,
         );
-        let report = RunReport::from_engine(scheduler.name(), &output, &self.profiles);
+        let mut report = RunReport::from_engine(scheduler.name(), &output, &self.profiles);
+        if self.oracle.is_enabled() {
+            let outcome = oracle::audit_run(
+                &report,
+                &output,
+                &traces.packets,
+                &traces.heartbeats,
+                &self.faults,
+                &self.profiles,
+                self.oracle,
+            );
+            if self.oracle == OracleMode::Strict {
+                if let Some(first) = outcome.violations.first() {
+                    return Err(ScenarioError::OracleViolation {
+                        violation: first.clone(),
+                    });
+                }
+            }
+            report.oracle = Some(outcome);
+        }
         Ok((report, output))
     }
 }

@@ -131,3 +131,30 @@ fn umbrella_crate_reexports_compose() {
     assert_eq!(id, etrain::core::RequestId(0));
     assert!(params.tail_time_s() > 0.0);
 }
+
+#[test]
+fn degenerate_empty_workload_is_well_defined_under_strict_oracle() {
+    // A device with no cargo and no trains spends the whole horizon idle.
+    // Every ratio metric must degrade to exactly 0.0 (never NaN), and the
+    // run must satisfy the simulation oracle's invariants end to end.
+    let report = Scenario::paper_default()
+        .oracle(etrain::sim::OracleMode::Strict)
+        .duration_secs(900)
+        .packets(vec![])
+        .heartbeats(vec![])
+        .try_run()
+        .expect("empty workload is a valid degenerate scenario");
+    assert_eq!(report.packets_completed, 0);
+    assert_eq!(report.heartbeats_sent, 0);
+    assert_eq!(report.extra_energy_j, 0.0);
+    assert_eq!(report.busy_time_s, 0.0);
+    assert_eq!(report.tail_fraction(), 0.0);
+    assert_eq!(report.abandonment_ratio, 0.0);
+    assert_eq!(report.normalized_delay_s, 0.0);
+    assert_eq!(report.deadline_violation_ratio, 0.0);
+    // Only the idle baseline remains.
+    assert!((report.total_energy_j - report.idle_energy_j).abs() < 1e-12);
+    let outcome = report.oracle.expect("strict mode attaches the audit");
+    assert!(outcome.is_clean());
+    assert!(outcome.checks > 0);
+}
