@@ -74,8 +74,10 @@ impl FileSync {
     }
 
     /// Submits every chunk to the live eTrain system as an upload request,
-    /// returning the request ids in order. The scheduler is then free to
-    /// spread the chunks over several trains.
+    /// returning the ids of the admitted chunks in order. The scheduler is
+    /// then free to spread the chunks over several trains. Under bounded
+    /// admission a chunk may be shed; shed chunks have no id and should be
+    /// resubmitted once pressure eases.
     ///
     /// # Errors
     ///
@@ -83,10 +85,13 @@ impl FileSync {
     /// submitted stay queued (the sync can be resumed by re-submitting the
     /// rest).
     pub fn submit_all(&self, client: &CargoClient) -> Result<Vec<RequestId>, CoreError> {
-        self.chunk_sizes()
-            .into_iter()
-            .map(|size| client.submit(TransmitRequest::upload(size)))
-            .collect()
+        let mut ids = Vec::new();
+        for size in self.chunk_sizes() {
+            if let Some(id) = client.submit(TransmitRequest::upload(size))?.id() {
+                ids.push(id);
+            }
+        }
+        Ok(ids)
     }
 
     /// Converts the sync to a simulator packet trace: all chunks arrive at

@@ -1,0 +1,5 @@
+//! Runs the overload-control ablation (shed policies under arrival-rate sweep).
+
+fn main() {
+    etrain_bench::run_binary("ablate_overload");
+}

@@ -4,6 +4,7 @@ pub mod ablate_dormancy;
 pub mod ablate_faults;
 pub mod ablate_jitter;
 pub mod ablate_k;
+pub mod ablate_overload;
 pub mod ablate_prediction;
 pub mod ablate_radio;
 pub mod capture_study;

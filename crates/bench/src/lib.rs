@@ -230,6 +230,11 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::ablate_faults::run,
         },
         Experiment {
+            name: "ablate_overload",
+            description: "Ablation: overload control (arrival rate sweep across shed policies)",
+            run: experiments::ablate_overload::run,
+        },
+        Experiment {
             name: "offline_gap",
             description: "Extension: online eTrain vs the Sec. III offline optimum",
             run: experiments::offline_gap::run,

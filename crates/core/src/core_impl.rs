@@ -5,14 +5,17 @@ use std::collections::HashMap;
 
 use etrain_hb::{HeartbeatMonitor, TrainStatus};
 use etrain_sched::{
-    AppProfile, ETrainConfig, ETrainScheduler, RetryDecision, RetryPolicy, Scheduler, SlotContext,
+    AdmissionConfig, AppProfile, ETrainConfig, ETrainScheduler, RetryDecision, RetryPolicy,
+    Scheduler, ShedPolicy, SlotContext,
 };
 use etrain_trace::faults::hash_unit;
 use etrain_trace::packets::Packet;
 use etrain_trace::{CargoAppId, TrainAppId};
 
 use crate::error::CoreError;
-use crate::request::{RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult};
+use crate::request::{
+    Admission, RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult,
+};
 
 /// Seed for the core's retry-jitter draws. Fixed: the live core has no
 /// fault plan to inherit a seed from, and determinism matters more than
@@ -36,6 +39,11 @@ pub struct CoreConfig {
     /// deadline uses that deadline as its give-up age instead of the
     /// policy's `give_up_age_s`.
     pub retry: RetryPolicy,
+    /// Bounded-admission configuration: queue capacities and the shed
+    /// policy applied when they are reached. Unbounded by default (no
+    /// behavior change); see [`crate::Admission`] for the typed outcomes
+    /// [`ETrainCore::submit`] reports under pressure.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for CoreConfig {
@@ -48,6 +56,7 @@ impl Default for CoreConfig {
             slot_s: 1.0,
             startup_grace_s: 600.0,
             retry: RetryPolicy::default(),
+            admission: AdmissionConfig::unbounded(),
         }
     }
 }
@@ -77,6 +86,14 @@ pub struct CoreStats {
     /// (paper Sec. V-3: the core stops deferring so cargo apps never wait
     /// indefinitely; piggybacking resumes when a train restarts).
     pub watchdog_flushes: usize,
+    /// Requests shed by bounded admission: rejected at submission or
+    /// evicted from the queue by the drop-lowest-value policy. Shed
+    /// requests never receive a decision.
+    pub shed: usize,
+    /// Queued requests released early by the force-flush-oldest policy to
+    /// make room for a new submission (these *are* transmitted; the count
+    /// is bookkeeping, not loss).
+    pub forced_flushes: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -240,9 +257,12 @@ impl ETrainCore {
         }
         carried.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
         for p in carried {
-            rebuilt
-                .on_arrival(p, p.arrival_s)
-                .expect("carried packet's app is registered");
+            // The rebuilt scheduler holds every profile, so re-arrival
+            // cannot fail; eTrain also never releases on arrival, so the
+            // returned vec is empty. Both are invariants, not user input —
+            // degrade silently in release rather than panic.
+            let released = rebuilt.on_arrival(p, p.arrival_s).unwrap_or_default();
+            debug_assert!(released.is_empty(), "eTrain defers on arrival");
         }
         self.scheduler = rebuilt;
         id
@@ -254,8 +274,16 @@ impl ETrainCore {
     }
 
     /// Submits a transmission request for `app` at time `now_s`, returning
-    /// its id. Decisions are delivered from [`ETrainCore::tick`] /
+    /// the typed [`Admission`] outcome. Decisions for admitted requests
+    /// are delivered from [`ETrainCore::tick`] /
     /// [`ETrainCore::on_heartbeat`].
+    ///
+    /// With the default unbounded [`CoreConfig::admission`] every
+    /// submission is [`Admission::Admitted`]. Once a capacity is
+    /// configured, an overflowing submission is resolved by the shed
+    /// policy: rejected outright, admitted at the expense of the
+    /// cheapest-cost queued request, or admitted after force-flushing the
+    /// oldest queued request for immediate transmission.
     ///
     /// # Errors
     ///
@@ -267,16 +295,78 @@ impl ETrainCore {
         app: CargoAppId,
         request: TransmitRequest,
         now_s: f64,
-    ) -> Result<RequestId, CoreError> {
+    ) -> Result<Admission, CoreError> {
         self.advance_clock(now_s)?;
         if app.index() >= self.profiles.len() {
             return Err(CoreError::UnknownCargoApp { app });
         }
+        self.stats.submitted += 1;
+
+        // Bounded admission: when a queue capacity is reached the shed
+        // policy decides who pays before the new packet may enter.
+        let mut evicted: Option<RequestId> = None;
+        let mut flushed: Option<TransmitDecision> = None;
+        let over = self
+            .config
+            .admission
+            .would_overflow(self.scheduler.pending(), self.scheduler.pending_for(app));
+        if over {
+            // When the per-app bound tripped, the victim must come from
+            // the violating app; a global victim would leave it exceeded.
+            let scoped = self
+                .config
+                .admission
+                .app_overflow(self.scheduler.pending_for(app));
+            match self.config.admission.policy {
+                ShedPolicy::RejectNew => {
+                    self.stats.shed += 1;
+                    return Ok(Admission::Rejected);
+                }
+                ShedPolicy::DropLowestValue => {
+                    let victim = if scoped {
+                        self.scheduler.evict_lowest_value_in(app, now_s)
+                    } else {
+                        self.scheduler.evict_lowest_value(now_s)
+                    };
+                    match victim {
+                        Some(victim) => {
+                            let meta = self.pending.remove(&victim.id);
+                            debug_assert!(meta.is_some(), "evicted packet has pending metadata");
+                            self.stats.shed += 1;
+                            evicted = meta.map(|m| m.id);
+                        }
+                        // Nothing evictable (pressure is not from this
+                        // scheduler's queues): fall back to rejecting.
+                        None => {
+                            self.stats.shed += 1;
+                            return Ok(Admission::Rejected);
+                        }
+                    }
+                }
+                ShedPolicy::ForceFlushOldest => {
+                    let oldest = if scoped {
+                        self.scheduler.pop_oldest_in(app)
+                    } else {
+                        self.scheduler.pop_oldest()
+                    };
+                    match oldest {
+                        Some(victim) => {
+                            self.stats.forced_flushes += 1;
+                            flushed = self.decision_for(victim, now_s, None);
+                        }
+                        None => {
+                            self.stats.shed += 1;
+                            return Ok(Admission::Rejected);
+                        }
+                    }
+                }
+            }
+        }
+
         let packet_id = self.next_packet_id;
         self.next_packet_id += 1;
         let id = RequestId(self.next_request_id);
         self.next_request_id += 1;
-        self.stats.submitted += 1;
 
         let packet = Packet {
             id: packet_id,
@@ -300,10 +390,20 @@ impl ETrainCore {
         // anything released immediately is stashed for the next tick.
         let stashed: Vec<TransmitDecision> = released
             .into_iter()
-            .map(|p| self.decision_for(p, now_s, None))
+            .filter_map(|p| self.decision_for(p, now_s, None))
             .collect();
         self.stashed_decisions.extend(stashed);
-        Ok(id)
+        Ok(match (evicted, flushed) {
+            (Some(victim), _) => Admission::AdmittedWithEviction {
+                id,
+                evicted: victim,
+            },
+            (None, Some(decision)) => Admission::AdmittedWithFlush {
+                id,
+                flushed: decision,
+            },
+            (None, None) => Admission::Admitted { id },
+        })
     }
 
     /// Notifies the core that `train` transmitted a heartbeat at `now_s`
@@ -521,14 +621,19 @@ impl ETrainCore {
             due.sort_by(|a, b| a.resume_at_s.total_cmp(&b.resume_at_s));
             for b in due {
                 self.pending.insert(b.packet.id, b.meta);
-                let released = self
-                    .scheduler
-                    .on_tx_failure(b.packet, now_s)
-                    .expect("retried packet's app is registered");
-                for p in released {
-                    let d = self.decision_for(p, now_s, None);
-                    decisions.push(d);
-                }
+                // The app was registered when the packet was first
+                // admitted; an unknown-app error here is an invariant
+                // break. Rather than panic (or lose the request), fall
+                // back to releasing it immediately.
+                let released = match self.scheduler.on_tx_failure(b.packet, now_s) {
+                    Ok(released) => released,
+                    Err(_) => vec![b.packet],
+                };
+                decisions.extend(
+                    released
+                        .into_iter()
+                        .filter_map(|p| self.decision_for(p, now_s, None)),
+                );
             }
         }
 
@@ -551,7 +656,7 @@ impl ETrainCore {
             .collect();
         for (packet_id, app) in critical {
             if let Some(p) = self.scheduler.force_release(app, packet_id) {
-                decisions.push(self.decision_for(p, now_s, None));
+                decisions.extend(self.decision_for(p, now_s, None));
             }
         }
 
@@ -565,7 +670,7 @@ impl ETrainCore {
             .scheduler
             .on_slot(&ctx)
             .into_iter()
-            .map(|p| self.decision_for(p, now_s, heartbeat))
+            .filter_map(|p| self.decision_for(p, now_s, heartbeat))
             .collect();
         decisions.extend(released);
         decisions
@@ -576,11 +681,14 @@ impl ETrainCore {
         packet: Packet,
         now_s: f64,
         piggybacked_on: Option<TrainAppId>,
-    ) -> TransmitDecision {
-        let meta = self
-            .pending
-            .remove(&packet.id)
-            .expect("released packet has pending metadata");
+    ) -> Option<TransmitDecision> {
+        // A released packet without pending metadata is an internal
+        // invariant break (it can only mean double release); drop it
+        // rather than panic on a user-reachable path.
+        let Some(meta) = self.pending.remove(&packet.id) else {
+            debug_assert!(false, "released packet has pending metadata");
+            return None;
+        };
         self.stats.decided += 1;
         if piggybacked_on.is_some() {
             self.stats.piggybacked += 1;
@@ -588,14 +696,42 @@ impl ETrainCore {
         // Track the decided request until its outcome is reported, so a
         // failure can be retried with its original submission metadata.
         self.awaiting.insert(meta.id, InFlight { packet, meta });
-        TransmitDecision {
+        Some(TransmitDecision {
             request: meta.id,
             app: packet.app,
             size_bytes: packet.size_bytes,
             decided_at_s: now_s,
             submitted_at_s: meta.submitted_at_s,
             piggybacked_on,
+        })
+    }
+
+    /// Drains every request the core still holds — stashed decisions,
+    /// scheduler-queued packets (oldest first) and retry backoffs — into
+    /// immediate [`TransmitDecision`]s, so a shutdown can surface in-flight
+    /// work instead of silently dropping it. The drained decisions enter
+    /// the awaiting set like any other; outcomes may still be reported.
+    pub fn drain(&mut self) -> Vec<TransmitDecision> {
+        let now_s = self.now_s;
+        let mut out = std::mem::take(&mut self.stashed_decisions);
+        let queued = self.scheduler.drain_pending();
+        out.extend(
+            queued
+                .into_iter()
+                .filter_map(|p| self.decision_for(p, now_s, None)),
+        );
+        let mut backoffs = std::mem::take(&mut self.backoffs);
+        backoffs.sort_by(|a, b| {
+            a.resume_at_s
+                .total_cmp(&b.resume_at_s)
+                .then(a.packet.id.cmp(&b.packet.id))
+        });
+        for b in backoffs {
+            self.failed_attempts.remove(&b.packet.id);
+            self.pending.insert(b.packet.id, b.meta);
+            out.extend(self.decision_for(b.packet, now_s, None));
         }
+        out
     }
 }
 
@@ -620,6 +756,8 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id = core
             .submit(cargo, TransmitRequest::upload(5_000), 10.0)
+            .unwrap()
+            .id()
             .unwrap();
         assert!(core.tick(11.0).unwrap().is_empty());
         assert_eq!(core.pending_requests(), 1);
@@ -710,11 +848,15 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id0 = core
             .submit(cargo0, TransmitRequest::upload(100), 5.0)
+            .unwrap()
+            .id()
             .unwrap();
         // Second cargo app registers while a request is pending.
         let cargo1 = core.register_cargo(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
         let id1 = core
             .submit(cargo1, TransmitRequest::upload(200), 6.0)
+            .unwrap()
+            .id()
             .unwrap();
         let decisions = core.on_heartbeat(train, 270.0).unwrap();
         let mut ids: Vec<RequestId> = decisions.iter().map(|d| d.request).collect();
@@ -746,9 +888,13 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let keep = core
             .submit(cargo, TransmitRequest::upload(100), 5.0)
+            .unwrap()
+            .id()
             .unwrap();
         let drop = core
             .submit(cargo, TransmitRequest::upload(200), 6.0)
+            .unwrap()
+            .id()
             .unwrap();
 
         assert!(core.cancel(drop), "pending request can be cancelled");
@@ -766,7 +912,11 @@ mod tests {
         let (mut core, train, cargo) = core();
         core.on_heartbeat(train, 0.0).unwrap();
         core.submit(cargo, TransmitRequest::upload(1), 1.0).unwrap();
-        let victim = core.submit(cargo, TransmitRequest::upload(2), 2.0).unwrap();
+        let victim = core
+            .submit(cargo, TransmitRequest::upload(2), 2.0)
+            .unwrap()
+            .id()
+            .unwrap();
         assert!(core.cancel(victim));
         core.on_heartbeat(train, 270.0).unwrap();
 
@@ -784,6 +934,8 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id = core
             .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap()
+            .id()
             .unwrap();
         let decisions = core.on_heartbeat(train, 270.0).unwrap();
         assert_eq!(decisions.len(), 1);
@@ -843,6 +995,8 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id = core
             .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap()
+            .id()
             .unwrap();
 
         let d = core.on_heartbeat(train, 270.0).unwrap();
@@ -870,6 +1024,8 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id = core
             .submit(cargo, TransmitRequest::upload(100).with_deadline(20.0), 5.0)
+            .unwrap()
+            .id()
             .unwrap();
         // The deadline override force-releases at ~24 s.
         let decisions = core.tick(24.0).unwrap();
@@ -891,7 +1047,11 @@ mod tests {
         assert!(matches!(err, CoreError::UnknownRequest { .. }));
         assert!(err.to_string().contains("req#99"));
 
-        let id = core.submit(cargo, TransmitRequest::upload(1), 2.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1), 2.0)
+            .unwrap()
+            .id()
+            .unwrap();
         core.on_heartbeat(train, 270.0).unwrap();
         core.report_result(id, TxResult::Delivered, 271.0).unwrap();
         let err = core
@@ -906,6 +1066,8 @@ mod tests {
         core.on_heartbeat(train, 0.0).unwrap();
         let id = core
             .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap()
+            .id()
             .unwrap();
         core.on_heartbeat(train, 270.0).unwrap();
         core.report_result(id, TxResult::Failed, 271.0).unwrap();
@@ -942,6 +1104,180 @@ mod tests {
         assert_eq!(core.stats().watchdog_flushes, 2);
     }
 
+    fn bounded_core(policy: ShedPolicy, cap: usize) -> (ETrainCore, TrainAppId, CargoAppId) {
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 1e9, // defer everything: queue pressure builds
+            admission: AdmissionConfig::unbounded()
+                .with_global_capacity(cap)
+                .with_policy(policy),
+            ..CoreConfig::default()
+        });
+        let train = core.register_train("WeChat");
+        // Weibo's f2 cost grows strictly with age (Mail's f1 is zero
+        // before its deadline), so value-based eviction is observable.
+        let cargo = core.register_cargo(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+        (core, train, cargo)
+    }
+
+    #[test]
+    fn reject_new_sheds_overflowing_submissions() {
+        let (mut core, train, cargo) = bounded_core(ShedPolicy::RejectNew, 2);
+        core.on_heartbeat(train, 0.0).unwrap();
+        for i in 0..2 {
+            let a = core
+                .submit(cargo, TransmitRequest::upload(100), i as f64 + 1.0)
+                .unwrap();
+            assert!(matches!(a, Admission::Admitted { .. }));
+        }
+        let a = core
+            .submit(cargo, TransmitRequest::upload(100), 3.0)
+            .unwrap();
+        assert_eq!(a, Admission::Rejected);
+        assert_eq!(a.id(), None);
+        assert_eq!(core.pending_requests(), 2, "capacity is never exceeded");
+        let stats = core.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.forced_flushes, 0);
+    }
+
+    #[test]
+    fn drop_lowest_value_evicts_to_admit() {
+        let (mut core, train, cargo) = bounded_core(ShedPolicy::DropLowestValue, 2);
+        core.on_heartbeat(train, 0.0).unwrap();
+        let first = core
+            .submit(cargo, TransmitRequest::upload(100), 1.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        core.submit(cargo, TransmitRequest::upload(100), 5.0)
+            .unwrap();
+        // Same app and profile: the youngest queued packet (the second)
+        // has the cheapest delay cost, so it is the eviction victim.
+        let a = core
+            .submit(cargo, TransmitRequest::upload(100), 9.0)
+            .unwrap();
+        let Admission::AdmittedWithEviction { id, evicted } = a else {
+            panic!("expected an eviction, got {a:?}");
+        };
+        assert_ne!(evicted, first, "the oldest (highest-cost) request survives");
+        assert_eq!(core.pending_requests(), 2);
+        assert_eq!(core.stats().shed, 1);
+        // The evicted request never resurfaces; the survivors both ride
+        // the next train.
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        let mut riding: Vec<RequestId> = decisions.iter().map(|d| d.request).collect();
+        riding.sort();
+        assert_eq!(riding, vec![first, id]);
+    }
+
+    #[test]
+    fn force_flush_oldest_releases_early_to_admit() {
+        let (mut core, train, cargo) = bounded_core(ShedPolicy::ForceFlushOldest, 2);
+        core.on_heartbeat(train, 0.0).unwrap();
+        let oldest = core
+            .submit(cargo, TransmitRequest::upload(100), 1.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        core.submit(cargo, TransmitRequest::upload(100), 2.0)
+            .unwrap();
+        let a = core
+            .submit(cargo, TransmitRequest::upload(100), 3.0)
+            .unwrap();
+        let Admission::AdmittedWithFlush { id, flushed } = a else {
+            panic!("expected a forced flush, got {a:?}");
+        };
+        assert_eq!(flushed.request, oldest, "the oldest request is flushed");
+        assert_eq!(
+            flushed.piggybacked_on, None,
+            "an early flush rides no train"
+        );
+        assert_ne!(id, oldest);
+        assert_eq!(core.pending_requests(), 2);
+        let stats = core.stats();
+        assert_eq!(stats.shed, 0, "a forced flush transmits; nothing is lost");
+        assert_eq!(stats.forced_flushes, 1);
+        assert_eq!(stats.decided, 1);
+        // The flushed decision is awaiting a result like any other.
+        assert_eq!(core.awaiting_results(), 1);
+        assert_eq!(
+            core.report_result(oldest, TxResult::Delivered, 4.0)
+                .unwrap(),
+            RetryVerdict::Delivered
+        );
+    }
+
+    #[test]
+    fn per_app_capacity_binds_independently() {
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 1e9,
+            admission: AdmissionConfig::unbounded()
+                .with_per_app_capacity(1)
+                .with_policy(ShedPolicy::RejectNew),
+            ..CoreConfig::default()
+        });
+        let train = core.register_train("WeChat");
+        let mail = core.register_cargo(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        let weibo = core.register_cargo(AppProfile::new("Weibo", CostProfile::weibo(120.0)));
+        core.on_heartbeat(train, 0.0).unwrap();
+        assert!(core
+            .submit(mail, TransmitRequest::upload(1), 1.0)
+            .unwrap()
+            .is_admitted());
+        assert_eq!(
+            core.submit(mail, TransmitRequest::upload(1), 2.0).unwrap(),
+            Admission::Rejected,
+            "mail is at its per-app cap"
+        );
+        assert!(
+            core.submit(weibo, TransmitRequest::upload(1), 3.0)
+                .unwrap()
+                .is_admitted(),
+            "weibo has its own budget"
+        );
+    }
+
+    #[test]
+    fn drain_surfaces_queued_stashed_and_backing_off_requests() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        let queued = core
+            .submit(cargo, TransmitRequest::upload(100), 1.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        let failing = core
+            .submit(cargo, TransmitRequest::upload(200), 2.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        // Decide the second request and fail it so it sits in backoff.
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(decisions.len(), 2);
+        core.report_result(failing, TxResult::Failed, 271.0)
+            .unwrap();
+        assert_eq!(core.backing_off(), 1);
+        // Re-queue another request that will still be waiting.
+        assert_eq!(
+            core.report_result(queued, TxResult::Delivered, 272.0)
+                .unwrap(),
+            RetryVerdict::Delivered
+        );
+        let waiting = core
+            .submit(cargo, TransmitRequest::upload(300), 273.0)
+            .unwrap()
+            .id()
+            .unwrap();
+
+        let mut drained: Vec<RequestId> = core.drain().iter().map(|d| d.request).collect();
+        drained.sort();
+        assert_eq!(drained, vec![failing, waiting]);
+        assert_eq!(core.pending_requests(), 0);
+        assert_eq!(core.backing_off(), 0);
+        assert!(core.drain().is_empty(), "drain is idempotent");
+    }
+
     #[test]
     fn config_round_trips_through_json() {
         let config = CoreConfig {
@@ -950,6 +1286,9 @@ mod tests {
             slot_s: 0.5,
             startup_grace_s: 120.0,
             retry: RetryPolicy::for_deadline(90.0),
+            admission: AdmissionConfig::unbounded()
+                .with_global_capacity(64)
+                .with_policy(ShedPolicy::DropLowestValue),
         };
         let json = serde_json::to_string(&config).unwrap();
         let back: CoreConfig = serde_json::from_str(&json).unwrap();

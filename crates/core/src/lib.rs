@@ -38,7 +38,8 @@
 //!
 //! // The Xposed hook fires on each heartbeat; requests queue in between.
 //! core.on_heartbeat(train, 0.0)?;
-//! let id = core.submit(mail, TransmitRequest::upload(5_000), 5.0)?;
+//! let admission = core.submit(mail, TransmitRequest::upload(5_000), 5.0)?;
+//! let id = admission.id().expect("unbounded admission always admits");
 //! assert!(core.tick(6.0)?.is_empty()); // deferred: cost below Θ, no train yet
 //!
 //! let decisions = core.on_heartbeat(train, 270.0)?; // next train departs
@@ -50,6 +51,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Overload-control hardening: user-reachable runtime paths must not panic
+// on `unwrap`/`expect`; failures surface as typed `CoreError`s or degrade
+// gracefully. Tests (and doctests, which compile as separate crates) are
+// exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod bus;
 mod core_impl;
@@ -63,10 +69,11 @@ pub use core_impl::{CoreConfig, CoreStats, ETrainCore};
 pub use error::CoreError;
 pub use meter::EnergyMeter;
 pub use request::{
-    Direction, RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult,
+    Admission, Direction, RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult,
 };
-pub use system::{CargoClient, ETrainSystem, SystemConfig, TrainHandle};
+pub use system::{CargoClient, ETrainSystem, ShutdownReport, SystemConfig, TrainHandle};
 
 // The retry policy is configured through `CoreConfig::retry`; re-exported
-// so embedders don't need a direct `etrain-sched` dependency for it.
-pub use etrain_sched::RetryPolicy;
+// so embedders don't need a direct `etrain-sched` dependency for it. The
+// admission types configure `CoreConfig::admission` the same way.
+pub use etrain_sched::{AdmissionConfig, RetryPolicy, ShedPolicy};

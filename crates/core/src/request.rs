@@ -95,6 +95,60 @@ impl TransmitDecision {
     }
 }
 
+/// Outcome of submitting a transmission request under bounded admission
+/// (see [`crate::CoreConfig::admission`]). With the default unbounded
+/// configuration every submission is [`Admission::Admitted`]; once a queue
+/// capacity is configured, the active shed policy decides how an overflow
+/// is resolved and that resolution is reported here, typed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The request was admitted; a [`TransmitDecision`] will follow from a
+    /// later tick or heartbeat.
+    Admitted {
+        /// Id of the newly admitted request.
+        id: RequestId,
+    },
+    /// The queue was full; the drop-lowest-value policy shed the queued
+    /// request whose current delay cost was cheapest to make room.
+    AdmittedWithEviction {
+        /// Id of the newly admitted request.
+        id: RequestId,
+        /// The previously queued request that was shed (it will never
+        /// receive a decision).
+        evicted: RequestId,
+    },
+    /// The queue was full; the force-flush-oldest policy released the
+    /// oldest queued request for immediate transmission to make room.
+    AdmittedWithFlush {
+        /// Id of the newly admitted request.
+        id: RequestId,
+        /// The early-release decision for the flushed request. It must be
+        /// acted on (transmitted) like any broadcast decision.
+        flushed: TransmitDecision,
+    },
+    /// The queue was full and the reject-new policy dropped this request;
+    /// no id was issued. Resubmit after backing off.
+    Rejected,
+}
+
+impl Admission {
+    /// The id of the admitted request, or `None` when it was rejected.
+    pub fn id(&self) -> Option<RequestId> {
+        match self {
+            Admission::Admitted { id }
+            | Admission::AdmittedWithEviction { id, .. }
+            | Admission::AdmittedWithFlush { id, .. } => Some(*id),
+            Admission::Rejected => None,
+        }
+    }
+
+    /// Whether the request entered the system (possibly at another
+    /// request's expense).
+    pub fn is_admitted(&self) -> bool {
+        self.id().is_some()
+    }
+}
+
 /// Outcome of a transmission attempt, reported back by the cargo app (or
 /// the transport layer acting on its behalf) after acting on a
 /// [`TransmitDecision`].

@@ -14,7 +14,9 @@ use parking_lot::Mutex;
 use crate::bus::Bus;
 use crate::core_impl::{CoreConfig, ETrainCore};
 use crate::error::CoreError;
-use crate::request::{RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult};
+use crate::request::{
+    Admission, RequestId, RetryVerdict, TransmitDecision, TransmitRequest, TxResult,
+};
 
 /// Configuration of the threaded runtime.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -104,7 +106,8 @@ impl ETrainSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `time_scale` is not strictly positive.
+    /// Panics if `time_scale` is not strictly positive, or if the
+    /// operating system refuses to spawn the scheduler thread.
     pub fn start(config: SystemConfig) -> Self {
         assert!(config.time_scale > 0.0, "time scale must be positive");
         let shared = Arc::new(Shared {
@@ -119,7 +122,7 @@ impl ETrainSystem {
         let tick_real =
             Duration::from_secs_f64((config.core.slot_s / config.time_scale).max(0.001));
         let thread_shared = Arc::clone(&shared);
-        let ticker = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("etrain-scheduler".to_owned())
             .spawn(move || {
                 while !thread_shared.stopped.load(Ordering::SeqCst) {
@@ -131,8 +134,13 @@ impl ETrainSystem {
                     };
                     thread_shared.publish_all(decisions);
                 }
-            })
-            .expect("spawning the scheduler thread succeeds");
+            });
+        let ticker = match spawned {
+            Ok(handle) => handle,
+            // No scheduler thread means no system; this is the documented
+            // startup panic, not a runtime `expect`.
+            Err(e) => panic!("failed to spawn the eTrain scheduler thread: {e}"),
+        };
         ETrainSystem {
             shared,
             ticker: Some(ticker),
@@ -174,9 +182,19 @@ impl ETrainSystem {
         self.shared.core.lock().stats()
     }
 
-    /// Stops the scheduler thread and waits for it to exit.
-    pub fn shutdown(mut self) {
+    /// Stops the scheduler thread, waits for it to exit, then drains every
+    /// request still held by the core — queued, stashed or backing off —
+    /// into immediate decisions. The drained decisions are broadcast on
+    /// the bus (so subscribed clients can still act on them) *and*
+    /// returned, so no in-flight work is silently dropped at teardown.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.stop_and_join();
+        let drained = {
+            let mut core = self.shared.core.lock();
+            core.drain()
+        };
+        self.shared.publish_all(drained.clone());
+        ShutdownReport { drained }
     }
 
     fn stop_and_join(&mut self) {
@@ -185,6 +203,16 @@ impl ETrainSystem {
             let _ = handle.join();
         }
     }
+}
+
+/// What [`ETrainSystem::shutdown`] surfaced on the way out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShutdownReport {
+    /// Decisions for every request the core still held at shutdown
+    /// (queued in the scheduler, stashed, or waiting out a retry
+    /// backoff), in release order. Apps that care about durability should
+    /// transmit these before exiting.
+    pub drained: Vec<TransmitDecision>,
 }
 
 impl Drop for ETrainSystem {
@@ -243,14 +271,18 @@ impl CargoClient {
         self.app
     }
 
-    /// Submits a transmission request; the decision arrives later on the
-    /// broadcast (see [`CargoClient::next_decision`]).
+    /// Submits a transmission request, returning the typed
+    /// [`Admission`] outcome; the decision for an admitted request
+    /// arrives later on the broadcast (see [`CargoClient::next_decision`]).
+    /// Under bounded admission ([`crate::CoreConfig::admission`]) the
+    /// outcome reports load shedding: rejection, an eviction, or an early
+    /// force-flush of the oldest queued request.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::SystemStopped`] after shutdown, or the core's
     /// validation errors.
-    pub fn submit(&self, request: TransmitRequest) -> Result<RequestId, CoreError> {
+    pub fn submit(&self, request: TransmitRequest) -> Result<Admission, CoreError> {
         self.shared.ensure_running()?;
         let now = self.shared.now_s();
         self.shared.core.lock().submit(self.app, request, now)
@@ -328,7 +360,11 @@ mod tests {
         let train = system.train_handle("QQ");
         let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
 
-        let id = client.submit(TransmitRequest::upload(4_000)).unwrap();
+        let id = client
+            .submit(TransmitRequest::upload(4_000))
+            .unwrap()
+            .id()
+            .unwrap();
         train.heartbeat().unwrap();
         let decision = client
             .next_decision(Duration::from_secs(2))
@@ -375,6 +411,29 @@ mod tests {
         let decision = client.next_decision(Duration::from_secs(2));
         assert!(decision.is_some(), "ticker should flush the request");
         system.shutdown();
+    }
+
+    #[test]
+    fn shutdown_under_load_drains_pending_decisions() {
+        // High Θ and no heartbeat: every submission stays queued. Shutdown
+        // must surface all of them instead of silently dropping the queue.
+        let system = ETrainSystem::start(fast_config(1e9));
+        let _train = system.train_handle("QQ");
+        let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
+        let all = system.subscribe();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let admission = client.submit(TransmitRequest::upload(100 + i)).unwrap();
+            ids.push(admission.id().unwrap());
+        }
+        let report = system.shutdown();
+        let mut drained: Vec<RequestId> = report.drained.iter().map(|d| d.request).collect();
+        drained.sort();
+        assert_eq!(drained, ids, "every queued request is drained");
+        // The drained decisions were also broadcast to live subscribers.
+        for _ in 0..5 {
+            assert!(all.recv_timeout(Duration::from_secs(1)).is_ok());
+        }
     }
 
     #[test]

@@ -105,6 +105,31 @@ pub trait Scheduler: std::fmt::Debug + Send {
         1.0
     }
 
+    /// Alarm feedback: an invariant monitor (the simulation oracle, or an
+    /// external health check) observed a violation at `now_s`. Resilient
+    /// schedulers demote themselves; the default ignores the alarm, which
+    /// is correct for the paper's unguarded algorithms.
+    fn on_oracle_violation(&mut self, _now_s: f64) {}
+
+    /// The degradation-ladder transitions recorded so far, in time order.
+    /// Non-degrading schedulers report none.
+    fn health_transitions(&self) -> Vec<crate::health::HealthTransition> {
+        Vec::new()
+    }
+
+    /// Drains the packets this scheduler shed under admission control
+    /// (each is a terminal outcome: the packet was never, and will never
+    /// be, released). Non-shedding schedulers return none.
+    fn take_shed(&mut self) -> Vec<Packet> {
+        Vec::new()
+    }
+
+    /// Packets released early by the force-flush-oldest shed policy
+    /// (these packets *are* transmitted; the count is bookkeeping).
+    fn forced_flushes(&self) -> usize {
+        0
+    }
+
     /// Number of packets currently deferred.
     fn pending(&self) -> usize;
 

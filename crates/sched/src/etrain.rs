@@ -105,6 +105,64 @@ impl ETrainScheduler {
         &self.config
     }
 
+    /// Overrides the piggyback burst limit `k` at run time. The degraded
+    /// mode of [`GuardedScheduler`](crate::GuardedScheduler) uses this to
+    /// halve the burst limit without rebuilding the queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`.
+    pub fn set_k(&mut self, k: Option<usize>) {
+        assert!(k != Some(0), "k must be at least 1 (or None for infinity)");
+        self.config.k = k;
+    }
+
+    /// The registered cargo app profiles.
+    pub fn profiles(&self) -> &[AppProfile] {
+        self.queues.profiles()
+    }
+
+    /// Packets currently deferred for one app.
+    pub fn pending_for(&self, app: CargoAppId) -> usize {
+        if app.index() < self.queues.app_count() {
+            self.queues.app_queue(app).len()
+        } else {
+            0
+        }
+    }
+
+    /// Drains every deferred packet in arrival order, bypassing
+    /// Algorithm 1 (the fallback immediate-send mode and the system
+    /// shutdown path use this).
+    pub fn drain_pending(&mut self) -> Vec<Packet> {
+        self.queues.drain_all()
+    }
+
+    /// Removes and returns the oldest deferred packet (force-flush-oldest
+    /// shed policy), or `None` when nothing is deferred.
+    pub fn pop_oldest(&mut self) -> Option<Packet> {
+        self.queues.pop_oldest()
+    }
+
+    /// [`ETrainScheduler::pop_oldest`] restricted to one app's queue —
+    /// the victim when a *per-app* admission bound trips.
+    pub fn pop_oldest_in(&mut self, app: CargoAppId) -> Option<Packet> {
+        self.queues.pop_oldest_in(app)
+    }
+
+    /// Removes and returns the deferred packet with the lowest
+    /// instantaneous delay cost (drop-lowest-value shed policy), or
+    /// `None` when nothing is deferred.
+    pub fn evict_lowest_value(&mut self, now_s: f64) -> Option<Packet> {
+        self.queues.evict_lowest_value(now_s)
+    }
+
+    /// [`ETrainScheduler::evict_lowest_value`] restricted to one app's
+    /// queue — the victim when a *per-app* admission bound trips.
+    pub fn evict_lowest_value_in(&mut self, app: CargoAppId, now_s: f64) -> Option<Packet> {
+        self.queues.evict_lowest_value_in(app, now_s)
+    }
+
     /// The current total instantaneous cost `P(t)` (paper Eq. 6).
     pub fn total_cost(&self, now_s: f64) -> f64 {
         self.queues.total_cost(now_s)

@@ -18,7 +18,11 @@
 //!   feedback hook through which failed transmissions are re-admitted;
 //! - [`RetryPolicy`] — exponential backoff with jitter, bounded attempts and
 //!   deadline-aware give-up, shared by the simulator's fault layer and the
-//!   live core's retry state machine.
+//!   live core's retry state machine;
+//! - [`GuardedScheduler`] — eTrain wrapped in the Healthy → Degraded →
+//!   Fallback degradation ladder with bounded admission and load shedding
+//!   ([`AdmissionConfig`]/[`ShedPolicy`]), so the system provably falls
+//!   back to no-piggyback behaviour instead of misbehaving.
 //!
 //! # Example
 //!
@@ -47,21 +51,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod api;
 mod baseline;
 mod cost;
 mod etime;
 mod etrain;
+mod health;
 mod offline;
 mod peres;
 mod queue;
 mod retry;
 
+pub use admission::{AdmissionConfig, ShedPolicy};
 pub use api::{Scheduler, SchedulerError, SlotContext};
 pub use baseline::BaselineScheduler;
 pub use cost::CostProfile;
 pub use etime::{ETimeConfig, ETimeScheduler};
 pub use etrain::{ETrainConfig, ETrainScheduler};
+pub use health::{GuardedScheduler, HealthConfig, HealthState, HealthTransition, TransitionCause};
 pub use offline::{OfflineProblem, OfflineRelease, OfflineSchedule};
 pub use peres::{PerEsConfig, PerEsScheduler};
 pub use queue::{AppProfile, WaitingQueues};

@@ -179,6 +179,67 @@ impl WaitingQueues {
         out
     }
 
+    /// Removes and returns the oldest pending packet (earliest arrival,
+    /// ties broken by packet id), or `None` when every queue is empty.
+    /// Used by the force-flush-oldest shed policy.
+    pub fn pop_oldest(&mut self) -> Option<Packet> {
+        let victim = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .copied()
+            .min_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)))?;
+        self.remove(victim.app, victim.id)
+    }
+
+    /// [`WaitingQueues::pop_oldest`] restricted to one app's queue: when
+    /// the *per-app* capacity is the bound that tripped, the victim must
+    /// come from the violating app or the bound would not be restored.
+    pub fn pop_oldest_in(&mut self, app: CargoAppId) -> Option<Packet> {
+        let victim = self
+            .queues
+            .get(app.index())?
+            .iter()
+            .copied()
+            .min_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)))?;
+        self.remove(victim.app, victim.id)
+    }
+
+    /// [`WaitingQueues::evict_lowest_value`] restricted to one app's queue
+    /// (per-app capacity enforcement, like [`WaitingQueues::pop_oldest_in`]).
+    pub fn evict_lowest_value_in(&mut self, app: CargoAppId, now_s: f64) -> Option<Packet> {
+        let profile = self.profiles.get(app.index())?;
+        let victim = self
+            .queues
+            .get(app.index())?
+            .iter()
+            .map(|p| (profile.cost.cost(now_s - p.arrival_s), *p))
+            .min_by(|(ca, a), (cb, b)| {
+                ca.total_cmp(cb)
+                    .then(a.arrival_s.total_cmp(&b.arrival_s))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(_, p)| p)?;
+        self.remove(victim.app, victim.id)
+    }
+
+    /// Removes and returns the pending packet with the lowest
+    /// instantaneous delay cost `φ_u(t − t_a)` — the cheapest packet to
+    /// lose (ties broken by arrival, then id). Used by the
+    /// drop-lowest-value shed policy.
+    pub fn evict_lowest_value(&mut self, now_s: f64) -> Option<Packet> {
+        let victim = self
+            .iter()
+            .map(|(profile, p)| (profile.cost.cost(now_s - p.arrival_s), *p))
+            .min_by(|(ca, a), (cb, b)| {
+                ca.total_cmp(cb)
+                    .then(a.arrival_s.total_cmp(&b.arrival_s))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(_, p)| p)?;
+        self.remove(victim.app, victim.id)
+    }
+
     /// Drains the packets whose deadline would be violated by waiting one
     /// more slot (used by deadline-aware schedulers).
     pub fn drain_deadline_critical(&mut self, now_s: f64, slot_s: f64) -> Vec<Packet> {
@@ -299,6 +360,32 @@ mod tests {
         assert_eq!(critical.len(), 1);
         assert_eq!(critical[0].id, 0);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_oldest_respects_arrival_then_id() {
+        let mut q = queues();
+        q.push(packet(5, 0, 3.0, 100)).unwrap();
+        q.push(packet(1, 2, 3.0, 100)).unwrap();
+        q.push(packet(9, 1, 1.0, 100)).unwrap();
+        assert_eq!(q.pop_oldest().unwrap().id, 9);
+        assert_eq!(q.pop_oldest().unwrap().id, 1, "tie broken by id");
+        assert_eq!(q.pop_oldest().unwrap().id, 5);
+        assert!(q.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn evict_lowest_value_drops_cheapest_cost() {
+        let mut q = queues();
+        // At t=20: Mail (f1) is free before its 30 s deadline (cost 0),
+        // Weibo (f2) at age 15 costs 0.5 — Mail is the cheapest to lose.
+        q.push(packet(0, 1, 5.0, 100)).unwrap();
+        q.push(packet(1, 0, 5.0, 100)).unwrap();
+        let victim = q.evict_lowest_value(20.0).unwrap();
+        assert_eq!(victim.id, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.evict_lowest_value(20.0).unwrap().id, 0);
+        assert!(q.evict_lowest_value(20.0).is_none());
     }
 
     #[test]

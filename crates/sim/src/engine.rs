@@ -23,7 +23,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use etrain_radio::{PowerTrace, Radio, RadioParams, Timeline, Transmission};
-use etrain_sched::{RetryDecision, RetryPolicy, Scheduler, SlotContext};
+use etrain_sched::{HealthTransition, RetryDecision, RetryPolicy, Scheduler, SlotContext};
 use etrain_trace::bandwidth::BandwidthTrace;
 use etrain_trace::faults::{hash_unit, FaultPlan};
 use etrain_trace::heartbeats::Heartbeat;
@@ -84,6 +84,14 @@ pub struct EngineOutput {
     pub wasted_retry_energy_j: f64,
     /// Packets still deferred inside the scheduler at the horizon.
     pub still_deferred: usize,
+    /// Packets shed by admission control (terminal state: never released).
+    pub shed: Vec<Packet>,
+    /// Packets released early by the force-flush-oldest shed policy (these
+    /// were transmitted; the count is bookkeeping, not a terminal state).
+    pub forced_flushes: usize,
+    /// Degradation-ladder transitions the scheduler recorded, in time
+    /// order; empty for non-degrading schedulers.
+    pub health_events: Vec<HealthTransition>,
     /// Heartbeats transmitted.
     pub heartbeats_sent: usize,
     /// Transmission energy above idle, in joules.
@@ -247,6 +255,12 @@ pub fn run_engine_with_faults(
     let mut retries = 0usize;
     let mut wasted_retry_energy_j = 0.0f64;
 
+    // Injected oracle alarms, delivered at the first slot boundary at or
+    // after each alarm time (empty for the common fault-free run).
+    let mut alarms: Vec<f64> = plan.oracle_alarms.clone();
+    alarms.sort_by(f64::total_cmp);
+    let mut alarm_idx = 0usize;
+
     // The fate of a cargo transfer attempt that just ended at `end`.
     // Burned energy stays burned; a retried packet keeps its original
     // arrival time so φ_u(t − t_a) keeps growing.
@@ -336,6 +350,10 @@ pub fn run_engine_with_faults(
                 }
             }
             PRIO_SLOT => {
+                while alarm_idx < alarms.len() && alarms[alarm_idx] <= t {
+                    scheduler.on_oracle_violation(t);
+                    alarm_idx += 1;
+                }
                 let heartbeat_departing = heartbeats[hb_idx..]
                     .iter()
                     .take_while(|hb| hb.time_s < t + slot_s)
@@ -469,6 +487,9 @@ pub fn run_engine_with_faults(
         retries,
         wasted_retry_energy_j,
         still_deferred: scheduler.pending(),
+        shed: scheduler.take_shed(),
+        forced_flushes: scheduler.forced_flushes(),
+        health_events: scheduler.health_transitions(),
         heartbeats_sent,
         transmission_energy_j: radio.transmission_energy_j(),
         tail_energy_j: radio.tail_energy_j(),

@@ -66,10 +66,16 @@ pub use oracle::{
 };
 pub use replicate::{replicate, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
-pub use runner::{RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV};
+pub use runner::{GridCheckpoint, RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV};
 pub use scenario::{BandwidthSource, Scenario, ScenarioError, SchedulerKind, TraceBundle};
 
 // Re-exported so fault-injection experiments can be described with this
 // crate alone.
 pub use etrain_sched::{RetryDecision, RetryPolicy};
 pub use etrain_trace::faults::{FaultPlan, FaultWindow};
+
+// Re-exported so overload/degradation experiments can be described with
+// this crate alone.
+pub use etrain_sched::{
+    AdmissionConfig, HealthConfig, HealthState, HealthTransition, ShedPolicy, TransitionCause,
+};

@@ -5,7 +5,7 @@
 //! packet), and (3) deadline violation ratio (fraction of packets that
 //! violate their app's deadline).
 
-use etrain_sched::AppProfile;
+use etrain_sched::{AppProfile, HealthTransition};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineOutput;
@@ -73,6 +73,15 @@ pub struct RunReport {
     /// IDLE→DCH state promotions (signaling events; fast dormancy trades
     /// tail energy for more of these).
     pub promotions: usize,
+    /// Packets shed by admission control (terminal state: never
+    /// transmitted, never completed).
+    pub packets_shed: usize,
+    /// Packets released early by the force-flush-oldest shed policy (these
+    /// packets were transmitted; this is a bookkeeping count).
+    pub forced_flushes: usize,
+    /// Degradation-ladder transitions recorded during the run, in time
+    /// order; empty for non-degrading schedulers.
+    pub health_events: Vec<HealthTransition>,
     /// Per-app breakdown.
     pub per_app: Vec<AppReport>,
     /// Outcome of the simulation oracle's audit of this run; `None` when
@@ -158,6 +167,9 @@ impl RunReport {
             deadline_violation_ratio,
             busy_time_s: output.busy_time_s,
             promotions: output.promotions,
+            packets_shed: output.shed.len(),
+            forced_flushes: output.forced_flushes,
+            health_events: output.health_events.clone(),
             per_app,
             oracle: None,
         }
@@ -204,6 +216,9 @@ mod tests {
             retries: 0,
             wasted_retry_energy_j: 0.0,
             still_deferred: 0,
+            shed: Vec::new(),
+            forced_flushes: 0,
+            health_events: Vec::new(),
             heartbeats_sent: 5,
             transmission_energy_j: 2.0,
             tail_energy_j: 8.0,

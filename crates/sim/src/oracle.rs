@@ -176,6 +176,8 @@ pub enum OracleViolation {
         in_flight: usize,
         /// Packets still deferred inside the scheduler.
         still_deferred: usize,
+        /// Packets shed by admission control.
+        shed: usize,
     },
     /// A packet reached more than one terminal state.
     DuplicateTerminalState {
@@ -286,9 +288,10 @@ impl std::fmt::Display for OracleViolation {
                 abandoned,
                 in_flight,
                 still_deferred,
+                shed,
             } => write!(
                 f,
-                "packet conservation broken: {generated} generated vs {completed} completed + {abandoned} abandoned + {in_flight} in flight + {still_deferred} deferred"
+                "packet conservation broken: {generated} generated vs {completed} completed + {abandoned} abandoned + {in_flight} in flight + {still_deferred} deferred + {shed} shed"
             ),
             OracleViolation::DuplicateTerminalState { packet_id } => {
                 write!(f, "packet {packet_id} reached two terminal states")
@@ -564,7 +567,8 @@ fn audit_packets(audit: &mut Audit, output: &EngineOutput, packets: &[Packet], p
         .iter()
         .map(|c| c.packet.id)
         .chain(output.abandoned.iter().map(|a| a.packet.id))
-        .chain(output.in_flight.iter().map(|p| p.id));
+        .chain(output.in_flight.iter().map(|p| p.id))
+        .chain(output.shed.iter().map(|p| p.id));
     for id in terminal_ids {
         match remaining.get_mut(&id) {
             Some(n) if *n > 0 => {
@@ -584,6 +588,7 @@ fn audit_packets(audit: &mut Audit, output: &EngineOutput, packets: &[Packet], p
                 + output.abandoned.len()
                 + output.in_flight.len()
                 + output.still_deferred
+                + output.shed.len()
                 == packets.len(),
         || OracleViolation::PacketConservation {
             generated: packets.len(),
@@ -591,6 +596,7 @@ fn audit_packets(audit: &mut Audit, output: &EngineOutput, packets: &[Packet], p
             abandoned: output.abandoned.len(),
             in_flight: output.in_flight.len(),
             still_deferred: output.still_deferred,
+            shed: output.shed.len(),
         },
     );
 
@@ -807,6 +813,17 @@ pub fn audit_report(
         ),
         ("retries", report.retries, output.retries),
         ("promotions", report.promotions, output.promotions),
+        ("packets_shed", report.packets_shed, output.shed.len()),
+        (
+            "forced_flushes",
+            report.forced_flushes,
+            output.forced_flushes,
+        ),
+        (
+            "health_events",
+            report.health_events.len(),
+            output.health_events.len(),
+        ),
         (
             "per_app_packets",
             report.per_app.iter().map(|a| a.packets).sum::<usize>(),

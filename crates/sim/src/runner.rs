@@ -19,6 +19,16 @@
 //! overridden by the `ETRAIN_JOBS` environment variable or the
 //! [`RunGrid::jobs`] builder, and `jobs = 1` degenerates to fully in-line
 //! serial execution (no threads spawned at all).
+//!
+//! # Robustness
+//!
+//! Every job runs under [`std::panic::catch_unwind`]: a panicking job
+//! becomes a [`RunError::Panicked`] entry (carrying the panic payload)
+//! instead of killing the worker pool, and every other job still
+//! completes. Long grids can additionally checkpoint completed reports
+//! into a [`GridCheckpoint`] (see [`RunGrid::run_with_checkpoints`]) and
+//! resume after a crash; resumed jobs are bit-for-bit identical to a
+//! fresh run because each job is a pure function of its spec.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -65,30 +75,151 @@ impl RunSpec {
     }
 }
 
-/// A grid job that failed [`Scenario::validate`].
+/// A grid job that could not produce a report: its scenario failed
+/// validation, or it panicked and was isolated by the pool.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunError {
+pub enum RunError {
+    /// The job's scenario failed [`Scenario::validate`].
+    Scenario {
+        /// Index of the failing job in the grid.
+        index: usize,
+        /// The failing job's label.
+        label: String,
+        /// Why the scenario cannot run.
+        error: ScenarioError,
+    },
+    /// The job panicked mid-run. The pool caught the unwind, so every
+    /// other job still completed; only this entry is lost.
+    Panicked {
+        /// Index of the panicking job in the grid.
+        index: usize,
+        /// The panicking job's label.
+        label: String,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+}
+
+impl RunError {
     /// Index of the failing job in the grid.
-    pub index: usize,
+    pub fn index(&self) -> usize {
+        match self {
+            RunError::Scenario { index, .. } | RunError::Panicked { index, .. } => *index,
+        }
+    }
+
     /// The failing job's label.
-    pub label: String,
-    /// Why the scenario cannot run.
-    pub error: ScenarioError,
+    pub fn label(&self) -> &str {
+        match self {
+            RunError::Scenario { label, .. } | RunError::Panicked { label, .. } => label,
+        }
+    }
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "grid job #{} ({}): {}",
-            self.index, self.label, self.error
-        )
+        match self {
+            RunError::Scenario {
+                index,
+                label,
+                error,
+            } => write!(f, "grid job #{index} ({label}): {error}"),
+            RunError::Panicked {
+                index,
+                label,
+                payload,
+            } => write!(f, "grid job #{index} ({label}) panicked: {payload}"),
+        }
     }
 }
 
 impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.error)
+        match self {
+            RunError::Scenario { error, .. } => Some(error),
+            RunError::Panicked { .. } => None,
+        }
+    }
+}
+
+/// A job failure before attribution to a grid index.
+#[derive(Debug)]
+enum JobError {
+    Scenario(ScenarioError),
+    Panicked(String),
+}
+
+impl JobError {
+    fn into_run_error(self, index: usize, label: String) -> RunError {
+        match self {
+            JobError::Scenario(error) => RunError::Scenario {
+                index,
+                label,
+                error,
+            },
+            JobError::Panicked(payload) => RunError::Panicked {
+                index,
+                label,
+                payload,
+            },
+        }
+    }
+}
+
+/// A resumable snapshot of a grid's completed jobs, produced by
+/// [`RunGrid::run_with_checkpoints`]. Serializable, so a long grid can
+/// persist it periodically and survive a process crash: resuming skips
+/// every completed job and — because each job is a pure function of its
+/// spec — yields reports bit-for-bit identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GridCheckpoint {
+    /// Binds the checkpoint to the grid shape it was taken from (job
+    /// labels, knobs, trace keys and schedulers); resuming with a
+    /// mismatched grid is rejected.
+    fingerprint: u64,
+    /// One slot per grid job; `Some` holds the completed report.
+    slots: Vec<Option<RunReport>>,
+}
+
+impl GridCheckpoint {
+    /// Number of jobs in the checkpointed grid.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the checkpointed grid has no jobs at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of jobs with a completed report.
+    pub fn completed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether every job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+
+    /// Indices of the completed jobs, ascending.
+    pub fn completed_indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// The completed report of job `index`, if any.
+    pub fn report(&self, index: usize) -> Option<&RunReport> {
+        self.slots.get(index).and_then(Option::as_ref)
+    }
+
+    /// Consumes a complete checkpoint into its reports in job order;
+    /// `None` while any job is still pending.
+    pub fn into_reports(self) -> Option<Vec<RunReport>> {
+        self.slots.into_iter().collect()
     }
 }
 
@@ -269,7 +400,7 @@ impl RunGrid {
     ///
     /// # Panics
     ///
-    /// Panics if any job's scenario fails validation (see
+    /// Panics if any job fails validation or panics itself (see
     /// [`RunGrid::try_run`] for the fallible form).
     pub fn run(&self) -> Vec<RunReport> {
         self.try_run().expect("invalid grid job")
@@ -280,7 +411,8 @@ impl RunGrid {
     ///
     /// # Errors
     ///
-    /// Returns the first (by job index) scenario-validation failure.
+    /// Returns the first (by job index) scenario-validation failure or
+    /// isolated job panic.
     pub fn try_run(&self) -> Result<Vec<RunReport>, RunError> {
         self.try_run_with_cache(&TraceCache::new())
     }
@@ -291,47 +423,149 @@ impl RunGrid {
     ///
     /// # Errors
     ///
-    /// Returns the first (by job index) scenario-validation failure.
+    /// Returns the first (by job index) failure — a validation error or
+    /// an isolated panic. Every other job still ran to completion first.
     pub fn try_run_with_cache(&self, cache: &TraceCache) -> Result<Vec<RunReport>, RunError> {
-        let workers = self.effective_jobs();
-        let outcomes = if workers <= 1 || self.specs.len() <= 1 {
-            self.run_serial(cache)
-        } else {
-            self.run_pool(cache, workers)
-        };
-        let mut reports = Vec::with_capacity(outcomes.len());
-        for (index, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
+        let mut slots: Vec<Option<Result<RunReport, JobError>>> =
+            (0..self.specs.len()).map(|_| None).collect();
+        let todo: Vec<usize> = (0..self.specs.len()).collect();
+        self.execute(cache, &todo, |index, outcome| slots[index] = Some(outcome));
+        let mut reports = Vec::with_capacity(slots.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every job reports exactly once") {
                 Ok(report) => reports.push(report),
                 Err(error) => {
-                    return Err(RunError {
-                        index,
-                        label: self.specs[index].label.clone(),
-                        error,
-                    })
+                    return Err(error.into_run_error(index, self.specs[index].label.clone()))
                 }
             }
         }
         Ok(reports)
     }
 
-    /// In-line execution on the calling thread (the `jobs = 1` path).
-    fn run_serial(&self, cache: &TraceCache) -> Vec<Result<RunReport, ScenarioError>> {
-        self.specs.iter().map(|spec| run_one(spec, cache)).collect()
+    /// A deterministic identity for the grid's *shape*: job count plus
+    /// each job's label, knob, trace key and scheduler. Used to bind a
+    /// [`GridCheckpoint`] to the grid it was taken from. (FNV-1a rather
+    /// than [`std::hash::DefaultHasher`] at this layer so the combining
+    /// step is stable across processes — checkpoints outlive the
+    /// process.)
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            // Field separator, so ("ab","c") and ("a","bc") differ.
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        mix(&(self.specs.len() as u64).to_le_bytes());
+        for spec in &self.specs {
+            mix(spec.label.as_bytes());
+            mix(&spec.knob.unwrap_or(f64::NAN).to_bits().to_le_bytes());
+            mix(&spec.scenario.trace_key().to_le_bytes());
+            mix(spec.scenario.scheduler_kind().to_string().as_bytes());
+        }
+        hash
     }
 
-    /// Worker-pool execution: jobs are drawn from a shared channel and
-    /// finish out of order; the indexed result channel restores job order.
-    fn run_pool(
+    /// Runs the grid with periodic crash-recovery checkpoints.
+    ///
+    /// Starts from `resume_from` when given (jobs already completed there
+    /// are skipped, not re-run), executes the remaining jobs, and calls
+    /// `persist` with the current checkpoint after every `checkpoint_every`
+    /// newly completed jobs *and* once more at the end. A typical caller
+    /// serializes the checkpoint to disk in `persist`; after a crash it
+    /// deserializes the latest snapshot and passes it back as
+    /// `resume_from`.
+    ///
+    /// Because each job is a pure function of its spec, the reports of a
+    /// resumed grid are bit-for-bit identical to an uninterrupted run.
+    /// Only successful reports are checkpointed: jobs that failed
+    /// validation or panicked are reported in the returned error list and
+    /// retried on resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume_from` was taken from a different grid (length or
+    /// [`RunGrid::fingerprint`] mismatch).
+    pub fn run_with_checkpoints<F: FnMut(&GridCheckpoint)>(
+        &self,
+        resume_from: Option<GridCheckpoint>,
+        checkpoint_every: usize,
+        mut persist: F,
+    ) -> (GridCheckpoint, Vec<RunError>) {
+        let fingerprint = self.fingerprint();
+        let mut checkpoint = match resume_from {
+            Some(cp) => {
+                assert_eq!(
+                    cp.slots.len(),
+                    self.specs.len(),
+                    "checkpoint is from a grid with a different job count"
+                );
+                assert_eq!(
+                    cp.fingerprint, fingerprint,
+                    "checkpoint is from a different grid (fingerprint mismatch)"
+                );
+                cp
+            }
+            None => GridCheckpoint {
+                fingerprint,
+                slots: (0..self.specs.len()).map(|_| None).collect(),
+            },
+        };
+        let todo: Vec<usize> = checkpoint
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        let every = checkpoint_every.max(1);
+        let cache = TraceCache::new();
+        let mut errors = Vec::new();
+        let mut fresh = 0usize;
+        self.execute(&cache, &todo, |index, outcome| match outcome {
+            Ok(report) => {
+                checkpoint.slots[index] = Some(report);
+                fresh += 1;
+                if fresh.is_multiple_of(every) {
+                    persist(&checkpoint);
+                }
+            }
+            Err(error) => {
+                errors.push(error.into_run_error(index, self.specs[index].label.clone()));
+            }
+        });
+        errors.sort_by_key(RunError::index);
+        persist(&checkpoint);
+        (checkpoint, errors)
+    }
+
+    /// Shared execution path: runs the jobs at `todo`, invoking
+    /// `on_result` on the calling thread as each job completes (out of
+    /// index order under the pool — callers that need order re-assemble by
+    /// index). Each job is panic-isolated via [`run_one_isolated`].
+    fn execute<F: FnMut(usize, Result<RunReport, JobError>)>(
         &self,
         cache: &TraceCache,
-        workers: usize,
-    ) -> Vec<Result<RunReport, ScenarioError>> {
+        todo: &[usize],
+        mut on_result: F,
+    ) {
+        let workers = self.effective_jobs().min(todo.len().max(1));
+        if workers <= 1 || todo.len() <= 1 {
+            for &index in todo {
+                on_result(index, run_one_isolated(&self.specs[index], cache));
+            }
+            return;
+        }
         let (job_tx, job_rx) = channel::unbounded::<(usize, &RunSpec)>();
-        let (result_tx, result_rx) =
-            channel::unbounded::<(usize, Result<RunReport, ScenarioError>)>();
-        for job in self.specs.iter().enumerate() {
-            job_tx.send(job).expect("job receiver alive");
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Result<RunReport, JobError>)>();
+        for &index in todo {
+            job_tx
+                .send((index, &self.specs[index]))
+                .expect("job receiver alive");
         }
         drop(job_tx);
 
@@ -341,24 +575,24 @@ impl RunGrid {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     while let Ok((index, spec)) = job_rx.recv() {
-                        if result_tx.send((index, run_one(spec, cache))).is_err() {
+                        if result_tx
+                            .send((index, run_one_isolated(spec, cache)))
+                            .is_err()
+                        {
                             return;
                         }
                     }
                 });
             }
+            // Drain on the calling thread *while workers run*, so
+            // `on_result` (and therefore periodic checkpointing) fires
+            // mid-grid, not only after the last job. The iterator ends
+            // when the workers drop their sender clones.
+            drop(result_tx);
+            for (index, outcome) in result_rx.iter() {
+                on_result(index, outcome);
+            }
         });
-        drop(result_tx);
-
-        let mut slots: Vec<Option<Result<RunReport, ScenarioError>>> =
-            (0..self.specs.len()).map(|_| None).collect();
-        for (index, outcome) in result_rx.try_iter() {
-            slots[index] = Some(outcome);
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every job reports exactly once"))
-            .collect()
     }
 }
 
@@ -376,6 +610,33 @@ fn run_one(spec: &RunSpec, cache: &TraceCache) -> Result<RunReport, ScenarioErro
         .map(|(report, _)| report)
 }
 
+/// [`run_one`] with panic isolation: an unwinding job becomes
+/// [`JobError::Panicked`] instead of tearing down the worker (and, under
+/// `std::thread::scope`, the whole grid). `AssertUnwindSafe` is sound
+/// here because a panicking job's only shared state is the [`TraceCache`],
+/// which is itself poison-tolerant and only ever holds fully generated
+/// bundles.
+fn run_one_isolated(spec: &RunSpec, cache: &TraceCache) -> Result<RunReport, JobError> {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(spec, cache)));
+    match unwound {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(error)) => Err(JobError::Scenario(error)),
+        Err(payload) => Err(JobError::Panicked(panic_payload_string(payload.as_ref()))),
+    }
+}
+
+/// Best-effort stringification of a caught panic payload (`panic!` with a
+/// literal yields `&str`, with formatting yields `String`).
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
 /// Parses an `ETRAIN_JOBS` value; `None`/unparseable/zero mean "not set".
 fn jobs_from_env(value: Option<&str>) -> Option<usize> {
     value
@@ -387,6 +648,8 @@ fn jobs_from_env(value: Option<&str>) -> Option<usize> {
 mod tests {
     use super::*;
     use crate::scenario::BandwidthSource;
+    use etrain_trace::packets::Packet;
+    use etrain_trace::CargoAppId;
 
     fn theta_grid(jobs: usize) -> RunGrid {
         let base = Scenario::paper_default().duration_secs(600).seed(3);
@@ -475,10 +738,126 @@ mod tests {
                 .spec(RunSpec::new("bad-duration", base.clone().duration_secs(0)))
                 .jobs(jobs);
             let err = grid.try_run().unwrap_err();
-            assert_eq!(err.index, 1, "jobs={jobs}");
-            assert_eq!(err.label, "bad-bandwidth");
+            assert!(matches!(err, RunError::Scenario { .. }), "jobs={jobs}");
+            assert_eq!(err.index(), 1, "jobs={jobs}");
+            assert_eq!(err.label(), "bad-bandwidth");
             assert!(err.to_string().contains("grid job #1"));
         }
+    }
+
+    /// A spec that passes `validate()` but panics inside the engine: its
+    /// explicit packet trace references an unregistered app index.
+    fn panicking_spec(label: &str) -> RunSpec {
+        RunSpec::new(
+            label,
+            Scenario::paper_default()
+                .duration_secs(600)
+                .seed(5)
+                .packets(vec![Packet {
+                    id: 0,
+                    app: CargoAppId(99),
+                    arrival_s: 10.0,
+                    size_bytes: 1_000,
+                }]),
+        )
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let mut survivors = Vec::new();
+        for jobs in [1, 4] {
+            let base = Scenario::paper_default().duration_secs(600).seed(3);
+            let grid = RunGrid::new()
+                .spec(RunSpec::new("ok-0", base.clone()))
+                .spec(panicking_spec("boom"))
+                .spec(RunSpec::new("ok-2", base.clone().seed(4)))
+                .jobs(jobs);
+            let err = grid.try_run().unwrap_err();
+            assert!(matches!(err, RunError::Panicked { .. }), "jobs={jobs}");
+            assert_eq!(err.index(), 1, "jobs={jobs}");
+            assert_eq!(err.label(), "boom");
+            assert!(err.to_string().contains("panicked"), "jobs={jobs}");
+
+            // The pool survived: both healthy jobs still completed.
+            let (checkpoint, errors) = grid.run_with_checkpoints(None, 1, |_| {});
+            assert_eq!(checkpoint.completed_indices(), vec![0, 2], "jobs={jobs}");
+            assert_eq!(errors.len(), 1, "jobs={jobs}");
+            assert!(matches!(
+                &errors[0],
+                RunError::Panicked { index: 1, payload, .. }
+                    if payload.contains("registered with the scheduler")
+            ));
+            survivors.push(checkpoint);
+        }
+        // Surviving reports are bit-for-bit identical serial vs pool.
+        assert_eq!(survivors[0], survivors[1]);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_for_bit_identical() {
+        let uninterrupted = theta_grid(1).run();
+
+        // Take a mid-flight snapshot (as a crash would leave on disk)...
+        let mut snapshot: Option<GridCheckpoint> = None;
+        let (full, errors) = theta_grid(2).run_with_checkpoints(None, 1, |cp| {
+            if snapshot.is_none() && !cp.is_complete() {
+                snapshot = Some(cp.clone());
+            }
+        });
+        assert!(errors.is_empty());
+        assert!(full.is_complete());
+
+        // ... and resume from it on an identically shaped grid.
+        let snapshot = snapshot.expect("mid-flight checkpoint captured");
+        assert!(snapshot.completed() < snapshot.len());
+        let (resumed, errors) = theta_grid(2).run_with_checkpoints(Some(snapshot), 8, |_| {});
+        assert!(errors.is_empty());
+        assert_eq!(resumed, full);
+        assert_eq!(resumed.into_reports().expect("complete"), uninterrupted);
+    }
+
+    #[test]
+    fn persist_fires_every_n_and_at_end() {
+        let mut completions = Vec::new();
+        let (checkpoint, errors) =
+            theta_grid(1).run_with_checkpoints(None, 2, |cp| completions.push(cp.completed()));
+        assert!(errors.is_empty());
+        assert!(checkpoint.is_complete());
+        assert_eq!(completions, vec![2, 4, 4], "every 2 jobs, plus final");
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint mismatch")]
+    fn resuming_with_foreign_checkpoint_is_rejected() {
+        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {});
+        let other = RunGrid::from_specs(
+            (0..4u64)
+                .map(|i| {
+                    RunSpec::new(
+                        format!("job-{i}"),
+                        Scenario::paper_default().duration_secs(600).seed(50 + i),
+                    )
+                })
+                .collect(),
+        );
+        let _ = other.run_with_checkpoints(Some(checkpoint), 8, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "different job count")]
+    fn resuming_with_wrong_length_checkpoint_is_rejected() {
+        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {});
+        let shorter = RunGrid::from_specs(theta_grid(1).specs()[..2].to_vec());
+        let _ = shorter.run_with_checkpoints(Some(checkpoint), 8, |_| {});
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let (checkpoint, errors) = theta_grid(2).run_with_checkpoints(None, 4, |_| {});
+        assert!(errors.is_empty());
+        let json = serde_json::to_string(&checkpoint).expect("serializes");
+        let back: GridCheckpoint = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, checkpoint);
     }
 
     #[test]

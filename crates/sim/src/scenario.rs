@@ -5,8 +5,9 @@ use std::sync::Arc;
 
 use etrain_radio::RadioParams;
 use etrain_sched::{
-    AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig, ETrainScheduler,
-    PerEsConfig, PerEsScheduler, RetryPolicy, Scheduler,
+    AdmissionConfig, AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig,
+    ETrainScheduler, GuardedScheduler, HealthConfig, PerEsConfig, PerEsScheduler, RetryPolicy,
+    Scheduler,
 };
 use etrain_trace::bandwidth::{wuhan_drive_synthetic, BandwidthTrace};
 use etrain_trace::faults::FaultPlan;
@@ -47,6 +48,12 @@ pub enum ScenarioError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The scheduler kind's configuration violates an invariant (zero
+    /// capacity, zero ladder threshold, ...).
+    InvalidScheduler {
+        /// What is wrong with it.
+        reason: String,
+    },
     /// The run executed but the simulation oracle (in
     /// [`OracleMode::Strict`]) found a violated invariant.
     OracleViolation {
@@ -78,6 +85,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidRetryPolicy { reason } => {
                 write!(f, "invalid retry policy: {reason}")
+            }
+            ScenarioError::InvalidScheduler { reason } => {
+                write!(f, "invalid scheduler config: {reason}")
             }
             ScenarioError::OracleViolation { violation } => {
                 write!(f, "oracle violation: {violation}")
@@ -114,6 +124,18 @@ pub enum SchedulerKind {
         /// Backlog threshold on an average channel, in bytes.
         v_bytes: f64,
     },
+    /// eTrain wrapped in the Healthy → Degraded → Fallback degradation
+    /// ladder with bounded admission.
+    Guarded {
+        /// The delay-cost bound Θ.
+        theta: f64,
+        /// Packets per heartbeat; `None` is the paper's k = ∞.
+        k: Option<usize>,
+        /// The ladder's thresholds.
+        health: HealthConfig,
+        /// Queue bounds and shed policy (unbounded for ladder-only runs).
+        admission: AdmissionConfig,
+    },
 }
 
 impl SchedulerKind {
@@ -143,6 +165,23 @@ impl SchedulerKind {
                 },
                 profiles,
             )),
+            SchedulerKind::Guarded {
+                theta,
+                k,
+                health,
+                admission,
+            } => Box::new(
+                GuardedScheduler::new(
+                    ETrainConfig {
+                        theta,
+                        k,
+                        slot_s: 1.0,
+                    },
+                    health,
+                    profiles,
+                )
+                .with_admission(admission),
+            ),
         }
     }
 
@@ -153,6 +192,7 @@ impl SchedulerKind {
             SchedulerKind::ETrain { .. } => "eTrain",
             SchedulerKind::PerEs { .. } => "PerES",
             SchedulerKind::ETime { .. } => "eTime",
+            SchedulerKind::Guarded { .. } => "eTrain (guarded)",
         }
     }
 }
@@ -167,6 +207,21 @@ impl std::fmt::Display for SchedulerKind {
             },
             SchedulerKind::PerEs { omega } => write!(f, "PerES(Ω={omega})"),
             SchedulerKind::ETime { v_bytes } => write!(f, "eTime(V={v_bytes} B)"),
+            SchedulerKind::Guarded {
+                theta,
+                k,
+                admission,
+                ..
+            } => {
+                match k {
+                    Some(k) => write!(f, "eTrain-guarded(Θ={theta}, k={k}")?,
+                    None => write!(f, "eTrain-guarded(Θ={theta}, k=∞")?,
+                }
+                if !admission.is_unbounded() {
+                    write!(f, ", {}", admission.policy)?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -367,6 +422,11 @@ impl Scenario {
         self.oracle
     }
 
+    /// The scheduler this scenario runs.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
     /// The registered app profiles.
     pub fn profiles_ref(&self) -> &[AppProfile] {
         &self.profiles
@@ -404,6 +464,17 @@ impl Scenario {
         self.retry
             .validate()
             .map_err(|reason| ScenarioError::InvalidRetryPolicy { reason })?;
+        if let SchedulerKind::Guarded {
+            health, admission, ..
+        } = &self.scheduler
+        {
+            health
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidScheduler { reason })?;
+            admission
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidScheduler { reason })?;
+        }
         Ok(())
     }
 

@@ -16,17 +16,25 @@ use etrain_trace::heartbeats::{Heartbeat, TrainAppSpec};
 use etrain_trace::packets::Packet;
 use etrain_trace::{CargoAppId, TrainAppId};
 
-/// All four compared algorithms, with the knob values the paper's
-/// comparison figures use.
-const KINDS: [SchedulerKind; 4] = [
-    SchedulerKind::Baseline,
-    SchedulerKind::ETrain {
-        theta: 0.2,
-        k: None,
-    },
-    SchedulerKind::PerEs { omega: 0.2 },
-    SchedulerKind::ETime { v_bytes: 30_000.0 },
-];
+/// All compared algorithms, with the knob values the paper's comparison
+/// figures use, plus the guarded (degradation-ladder) eTrain variant.
+fn kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Baseline,
+        SchedulerKind::ETrain {
+            theta: 0.2,
+            k: None,
+        },
+        SchedulerKind::PerEs { omega: 0.2 },
+        SchedulerKind::ETime { v_bytes: 30_000.0 },
+        SchedulerKind::Guarded {
+            theta: 0.2,
+            k: None,
+            health: etrain_sched::HealthConfig::default(),
+            admission: etrain_sched::AdmissionConfig::unbounded(),
+        },
+    ]
+}
 
 /// Deterministic scenario generator: every knob a pure function of the
 /// seed, so a failing seed reproduces exactly.
@@ -66,19 +74,19 @@ fn random_scenario(seed: u64, with_faults: bool) -> Scenario {
     scenario
 }
 
-/// Runs one random scenario through all four schedulers twice — serial and
+/// Runs one random scenario through every scheduler twice — serial and
 /// on the worker pool — in `Strict` oracle mode, and demands bit-for-bit
 /// identical reports.
 fn assert_strict_and_deterministic(seed: u64, with_faults: bool) {
     let base = random_scenario(seed, with_faults);
-    let serial = RunGrid::over_schedulers(&base, &KINDS)
+    let serial = RunGrid::over_schedulers(&base, &kinds())
         .oracle(OracleMode::Strict)
         .jobs(1)
         .try_run()
         .unwrap_or_else(|e| {
             panic!("strict oracle failed (seed {seed}, faults {with_faults}): {e}")
         });
-    let parallel = RunGrid::over_schedulers(&base, &KINDS)
+    let parallel = RunGrid::over_schedulers(&base, &kinds())
         .oracle(OracleMode::Strict)
         .jobs(4)
         .try_run()
@@ -99,8 +107,8 @@ fn assert_strict_and_deterministic(seed: u64, with_faults: bool) {
     }
 }
 
-/// Quick tier: 8 seeds × {fault-free, faulty} × 4 schedulers × {serial,
-/// pool} = 128 audited runs in the default test pass.
+/// Quick tier: 8 seeds × {fault-free, faulty} × 5 schedulers × {serial,
+/// pool} = 160 audited runs in the default test pass.
 #[test]
 fn conformance_quick_strict_and_deterministic() {
     for seed in 0..8 {
@@ -110,7 +118,7 @@ fn conformance_quick_strict_and_deterministic() {
 }
 
 /// Exhaustive tier for the CI conformance job: 25 seeds × {fault-free,
-/// faulty} × 4 schedulers = 200 strict-audited scenarios (400 engine runs
+/// faulty} × 5 schedulers = 250 strict-audited scenarios (500 engine runs
 /// counting the serial/parallel comparison).
 #[test]
 #[ignore = "exhaustive sweep; run with `cargo test -- --ignored` (CI conformance job)"]

@@ -69,6 +69,13 @@ pub struct FaultPlan {
     /// Windows during which every train app is dead (no heartbeats, and
     /// liveness monitors see silence); each window's end is a restart.
     pub train_deaths: Vec<FaultWindow>,
+    /// Times at which an oracle-violation alarm is injected: the engine
+    /// delivers each to [`Scheduler::on_oracle_violation`] at the first
+    /// slot boundary at or after the alarm time, exercising the
+    /// degradation ladder without corrupting the run itself.
+    ///
+    /// [`Scheduler::on_oracle_violation`]: https://docs.rs/etrain-sched
+    pub oracle_alarms: Vec<f64>,
 }
 
 impl Default for FaultPlan {
@@ -89,6 +96,7 @@ impl FaultPlan {
             heartbeat_drop_probability: 0.0,
             outages: Vec::new(),
             train_deaths: Vec::new(),
+            oracle_alarms: Vec::new(),
         }
     }
 
@@ -131,6 +139,17 @@ impl FaultPlan {
     /// restart at `end_s`.
     pub fn with_train_death(mut self, start_s: f64, end_s: f64) -> Self {
         self.train_deaths.push(FaultWindow::new(start_s, end_s));
+        self
+    }
+
+    /// Injects an oracle-violation alarm at `at_s`; the engine delivers it
+    /// to the scheduler at the first slot boundary at or after that time.
+    pub fn with_oracle_alarm(mut self, at_s: f64) -> Self {
+        assert!(
+            at_s.is_finite() && at_s >= 0.0,
+            "oracle alarm time must be finite and non-negative"
+        );
+        self.oracle_alarms.push(at_s);
         self
     }
 
@@ -186,6 +205,13 @@ impl FaultPlan {
                 }
             }
         }
+        for &t in &self.oracle_alarms {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(format!(
+                    "oracle alarm time must be finite and non-negative, got {t}"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -196,6 +222,7 @@ impl FaultPlan {
             && self.heartbeat_drop_probability <= 0.0
             && self.outages.is_empty()
             && self.train_deaths.is_empty()
+            && self.oracle_alarms.is_empty()
     }
 
     /// Whether the transfer attempt `attempt` (1-based) of packet
@@ -448,6 +475,27 @@ mod tests {
                 back.loses_transmission(id, 2)
             );
         }
+    }
+
+    #[test]
+    fn oracle_alarms_break_noop_and_round_trip() {
+        let plan = FaultPlan::seeded(1).with_oracle_alarm(30.0);
+        assert!(!plan.is_noop());
+        assert!(plan.validate().is_ok());
+        // The alarm schedule survives a serde round trip.
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        // Invalid alarm times are caught by validate.
+        let mut bad = FaultPlan::none();
+        bad.oracle_alarms.push(f64::NAN);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "alarm time")]
+    fn negative_alarm_time_panics() {
+        let _ = FaultPlan::none().with_oracle_alarm(-1.0);
     }
 
     #[test]

@@ -38,10 +38,14 @@ fn main() {
     // The apps generate some traffic, then heartbeats depart.
     let mail_req = mail
         .submit(TransmitRequest::upload(5_000))
-        .expect("system running");
+        .expect("system running")
+        .id()
+        .expect("unbounded admission admits");
     let weibo_req = weibo
         .submit(TransmitRequest::upload(2_000))
-        .expect("system running");
+        .expect("system running")
+        .id()
+        .expect("unbounded admission admits");
     println!(
         "submitted {mail_req} (5 KB mail) and {weibo_req} (2 KB weibo post) at t={:.1}s",
         system.now_s()
@@ -71,7 +75,9 @@ fn main() {
     // A second round riding WeChat's heartbeat.
     let late = weibo
         .submit(TransmitRequest::upload(1_200))
-        .expect("system running");
+        .expect("system running")
+        .id()
+        .expect("unbounded admission admits");
     std::thread::sleep(Duration::from_millis(30));
     wechat.heartbeat().expect("system running");
     if let Some(decision) = weibo.next_decision(Duration::from_secs(2)) {
@@ -82,6 +88,9 @@ fn main() {
         );
     }
 
-    system.shutdown();
-    println!("\nsystem shut down cleanly");
+    let report = system.shutdown();
+    println!(
+        "\nsystem shut down cleanly ({} in-flight decisions drained)",
+        report.drained.len()
+    );
 }

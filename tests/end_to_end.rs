@@ -127,7 +127,9 @@ fn umbrella_crate_reexports_compose() {
     let _train = core.register_train("QQ");
     let id = core
         .submit(app, etrain::core::TransmitRequest::upload(100), 0.0)
-        .expect("registered");
+        .expect("registered")
+        .id()
+        .expect("unbounded admission admits");
     assert_eq!(id, etrain::core::RequestId(0));
     assert!(params.tail_time_s() > 0.0);
 }

@@ -90,7 +90,11 @@ fn failed_transfers_back_off_then_deliver_or_abandon() {
     let client = system.cargo_client(AppProfile::new("Mail", CostProfile::mail(300.0)));
 
     // Round 1: decision arrives, the transfer fails mid-flight.
-    let id = client.submit(TransmitRequest::upload(3_000)).unwrap();
+    let id = client
+        .submit(TransmitRequest::upload(3_000))
+        .unwrap()
+        .id()
+        .unwrap();
     train.heartbeat().unwrap();
     let first = client
         .next_decision(Duration::from_secs(3))
@@ -134,6 +138,8 @@ fn failed_transfers_back_off_then_deliver_or_abandon() {
     // cannot be met after the first failure and abandons immediately.
     let doomed = client
         .submit(TransmitRequest::upload(500).with_deadline(1.0))
+        .unwrap()
+        .id()
         .unwrap();
     train.heartbeat().unwrap();
     let decision = client

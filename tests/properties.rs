@@ -185,6 +185,135 @@ proptest! {
             "negative saving {}", meter.saved_j(1000.0));
     }
 
+    /// Bounded admission in the live core: for any shed policy, capacity
+    /// and interleaving of heartbeats, the deferred backlog never exceeds
+    /// the global capacity and every submission is accounted for exactly
+    /// once — still pending, decided, or shed (request conservation).
+    #[test]
+    fn core_admission_bounds_backlog_and_conserves_requests(
+        policy in prop_oneof![
+            Just(etrain::sched::ShedPolicy::RejectNew),
+            Just(etrain::sched::ShedPolicy::DropLowestValue),
+            Just(etrain::sched::ShedPolicy::ForceFlushOldest),
+        ],
+        global_cap in 1usize..8,
+        per_app_cap in prop_oneof![Just(None), (1usize..4).prop_map(Some)],
+        ops in prop::collection::vec(
+            (0usize..3, 1_000u64..50_000, 0.0f64..5.0, prop::bool::weighted(0.15)),
+            1..60,
+        ),
+    ) {
+        use etrain::core::{AdmissionConfig, CoreConfig, ETrainCore, TransmitRequest};
+        use etrain::sched::AppProfile;
+
+        let mut admission = AdmissionConfig::unbounded()
+            .with_global_capacity(global_cap)
+            .with_policy(policy);
+        if let Some(cap) = per_app_cap {
+            admission = admission.with_per_app_capacity(cap);
+        }
+        let mut core = ETrainCore::new(CoreConfig {
+            theta: 1e9, // defer everything, so the queues actually fill
+            admission,
+            ..CoreConfig::default()
+        });
+        let train = core.register_train("WeChat");
+        let apps: Vec<_> = AppProfile::paper_defaults()
+            .into_iter()
+            .map(|p| core.register_cargo(p))
+            .collect();
+
+        let mut now = 0.0;
+        for (app_idx, size, dt, heartbeat) in ops {
+            now += dt;
+            if heartbeat {
+                core.on_heartbeat(train, now).unwrap();
+            }
+            core.submit(apps[app_idx], TransmitRequest::upload(size), now).unwrap();
+            prop_assert!(
+                core.pending_requests() <= global_cap,
+                "backlog {} exceeds global capacity {global_cap}",
+                core.pending_requests()
+            );
+            let stats = core.stats();
+            prop_assert_eq!(
+                stats.submitted,
+                core.pending_requests() + stats.decided + stats.shed,
+                "conservation broken: {:?}", stats
+            );
+        }
+    }
+
+    /// The same bounds at the scheduler layer, where the per-app backlog
+    /// is observable: the guarded scheduler never exceeds either capacity
+    /// no matter the policy, and conserves packets (admitted arrivals are
+    /// pending, released, or shed — never lost or duplicated).
+    #[test]
+    fn guarded_admission_bounds_every_app_and_conserves_packets(
+        policy in prop_oneof![
+            Just(etrain::sched::ShedPolicy::RejectNew),
+            Just(etrain::sched::ShedPolicy::DropLowestValue),
+            Just(etrain::sched::ShedPolicy::ForceFlushOldest),
+        ],
+        global_cap in prop_oneof![Just(None), (1usize..8).prop_map(Some)],
+        per_app_cap in prop_oneof![Just(None), (1usize..4).prop_map(Some)],
+        arrivals in prop::collection::vec((0usize..3, 500u64..20_000, 0.0f64..5.0), 1..60),
+    ) {
+        use etrain::sched::{
+            AdmissionConfig, AppProfile, ETrainConfig, GuardedScheduler, HealthConfig,
+            Scheduler,
+        };
+        use etrain::trace::packets::Packet;
+        use etrain::trace::CargoAppId;
+
+        let mut admission = AdmissionConfig::unbounded().with_policy(policy);
+        if let Some(cap) = global_cap {
+            admission = admission.with_global_capacity(cap);
+        }
+        if let Some(cap) = per_app_cap {
+            admission = admission.with_per_app_capacity(cap);
+        }
+        let mut sched = GuardedScheduler::new(
+            ETrainConfig { theta: 1e9, k: None, slot_s: 1.0 },
+            HealthConfig::default(),
+            AppProfile::paper_defaults(),
+        )
+        .with_admission(admission);
+
+        let mut now = 0.0;
+        let mut released = 0usize;
+        let mut shed = 0usize;
+        for (i, (app_idx, size, dt)) in arrivals.iter().enumerate() {
+            now += dt;
+            let packet = Packet {
+                id: i as u64,
+                app: CargoAppId(*app_idx),
+                arrival_s: now,
+                size_bytes: *size,
+            };
+            released += sched.on_arrival(packet, now).unwrap().len();
+            shed += sched.take_shed().len();
+
+            if let Some(cap) = global_cap {
+                prop_assert!(sched.pending() <= cap, "global backlog over {cap}");
+            }
+            if let Some(cap) = per_app_cap {
+                for app in 0..3 {
+                    prop_assert!(
+                        sched.pending_for(CargoAppId(app)) <= cap,
+                        "app {app} backlog {} over per-app capacity {cap}",
+                        sched.pending_for(CargoAppId(app))
+                    );
+                }
+            }
+            prop_assert_eq!(
+                i + 1,
+                sched.pending() + released + shed,
+                "packet conservation broken after arrival {i}"
+            );
+        }
+    }
+
     /// Diurnal generation respects the horizon, sorting and app bounds for
     /// arbitrary profiles.
     #[test]
