@@ -1,0 +1,6 @@
+//! Extension: journal-driven event-by-event decomposition of one
+//! paper-default run's energy ledger. See `experiments::explain`.
+
+fn main() {
+    etrain_bench::run_binary("explain");
+}

@@ -14,6 +14,13 @@
 //! `ETRAIN_ORACLE` environment variable is already set, the suite runs in
 //! `record` mode and writes the check/violation tallies into the report.
 //! `ETRAIN_ORACLE=strict` turns any violation into a hard failure.
+//!
+//! `ETRAIN_OBS=ring|jsonl` additionally turns on the observability layer
+//! for every scenario the suite runs: profiling spans are collected, the
+//! `explain` experiment's raw journal is exported as
+//! `BENCH_explain.jsonl`, and the phase profile is written to
+//! `BENCH_profile.txt` (both next to the JSON report). Observability never
+//! changes the numbers — headlines are bit-for-bit identical either way.
 
 use std::time::Instant;
 
@@ -23,6 +30,13 @@ fn main() {
         // Default the whole suite to record-mode auditing. Set before any
         // experiment runs; single-threaded at this point.
         std::env::set_var(etrain_sim::ORACLE_ENV, "record");
+    }
+    let obs_mode = etrain_obs::ObsMode::from_env();
+    if obs_mode.is_enabled() {
+        // Profiling piggybacks on the observability knob: wall-clock spans
+        // accumulate in process-wide atomics and are only ever rendered as
+        // the text summary below — they never feed results.
+        etrain_obs::prof::set_enabled(true);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let no_json = args.iter().any(|a| a == "--no-json");
@@ -81,11 +95,29 @@ fn main() {
         "# oracle: mode {} — {} checks, {} violation(s)",
         oracle.mode, oracle.checks, oracle.violations
     );
+    let obs = etrain_bench::obs_summary();
+    eprintln!(
+        "# obs: mode {} — {} event(s) recorded, {} journal merge(s), {} snapshot(s)",
+        obs.mode, obs.events_recorded, obs.journals_merged, obs.snapshots_taken
+    );
 
     if !no_json {
         std::fs::write(&json_path, etrain_bench::repro_report_json(&runs))
             .expect("writing the JSON report");
         eprintln!("# wrote {json_path}");
+    }
+    if obs_mode.is_enabled() {
+        eprintln!("{}", etrain_obs::prof::flame_summary());
+        if !no_json {
+            // Artifacts land next to the JSON report: the explain run's
+            // raw journal and the suite's phase profile.
+            let jsonl = etrain_bench::experiments::explain::run_with_journal(quick).jsonl;
+            std::fs::write("BENCH_explain.jsonl", jsonl).expect("writing the explain journal");
+            eprintln!("# wrote BENCH_explain.jsonl");
+            std::fs::write("BENCH_profile.txt", etrain_obs::prof::flame_summary())
+                .expect("writing the phase profile");
+            eprintln!("# wrote BENCH_profile.txt");
+        }
     }
     assert_eq!(
         oracle.violations, 0,

@@ -259,6 +259,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Extension: push-fetch over heartbeats vs polling",
             run: experiments::ext_push_poll::run,
         },
+        Experiment {
+            name: "explain",
+            description: "Extension: journal-driven event-by-event energy ledger decomposition",
+            run: experiments::explain::run,
+        },
     ]
 }
 
@@ -398,12 +403,44 @@ pub fn oracle_summary() -> OracleSummary {
     }
 }
 
-/// The body of `BENCH_repro.json`: the oracle tallies plus one record per
-/// experiment in registry order.
+/// The observability tallies of one `repro_all` invocation, recorded next
+/// to the oracle's so reproduction logs show whether (and how much) event
+/// journaling backed the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSummary {
+    /// The process-wide observability mode (`off`, `ring` or `jsonl`).
+    ///
+    /// Note this is the *ambient* `ETRAIN_OBS` mode; the `explain`
+    /// experiment forces journaling on for its own run regardless, so
+    /// `events_recorded` is non-zero even when the mode is `off`.
+    pub mode: String,
+    /// Journal events recorded across all experiments.
+    pub events_recorded: u64,
+    /// Parallel-run journal merges performed.
+    pub journals_merged: u64,
+    /// Metrics snapshots frozen into reports.
+    pub snapshots_taken: u64,
+}
+
+/// Snapshot of the process-wide observability mode and tallies.
+pub fn obs_summary() -> ObsSummary {
+    let counters = etrain_obs::counters();
+    ObsSummary {
+        mode: etrain_obs::ObsMode::from_env().to_string(),
+        events_recorded: counters.events_recorded,
+        journals_merged: counters.journals_merged,
+        snapshots_taken: counters.snapshots_taken,
+    }
+}
+
+/// The body of `BENCH_repro.json`: the oracle and observability tallies
+/// plus one record per experiment in registry order.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ReproReport {
     /// Simulation-oracle mode and tallies for the whole suite.
     pub oracle: OracleSummary,
+    /// Observability mode and tallies for the whole suite.
+    pub obs: ObsSummary,
     /// Per-experiment records.
     pub experiments: Vec<ReproRecord>,
 }
@@ -418,6 +455,7 @@ pub struct ReproReport {
 pub fn repro_report_json(runs: &[ReproRun]) -> String {
     let report = ReproReport {
         oracle: oracle_summary(),
+        obs: obs_summary(),
         experiments: runs.iter().map(|r| r.record.clone()).collect(),
     };
     serde_json::to_string_pretty(&report).expect("plain-data records serialize")
@@ -555,9 +593,11 @@ mod tests {
         assert!(json.contains("\"fig6\""));
         assert!(json.contains("wall_s"));
         assert!(json.contains("f3_at_3x_deadline"));
-        // The report leads with the oracle tallies.
+        // The report leads with the oracle and observability tallies.
         assert!(json.contains("\"oracle\""));
         assert!(json.contains("\"violations\""));
+        assert!(json.contains("\"obs\""));
+        assert!(json.contains("\"events_recorded\""));
     }
 
     #[test]

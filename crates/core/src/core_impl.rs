@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use etrain_hb::{HeartbeatMonitor, TrainStatus};
+use etrain_obs::{prof, Event, Journal};
 use etrain_sched::{
     AdmissionConfig, AppProfile, ETrainConfig, ETrainScheduler, RetryDecision, RetryPolicy,
     Scheduler, ShedPolicy, SlotContext,
@@ -156,6 +157,7 @@ pub struct ETrainCore {
     next_packet_id: u64,
     next_request_id: u64,
     now_s: f64,
+    journal: Option<Journal>,
 }
 
 impl ETrainCore {
@@ -184,6 +186,55 @@ impl ETrainCore {
             next_packet_id: 0,
             next_request_id: 0,
             now_s: 0.0,
+            journal: None,
+        }
+    }
+
+    /// Starts recording a structured event journal of every decision point
+    /// the core passes through (heartbeats, piggyback decisions, sheds,
+    /// forced flushes, retries, watchdog liveness transitions). Idempotent;
+    /// see [`ETrainCore::take_journal`] to collect what was recorded. With
+    /// journaling off (the default) the core takes its exact unjournaled
+    /// code path — no buffering, no overhead.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+            self.scheduler.set_obs_enabled(true);
+        }
+    }
+
+    /// Stops journaling and returns the canonicalized journal recorded
+    /// since [`ETrainCore::enable_journal`] — `None` if journaling was
+    /// never enabled.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.scheduler.set_obs_enabled(false);
+        let mut journal = self.journal.take()?;
+        journal.canonicalize();
+        Some(journal)
+    }
+
+    /// Whether the core is currently recording an event journal.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Appends an event to the journal, if one is being recorded.
+    fn record(&mut self, time_s: f64, event: Event) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(time_s, event);
+        }
+    }
+
+    /// Moves the scheduler's buffered decision events into the journal
+    /// (no-op with journaling off: the scheduler buffers nothing then).
+    fn drain_scheduler_events(&mut self) {
+        if self.journal.is_some() {
+            let events = self.scheduler.take_obs_events();
+            if let Some(journal) = self.journal.as_mut() {
+                for (time_s, event) in events {
+                    journal.push(time_s, event);
+                }
+            }
         }
     }
 
@@ -264,6 +315,9 @@ impl ETrainCore {
             let released = rebuilt.on_arrival(p, p.arrival_s).unwrap_or_default();
             debug_assert!(released.is_empty(), "eTrain defers on arrival");
         }
+        // The rebuilt scheduler starts with buffering off; re-apply the
+        // journaling flag so an active journal keeps receiving decisions.
+        rebuilt.set_obs_enabled(self.journal.is_some());
         self.scheduler = rebuilt;
         id
     }
@@ -320,6 +374,15 @@ impl ETrainCore {
             match self.config.admission.policy {
                 ShedPolicy::RejectNew => {
                     self.stats.shed += 1;
+                    // The rejected submission never becomes a packet; the
+                    // journal carries the id it would have received.
+                    self.record(
+                        now_s,
+                        Event::Shed {
+                            packet_id: self.next_packet_id,
+                            app: app.index(),
+                        },
+                    );
                     return Ok(Admission::Rejected);
                 }
                 ShedPolicy::DropLowestValue => {
@@ -333,12 +396,26 @@ impl ETrainCore {
                             let meta = self.pending.remove(&victim.id);
                             debug_assert!(meta.is_some(), "evicted packet has pending metadata");
                             self.stats.shed += 1;
+                            self.record(
+                                now_s,
+                                Event::Shed {
+                                    packet_id: victim.id,
+                                    app: victim.app.index(),
+                                },
+                            );
                             evicted = meta.map(|m| m.id);
                         }
                         // Nothing evictable (pressure is not from this
                         // scheduler's queues): fall back to rejecting.
                         None => {
                             self.stats.shed += 1;
+                            self.record(
+                                now_s,
+                                Event::Shed {
+                                    packet_id: self.next_packet_id,
+                                    app: app.index(),
+                                },
+                            );
                             return Ok(Admission::Rejected);
                         }
                     }
@@ -352,10 +429,24 @@ impl ETrainCore {
                     match oldest {
                         Some(victim) => {
                             self.stats.forced_flushes += 1;
+                            self.record(
+                                now_s,
+                                Event::ForcedFlush {
+                                    packet_id: victim.id,
+                                    app: victim.app.index(),
+                                },
+                            );
                             flushed = self.decision_for(victim, now_s, None);
                         }
                         None => {
                             self.stats.shed += 1;
+                            self.record(
+                                now_s,
+                                Event::Shed {
+                                    packet_id: self.next_packet_id,
+                                    app: app.index(),
+                                },
+                            );
                             return Ok(Admission::Rejected);
                         }
                     }
@@ -382,10 +473,13 @@ impl ETrainCore {
                 deadline_override_s: request.deadline_s,
             },
         );
-        let released = self
-            .scheduler
-            .on_arrival(packet, now_s)
-            .map_err(|_| CoreError::UnknownCargoApp { app })?;
+        let released = {
+            let _span = prof::Span::enter(prof::Phase::SchedulerArrival);
+            self.scheduler
+                .on_arrival(packet, now_s)
+                .map_err(|_| CoreError::UnknownCargoApp { app })?
+        };
+        self.drain_scheduler_events();
         // eTrain always defers on arrival, but honor the trait contract:
         // anything released immediately is stashed for the next tick.
         let stashed: Vec<TransmitDecision> = released
@@ -425,6 +519,9 @@ impl ETrainCore {
         }
         self.monitor.observe(train, now_s);
         self.stats.heartbeats += 1;
+        // The core is *notified* of the heartbeat, it does not transmit
+        // it, so the payload size is unknown at this layer.
+        self.record(now_s, Event::HeartbeatFired { size_bytes: 0 });
         Ok(self.run_slot(now_s, Some(train)))
     }
 
@@ -543,6 +640,14 @@ impl ETrainCore {
                 match policy.decide(attempts, now_s, inflight.meta.submitted_at_s, jitter) {
                     RetryDecision::RetryAfter(delay) => {
                         self.stats.retries += 1;
+                        self.record(
+                            now_s,
+                            Event::RetryAttempt {
+                                packet_id: inflight.packet.id,
+                                attempt: attempts,
+                                abandoned: false,
+                            },
+                        );
                         self.backoffs.push(Backoff {
                             resume_at_s: now_s + delay,
                             packet: inflight.packet,
@@ -554,6 +659,14 @@ impl ETrainCore {
                     }
                     RetryDecision::Abandon => {
                         self.stats.abandoned += 1;
+                        self.record(
+                            now_s,
+                            Event::RetryAttempt {
+                                packet_id: inflight.packet.id,
+                                attempt: attempts,
+                                abandoned: true,
+                            },
+                        );
                         self.failed_attempts.remove(&inflight.packet.id);
                         Ok(RetryVerdict::Abandoned)
                     }
@@ -601,8 +714,18 @@ impl ETrainCore {
         // the counter makes it visible in `CoreStats`. A dead→alive
         // transition (train restart) resumes piggybacking automatically.
         let alive = self.trains_alive(now_s);
-        if self.was_alive && !alive {
-            self.stats.watchdog_flushes += 1;
+        if self.was_alive != alive {
+            if !alive {
+                self.stats.watchdog_flushes += 1;
+            }
+            self.record(
+                now_s,
+                Event::HealthTransition {
+                    from: if alive { "dead" } else { "alive" }.to_string(),
+                    to: if alive { "alive" } else { "dead" }.to_string(),
+                    cause: "train-liveness watchdog".to_string(),
+                },
+            );
         }
         self.was_alive = alive;
 
@@ -625,9 +748,12 @@ impl ETrainCore {
                 // admitted; an unknown-app error here is an invariant
                 // break. Rather than panic (or lose the request), fall
                 // back to releasing it immediately.
-                let released = match self.scheduler.on_tx_failure(b.packet, now_s) {
-                    Ok(released) => released,
-                    Err(_) => vec![b.packet],
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerRetry);
+                    match self.scheduler.on_tx_failure(b.packet, now_s) {
+                        Ok(released) => released,
+                        Err(_) => vec![b.packet],
+                    }
                 };
                 decisions.extend(
                     released
@@ -635,6 +761,7 @@ impl ETrainCore {
                         .filter_map(|p| self.decision_for(p, now_s, None)),
                 );
             }
+            self.drain_scheduler_events();
         }
 
         // Per-request deadline overrides: force-release anything that would
@@ -666,9 +793,12 @@ impl ETrainCore {
             predicted_bandwidth_bps: 0.0, // Algorithm 1 is channel-oblivious
             trains_alive: self.trains_alive(now_s),
         };
-        let released: Vec<TransmitDecision> = self
-            .scheduler
-            .on_slot(&ctx)
+        let slot_released = {
+            let _span = prof::Span::enter(prof::Phase::SchedulerSlot);
+            self.scheduler.on_slot(&ctx)
+        };
+        self.drain_scheduler_events();
+        let released: Vec<TransmitDecision> = slot_released
             .into_iter()
             .filter_map(|p| self.decision_for(p, now_s, heartbeat))
             .collect();
@@ -1276,6 +1406,64 @@ mod tests {
         assert_eq!(core.pending_requests(), 0);
         assert_eq!(core.backing_off(), 0);
         assert!(core.drain().is_empty(), "drain is idempotent");
+    }
+
+    #[test]
+    fn journal_captures_the_request_lifecycle() {
+        let (mut core, train, cargo) = core();
+        assert!(!core.journal_enabled());
+        core.enable_journal();
+        core.enable_journal(); // idempotent
+        assert!(core.journal_enabled());
+
+        core.on_heartbeat(train, 0.0).unwrap();
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        assert!(core.tick(11.0).unwrap().is_empty());
+        let decisions = core.on_heartbeat(train, 270.0).unwrap();
+        assert_eq!(decisions.len(), 1);
+        core.report_result(id, TxResult::Failed, 271.0).unwrap();
+
+        let journal = core.take_journal().expect("journal was enabled");
+        assert!(!core.journal_enabled());
+        assert!(core.take_journal().is_none(), "take is terminal");
+        let kinds: Vec<&str> = journal.counts_by_kind().iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&"heartbeat_fired"), "{kinds:?}");
+        assert!(kinds.contains(&"piggyback_decision"), "{kinds:?}");
+        assert!(kinds.contains(&"retry_attempt"), "{kinds:?}");
+        // Records are canonicalized: times never decrease.
+        let times: Vec<f64> = journal.records().iter().map(|r| r.time_s).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn journal_records_shed_and_flush_decisions() {
+        let (mut core, train, cargo) = bounded_core(ShedPolicy::RejectNew, 1);
+        core.enable_journal();
+        core.on_heartbeat(train, 0.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(1), 1.0).unwrap();
+        assert_eq!(
+            core.submit(cargo, TransmitRequest::upload(1), 2.0).unwrap(),
+            Admission::Rejected
+        );
+        let journal = core.take_journal().unwrap();
+        assert!(journal
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, Event::Shed { .. })));
+
+        let (mut core, _, cargo) = bounded_core(ShedPolicy::ForceFlushOldest, 1);
+        core.enable_journal();
+        core.submit(cargo, TransmitRequest::upload(1), 1.0).unwrap();
+        core.submit(cargo, TransmitRequest::upload(1), 2.0).unwrap();
+        let journal = core.take_journal().unwrap();
+        assert!(journal
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, Event::ForcedFlush { packet_id: 0, .. })));
     }
 
     #[test]

@@ -77,3 +77,7 @@ pub use system::{CargoClient, ETrainSystem, ShutdownReport, SystemConfig, TrainH
 // so embedders don't need a direct `etrain-sched` dependency for it. The
 // admission types configure `CoreConfig::admission` the same way.
 pub use etrain_sched::{AdmissionConfig, RetryPolicy, ShedPolicy};
+
+// Re-exported so journaling consumers ([`ETrainCore::enable_journal`])
+// can inspect recorded events with this crate alone.
+pub use etrain_obs::{Event, EventRecord, Journal};

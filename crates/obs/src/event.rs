@@ -1,0 +1,344 @@
+//! The structured event taxonomy and the journal that accumulates it.
+
+use serde::{Deserialize, Serialize};
+
+/// One observable decision or state change in the eTrain system.
+///
+/// Every variant corresponds to a decision point named in the paper's
+/// evaluation: heartbeats firing (§III-A), tails being re-used for cargo
+/// (§III-B), the Lyapunov piggyback decision with its Θ comparison
+/// (Algorithm 1), RRC state transitions (§II), overload shedding and
+/// health-ladder transitions (post-paper hardening), and retry attempts
+/// under fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// An IM heartbeat departed (the "train" the cargo rides).
+    HeartbeatFired {
+        /// Heartbeat payload size in bytes.
+        size_bytes: u64,
+    },
+    /// A transmission started while the radio was already out of IDLE,
+    /// re-using a promotion or tail instead of paying a fresh one.
+    TailReuse {
+        /// RRC state the radio was in when the transmission started
+        /// (`"dch"` or `"fach"`).
+        from_state: String,
+        /// Bytes of the transmission that re-used the tail.
+        size_bytes: u64,
+    },
+    /// One invocation of the Lyapunov piggyback rule (Algorithm 1).
+    PiggybackDecision {
+        /// Aggregate delay cost `P(t)` of the waiting queues at decision
+        /// time — the left-hand side of the Θ comparison.
+        total_cost: f64,
+        /// The cost bound Θ the scheduler compared against.
+        theta: f64,
+        /// Whether a heartbeat departed this slot (piggyback opportunity).
+        heartbeat_departing: bool,
+        /// Packets waiting across all queues before selection.
+        queued: usize,
+        /// Bytes waiting across all queues before selection.
+        queued_bytes: u64,
+        /// Burst budget applied: `Some(k)` caps the burst, `None` is
+        /// unbounded, `Some(0)` marks a pure deferral (cost below Θ with
+        /// no departing heartbeat, so no selection was opened).
+        budget_k: Option<usize>,
+        /// Packets actually released this slot.
+        released: usize,
+    },
+    /// The radio moved between RRC states (derived from the audited
+    /// timeline, so promotions and tail decays both appear).
+    RrcTransition {
+        /// State being left (`"idle"`, `"fach"`, or `"dch"`).
+        from: String,
+        /// State being entered.
+        to: String,
+    },
+    /// Admission control shed a packet (it was dropped, not transmitted).
+    Shed {
+        /// Identifier of the shed packet.
+        packet_id: u64,
+        /// Cargo app the packet belonged to.
+        app: usize,
+    },
+    /// Admission control force-flushed a packet (released immediately to
+    /// make room — transmitted, not lost).
+    ForcedFlush {
+        /// Identifier of the flushed packet.
+        packet_id: u64,
+        /// Cargo app the packet belonged to.
+        app: usize,
+    },
+    /// The degraded-mode health ladder changed state.
+    HealthTransition {
+        /// State being left (`"healthy"`, `"degraded"`, `"critical"`).
+        from: String,
+        /// State being entered.
+        to: String,
+        /// Human-readable trigger (e.g. `"consecutive-failures"`).
+        cause: String,
+    },
+    /// A transmission attempt failed and was retried or abandoned.
+    RetryAttempt {
+        /// Identifier of the affected packet.
+        packet_id: u64,
+        /// Failed attempts so far for this packet.
+        attempt: u32,
+        /// `true` once the retry policy gave up on the packet.
+        abandoned: bool,
+    },
+}
+
+impl Event {
+    /// Stable machine-readable name of the variant, used for grouping in
+    /// the `explain` experiment and journal summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::HeartbeatFired { .. } => "heartbeat_fired",
+            Event::TailReuse { .. } => "tail_reuse",
+            Event::PiggybackDecision { .. } => "piggyback_decision",
+            Event::RrcTransition { .. } => "rrc_transition",
+            Event::Shed { .. } => "shed",
+            Event::ForcedFlush { .. } => "forced_flush",
+            Event::HealthTransition { .. } => "health_transition",
+            Event::RetryAttempt { .. } => "retry_attempt",
+        }
+    }
+}
+
+/// An [`Event`] stamped with its run index, per-run sequence number, and
+/// simulated time.
+///
+/// `run` is the job index inside a `RunGrid` (0 for standalone runs);
+/// `seq` orders events that share a timestamp. Together `(run, time_s,
+/// seq)` is a total order, which is what makes parallel journal merging
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Grid job index this event came from (0 outside a grid).
+    pub run: usize,
+    /// Per-run sequence number, dense from 0 after canonicalization.
+    pub seq: u64,
+    /// Simulated time of the event in seconds.
+    pub time_s: f64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A bounded-growth, append-only journal of [`EventRecord`]s for one run.
+///
+/// Events are pushed in engine order; [`Journal::canonicalize`] stable-
+/// sorts by time and renumbers `seq` so late-appended derived events
+/// (e.g. RRC transitions reconstructed from the timeline) interleave at
+/// their chronological position. [`Journal::merge`] combines per-worker
+/// journals from a parallel grid into one deterministic stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Journal {
+    run: usize,
+    next_seq: u64,
+    records: Vec<EventRecord>,
+}
+
+impl Journal {
+    /// An empty journal for run index 0.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// An empty journal tagged with a grid job index.
+    pub fn for_run(run: usize) -> Self {
+        Journal {
+            run,
+            ..Journal::default()
+        }
+    }
+
+    /// Appends an event at simulated time `time_s`, assigning the next
+    /// sequence number.
+    pub fn push(&mut self, time_s: f64, event: Event) {
+        self.records.push(EventRecord {
+            run: self.run,
+            seq: self.next_seq,
+            time_s,
+            event,
+        });
+        self.next_seq += 1;
+        crate::bump_events(1);
+    }
+
+    /// The records in their current order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Number of records in the journal.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Stable-sorts records by simulated time and renumbers `seq` densely
+    /// from 0, so equal-time events keep their causal push order and the
+    /// sequence number becomes the chronological index.
+    pub fn canonicalize(&mut self) {
+        self.records.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (i, record) in self.records.iter_mut().enumerate() {
+            record.seq = i as u64;
+        }
+        self.next_seq = self.records.len() as u64;
+    }
+
+    /// Merges per-run journals (in grid job-index order) into one stream.
+    ///
+    /// Each part is re-tagged with its index as the run id and
+    /// canonicalized, then the parts are concatenated. Because the input
+    /// order is the job-index order — not the completion order — a serial
+    /// and a parallel execution of the same grid yield byte-identical
+    /// merged journals.
+    pub fn merge(parts: Vec<Journal>) -> Journal {
+        let mut merged = Journal::new();
+        for (run, mut part) in parts.into_iter().enumerate() {
+            part.canonicalize();
+            for mut record in part.records {
+                record.run = run;
+                merged.records.push(record);
+            }
+        }
+        merged.next_seq = 0;
+        crate::bump_merges();
+        merged
+    }
+
+    /// Replays every record through a [`crate::Recorder`].
+    pub fn replay(&self, recorder: &mut dyn crate::Recorder) {
+        for record in &self.records {
+            recorder.record(record);
+        }
+        recorder.flush();
+    }
+
+    /// Counts records per [`Event::kind`], in first-appearance order.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for record in &self.records {
+            let kind = record.event.kind();
+            match counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((kind, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Renders the journal as JSON Lines: one [`EventRecord`] object per
+    /// line, in record order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            let line = serde_json::to_string(record).expect("event records serialize infallibly");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb() -> Event {
+        Event::HeartbeatFired { size_bytes: 120 }
+    }
+
+    #[test]
+    fn push_assigns_dense_seq() {
+        let mut journal = Journal::new();
+        journal.push(1.0, hb());
+        journal.push(2.0, hb());
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.records()[0].seq, 0);
+        assert_eq!(journal.records()[1].seq, 1);
+        assert_eq!(journal.records()[1].run, 0);
+    }
+
+    #[test]
+    fn canonicalize_interleaves_late_events_by_time() {
+        let mut journal = Journal::new();
+        journal.push(5.0, hb());
+        journal.push(
+            1.0,
+            Event::RrcTransition {
+                from: "idle".into(),
+                to: "dch".into(),
+            },
+        );
+        journal.canonicalize();
+        assert_eq!(journal.records()[0].time_s, 1.0);
+        assert_eq!(journal.records()[0].seq, 0);
+        assert_eq!(journal.records()[1].time_s, 5.0);
+        assert_eq!(journal.records()[1].seq, 1);
+    }
+
+    #[test]
+    fn merge_orders_by_job_index_and_retags_runs() {
+        let mut a = Journal::new();
+        a.push(3.0, hb());
+        let mut b = Journal::new();
+        b.push(1.0, hb());
+        let merged = Journal::merge(vec![a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.records()[0].run, 0);
+        assert_eq!(merged.records()[0].time_s, 3.0);
+        assert_eq!(merged.records()[1].run, 1);
+        assert_eq!(merged.records()[1].time_s, 1.0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde() {
+        let mut journal = Journal::new();
+        journal.push(
+            10.0,
+            Event::PiggybackDecision {
+                total_cost: 4.5,
+                theta: 4.0,
+                heartbeat_departing: true,
+                queued: 3,
+                queued_bytes: 900,
+                budget_k: Some(2),
+                released: 2,
+            },
+        );
+        let jsonl = journal.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let back: EventRecord = serde_json::from_str(jsonl.trim()).unwrap();
+        assert_eq!(&back, &journal.records()[0]);
+    }
+
+    #[test]
+    fn counts_by_kind_groups_in_first_appearance_order() {
+        let mut journal = Journal::new();
+        journal.push(1.0, hb());
+        journal.push(
+            2.0,
+            Event::RetryAttempt {
+                packet_id: 7,
+                attempt: 1,
+                abandoned: false,
+            },
+        );
+        journal.push(3.0, hb());
+        assert_eq!(
+            journal.counts_by_kind(),
+            vec![("heartbeat_fired", 2), ("retry_attempt", 1)]
+        );
+    }
+}

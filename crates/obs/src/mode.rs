@@ -1,0 +1,97 @@
+//! The `ETRAIN_OBS` knob: how much observability a run records.
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable that selects the observability mode for binaries
+/// and tests that do not set one programmatically (mirrors
+/// `ETRAIN_ORACLE`).
+pub const OBS_ENV: &str = "ETRAIN_OBS";
+
+/// How much the observability layer records during a run.
+///
+/// The default is [`ObsMode::Off`]: no events are allocated and the
+/// simulation output is bit-for-bit identical to a run without the
+/// observability layer compiled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ObsMode {
+    /// Record nothing (zero-cost; the default).
+    #[default]
+    Off,
+    /// Record events into a bounded in-memory ring per run; old events
+    /// are evicted once the ring is full.
+    Ring,
+    /// Record every event, exportable as JSON Lines.
+    Jsonl,
+}
+
+impl ObsMode {
+    /// Reads the mode from the [`OBS_ENV`] environment variable.
+    ///
+    /// Unset, empty, or unparseable values fall back to [`ObsMode::Off`]
+    /// so that stray environment state can never change results.
+    pub fn from_env() -> Self {
+        std::env::var(OBS_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().to_ascii_lowercase().parse().ok())
+            .unwrap_or(ObsMode::Off)
+    }
+
+    /// Whether any recording happens at all.
+    pub fn is_enabled(self) -> bool {
+        self != ObsMode::Off
+    }
+}
+
+impl std::str::FromStr for ObsMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "none" => Ok(ObsMode::Off),
+            "ring" => Ok(ObsMode::Ring),
+            "jsonl" | "on" | "1" | "true" => Ok(ObsMode::Jsonl),
+            other => Err(format!(
+                "unknown {OBS_ENV} mode {other:?} (expected off, ring, or jsonl)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ObsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsMode::Off => write!(f, "off"),
+            ObsMode::Ring => write!(f, "ring"),
+            ObsMode::Jsonl => write!(f, "jsonl"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spellings() {
+        assert_eq!("off".parse::<ObsMode>().unwrap(), ObsMode::Off);
+        assert_eq!("Ring".parse::<ObsMode>().unwrap(), ObsMode::Ring);
+        assert_eq!(" JSONL ".parse::<ObsMode>().unwrap(), ObsMode::Jsonl);
+        assert_eq!("on".parse::<ObsMode>().unwrap(), ObsMode::Jsonl);
+        assert!("journal".parse::<ObsMode>().is_err());
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(ObsMode::default(), ObsMode::Off);
+        assert!(!ObsMode::Off.is_enabled());
+        assert!(ObsMode::Ring.is_enabled());
+        assert!(ObsMode::Jsonl.is_enabled());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for mode in [ObsMode::Off, ObsMode::Ring, ObsMode::Jsonl] {
+            assert_eq!(mode.to_string().parse::<ObsMode>().unwrap(), mode);
+        }
+    }
+}

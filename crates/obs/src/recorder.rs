@@ -1,0 +1,185 @@
+//! Event sinks: where journal records go once recorded.
+
+use crate::EventRecord;
+use std::collections::VecDeque;
+
+/// A sink for [`EventRecord`]s.
+///
+/// Recorders are consumed as trait objects so instrumented code never
+/// depends on a concrete sink: the engine records into whatever the
+/// scenario configured — [`NullRecorder`] when observability is off,
+/// [`RingRecorder`] for bounded in-memory capture, or
+/// [`JsonLinesRecorder`] for full export.
+///
+/// ```
+/// use etrain_obs::{Event, Journal, Recorder, RingRecorder};
+///
+/// let mut journal = Journal::new();
+/// journal.push(1.0, Event::HeartbeatFired { size_bytes: 120 });
+/// journal.push(2.0, Event::HeartbeatFired { size_bytes: 120 });
+///
+/// // Keep only the most recent event.
+/// let mut ring = RingRecorder::new(1);
+/// journal.replay(&mut ring);
+/// assert_eq!(ring.records().count(), 1);
+/// assert_eq!(ring[0].time_s, 2.0);
+/// ```
+pub trait Recorder: Send {
+    /// Accepts one record. Implementations must not reorder records.
+    fn record(&mut self, record: &EventRecord);
+
+    /// Flushes any buffered output; the default is a no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards every record (the zero-cost "off" sink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _record: &EventRecord) {}
+}
+
+/// Keeps the most recent `capacity` records in a bounded ring.
+///
+/// Each parallel `RunGrid` worker owns its journal (and therefore its
+/// ring) exclusively, so no locking is involved.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<EventRecord>,
+}
+
+impl RingRecorder {
+    /// A ring that retains at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity (a ring that can hold nothing records
+    /// nothing; use [`NullRecorder`] for that).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be at least 1");
+        RingRecorder {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EventRecord> + '_ {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, returning the retained records oldest first.
+    pub fn into_records(self) -> Vec<EventRecord> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl std::ops::Index<usize> for RingRecorder {
+    type Output = EventRecord;
+
+    fn index(&self, index: usize) -> &EventRecord {
+        &self.buf[index]
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, record: &EventRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(record.clone());
+    }
+}
+
+/// Streams each record as one JSON line into an [`std::io::Write`] sink.
+///
+/// I/O errors are counted rather than panicking: observability must never
+/// abort a run. Check [`JsonLinesRecorder::write_errors`] after the run
+/// if delivery matters.
+#[derive(Debug)]
+pub struct JsonLinesRecorder<W: std::io::Write + Send> {
+    writer: W,
+    write_errors: usize,
+}
+
+impl<W: std::io::Write + Send> JsonLinesRecorder<W> {
+    /// Wraps a writer; one JSON object per [`EventRecord`] per line.
+    pub fn new(writer: W) -> Self {
+        JsonLinesRecorder {
+            writer,
+            write_errors: 0,
+        }
+    }
+
+    /// Number of records (or flushes) dropped due to I/O errors.
+    pub fn write_errors(&self) -> usize {
+        self.write_errors
+    }
+
+    /// Consumes the recorder, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: std::io::Write + Send> Recorder for JsonLinesRecorder<W> {
+    fn record(&mut self, record: &EventRecord) {
+        let line = serde_json::to_string(record).expect("event records serialize infallibly");
+        if writeln!(self.writer, "{line}").is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.writer.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Journal};
+
+    fn sample(n: usize) -> Journal {
+        let mut journal = Journal::new();
+        for i in 0..n {
+            journal.push(i as f64, Event::HeartbeatFired { size_bytes: 100 });
+        }
+        journal
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = RingRecorder::new(2);
+        sample(5).replay(&mut ring);
+        let kept: Vec<f64> = ring.records().map(|r| r.time_s).collect();
+        assert_eq!(kept, vec![3.0, 4.0]);
+        assert_eq!(ring[0].time_s, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingRecorder::new(0);
+    }
+
+    #[test]
+    fn jsonl_recorder_matches_journal_rendering() {
+        let journal = sample(3);
+        let mut recorder = JsonLinesRecorder::new(Vec::new());
+        journal.replay(&mut recorder);
+        assert_eq!(recorder.write_errors(), 0);
+        let written = String::from_utf8(recorder.into_inner()).unwrap();
+        assert_eq!(written, journal.to_jsonl());
+    }
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let mut null = NullRecorder;
+        sample(10).replay(&mut null);
+    }
+}

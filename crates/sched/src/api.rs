@@ -130,6 +130,21 @@ pub trait Scheduler: std::fmt::Debug + Send {
         0
     }
 
+    /// Turns structured-event buffering on or off. While enabled, the
+    /// scheduler buffers one [`etrain_obs::Event`] per observable decision
+    /// for the driver to drain via [`Scheduler::take_obs_events`]. The
+    /// default ignores the request, which is correct for schedulers that
+    /// emit nothing.
+    fn set_obs_enabled(&mut self, _enabled: bool) {}
+
+    /// Drains the `(time_s, event)` pairs buffered since the last drain,
+    /// in decision order. Drivers call this after every `on_arrival` /
+    /// `on_slot` / `on_tx_failure` so events land in the journal in
+    /// causal order. Non-instrumented schedulers return none.
+    fn take_obs_events(&mut self) -> Vec<(f64, etrain_obs::Event)> {
+        Vec::new()
+    }
+
     /// Number of packets currently deferred.
     fn pending(&self) -> usize;
 

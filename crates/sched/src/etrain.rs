@@ -83,6 +83,11 @@ pub struct ETrainScheduler {
     /// scheduler is stopped (paper Sec. V-3) and arrivals pass straight
     /// through instead of waiting up to a full slot for the next drain.
     trains_dead: bool,
+    /// Whether to buffer structured events for the journal (off by
+    /// default — the zero-cost path allocates nothing).
+    obs_enabled: bool,
+    /// Buffered `(time_s, event)` pairs awaiting a driver drain.
+    obs_events: Vec<(f64, etrain_obs::Event)>,
 }
 
 impl ETrainScheduler {
@@ -97,7 +102,41 @@ impl ETrainScheduler {
             config,
             queues: WaitingQueues::new(profiles),
             trains_dead: false,
+            obs_enabled: false,
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Buffers a [`PiggybackDecision`](etrain_obs::Event::PiggybackDecision)
+    /// if event recording is on. `budget_k` follows the journal
+    /// convention: `Some(0)` marks a pure deferral, `None` an unbounded
+    /// burst.
+    #[allow(clippy::too_many_arguments)]
+    fn record_decision(
+        &mut self,
+        now_s: f64,
+        total_cost: f64,
+        heartbeat_departing: bool,
+        queued: usize,
+        queued_bytes: u64,
+        budget_k: Option<usize>,
+        released: usize,
+    ) {
+        if !self.obs_enabled || (queued == 0 && !heartbeat_departing) {
+            return;
+        }
+        self.obs_events.push((
+            now_s,
+            etrain_obs::Event::PiggybackDecision {
+                total_cost,
+                theta: self.config.theta,
+                heartbeat_departing,
+                queued,
+                queued_bytes,
+                budget_k,
+                released,
+            },
+        ));
     }
 
     /// The active configuration.
@@ -247,11 +286,24 @@ impl Scheduler for ETrainScheduler {
         // apps never wait indefinitely. The latch clears as soon as a slot
         // observes a live train again (restart recovery).
         self.trains_dead = !ctx.trains_alive;
+        let queued = self.queues.len();
+        let queued_bytes = self.queues.total_bytes();
         if !ctx.trains_alive {
-            return self.queues.drain_all();
+            let released = self.queues.drain_all();
+            self.record_decision(
+                ctx.now_s,
+                0.0,
+                ctx.heartbeat_departing,
+                queued,
+                queued_bytes,
+                None,
+                released.len(),
+            );
+            return released;
         }
         let total = self.queues.total_cost(ctx.now_s);
         if total < self.config.theta && !ctx.heartbeat_departing {
+            self.record_decision(ctx.now_s, total, false, queued, queued_bytes, Some(0), 0);
             return Vec::new();
         }
         let budget = if ctx.heartbeat_departing {
@@ -259,11 +311,32 @@ impl Scheduler for ETrainScheduler {
         } else {
             Some(1)
         };
-        self.select(ctx.now_s, budget)
+        let released = self.select(ctx.now_s, budget);
+        self.record_decision(
+            ctx.now_s,
+            total,
+            ctx.heartbeat_departing,
+            queued,
+            queued_bytes,
+            budget,
+            released.len(),
+        );
+        released
     }
 
     fn slot_s(&self) -> f64 {
         self.config.slot_s
+    }
+
+    fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs_enabled = enabled;
+        if !enabled {
+            self.obs_events.clear();
+        }
+    }
+
+    fn take_obs_events(&mut self) -> Vec<(f64, etrain_obs::Event)> {
+        std::mem::take(&mut self.obs_events)
     }
 
     fn pending(&self) -> usize {
@@ -443,5 +516,47 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_rejected() {
         let _ = scheduler(0.1, Some(0));
+    }
+
+    #[test]
+    fn obs_events_buffer_decisions_only_when_enabled() {
+        let mut s = scheduler(10.0, None);
+        s.on_arrival(packet(0, 1, 0.0), 0.0).unwrap();
+        let _ = s.on_slot(&ctx(1.0, false));
+        assert!(
+            s.take_obs_events().is_empty(),
+            "disabled scheduler must buffer nothing"
+        );
+
+        s.set_obs_enabled(true);
+        let _ = s.on_slot(&ctx(2.0, false)); // deferral: cost < Θ
+        let _ = s.on_slot(&ctx(3.0, true)); // heartbeat: releases backlog
+        let events = s.take_obs_events();
+        assert_eq!(events.len(), 2);
+        match &events[0].1 {
+            etrain_obs::Event::PiggybackDecision {
+                budget_k,
+                released,
+                queued,
+                ..
+            } => {
+                assert_eq!(*budget_k, Some(0), "deferral marker");
+                assert_eq!(*released, 0);
+                assert_eq!(*queued, 1);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[1].1 {
+            etrain_obs::Event::PiggybackDecision {
+                heartbeat_departing,
+                released,
+                ..
+            } => {
+                assert!(*heartbeat_departing);
+                assert_eq!(*released, 1);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(s.take_obs_events().is_empty(), "drain empties the buffer");
     }
 }

@@ -179,6 +179,10 @@ pub struct GuardedScheduler {
     transitions: Vec<HealthTransition>,
     shed: Vec<Packet>,
     forced_flushes: usize,
+    /// Whether to buffer structured events for the journal.
+    obs_enabled: bool,
+    /// Buffered `(time_s, event)` pairs awaiting a driver drain.
+    obs_events: Vec<(f64, etrain_obs::Event)>,
 }
 
 impl GuardedScheduler {
@@ -204,6 +208,8 @@ impl GuardedScheduler {
             transitions: Vec::new(),
             shed: Vec::new(),
             forced_flushes: 0,
+            obs_enabled: false,
+            obs_events: Vec::new(),
         }
     }
 
@@ -252,6 +258,16 @@ impl GuardedScheduler {
             to,
             cause,
         });
+        if self.obs_enabled {
+            self.obs_events.push((
+                at_s,
+                etrain_obs::Event::HealthTransition {
+                    from: self.state.to_string(),
+                    to: to.to_string(),
+                    cause: cause.to_string(),
+                },
+            ));
+        }
         self.state = to;
         self.clean_streak = 0;
         match to {
@@ -306,6 +322,7 @@ impl GuardedScheduler {
             .app_overflow(self.inner.pending_for(packet.app));
         match self.admission.policy {
             ShedPolicy::RejectNew => {
+                self.record_shed(now_s, packet);
                 self.shed.push(*packet);
                 Ok((Vec::new(), true))
             }
@@ -316,6 +333,7 @@ impl GuardedScheduler {
                     self.inner.evict_lowest_value(now_s)
                 };
                 if let Some(victim) = victim {
+                    self.record_shed(now_s, &victim);
                     self.shed.push(victim);
                 }
                 Ok((Vec::new(), false))
@@ -329,10 +347,31 @@ impl GuardedScheduler {
                 let mut flushed = Vec::new();
                 if let Some(oldest) = oldest {
                     self.forced_flushes += 1;
+                    if self.obs_enabled {
+                        self.obs_events.push((
+                            now_s,
+                            etrain_obs::Event::ForcedFlush {
+                                packet_id: oldest.id,
+                                app: oldest.app.index(),
+                            },
+                        ));
+                    }
                     flushed.push(oldest);
                 }
                 Ok((flushed, false))
             }
+        }
+    }
+
+    fn record_shed(&mut self, now_s: f64, victim: &Packet) {
+        if self.obs_enabled {
+            self.obs_events.push((
+                now_s,
+                etrain_obs::Event::Shed {
+                    packet_id: victim.id,
+                    app: victim.app.index(),
+                },
+            ));
         }
     }
 }
@@ -351,6 +390,9 @@ impl Scheduler for GuardedScheduler {
         if self.state == HealthState::Fallback {
             // Immediate-send semantics: nothing stays deferred.
             released.extend(self.inner.drain_pending());
+        }
+        if self.obs_enabled {
+            self.obs_events.extend(self.inner.take_obs_events());
         }
         Ok(released)
     }
@@ -387,6 +429,9 @@ impl Scheduler for GuardedScheduler {
         if self.state == HealthState::Fallback {
             released.extend(self.inner.drain_pending());
         }
+        if self.obs_enabled {
+            self.obs_events.extend(self.inner.take_obs_events());
+        }
         released
     }
 
@@ -414,6 +459,23 @@ impl Scheduler for GuardedScheduler {
 
     fn take_shed(&mut self) -> Vec<Packet> {
         std::mem::take(&mut self.shed)
+    }
+
+    fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs_enabled = enabled;
+        self.inner.set_obs_enabled(enabled);
+        if !enabled {
+            self.obs_events.clear();
+        }
+    }
+
+    fn take_obs_events(&mut self) -> Vec<(f64, etrain_obs::Event)> {
+        // Catch any inner events not yet folded in (e.g. when the driver
+        // drains between calls), then hand over the causally ordered
+        // buffer.
+        let stragglers = self.inner.take_obs_events();
+        self.obs_events.extend(stragglers);
+        std::mem::take(&mut self.obs_events)
     }
 
     fn forced_flushes(&self) -> usize {
@@ -662,6 +724,48 @@ mod tests {
         let err = g.on_arrival(packet(0, 99, 0.0), 0.0).unwrap_err();
         assert!(matches!(err, SchedulerError::UnknownApp { .. }));
         assert_eq!(g.shed_count(), 0);
+    }
+
+    #[test]
+    fn obs_events_cover_shed_flush_and_transitions() {
+        let mut g = guarded(None).with_admission(
+            AdmissionConfig::unbounded()
+                .with_global_capacity(1)
+                .with_policy(ShedPolicy::RejectNew),
+        );
+        g.set_obs_enabled(true);
+        g.on_arrival(packet(0, 1, 0.0), 0.0).unwrap();
+        g.on_arrival(packet(1, 1, 0.5), 0.5).unwrap(); // shed: at capacity
+        g.on_oracle_violation(1.0); // healthy -> degraded
+        let _ = g.on_slot(&ctx(2.0, true, true));
+        let kinds: Vec<&'static str> = g.take_obs_events().iter().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"shed"), "{kinds:?}");
+        assert!(kinds.contains(&"health_transition"), "{kinds:?}");
+        assert!(kinds.contains(&"piggyback_decision"), "{kinds:?}");
+        // Causal order: the shed (t=0.5) precedes the transition (t=1.0).
+        let shed_pos = kinds.iter().position(|k| *k == "shed").unwrap();
+        let trans_pos = kinds
+            .iter()
+            .position(|k| *k == "health_transition")
+            .unwrap();
+        assert!(shed_pos < trans_pos);
+    }
+
+    #[test]
+    fn forced_flush_emits_event() {
+        let mut g = guarded(None).with_admission(
+            AdmissionConfig::unbounded()
+                .with_global_capacity(1)
+                .with_policy(ShedPolicy::ForceFlushOldest),
+        );
+        g.set_obs_enabled(true);
+        g.on_arrival(packet(0, 1, 0.0), 0.0).unwrap();
+        let released = g.on_arrival(packet(1, 1, 1.0), 1.0).unwrap();
+        assert_eq!(released.len(), 1);
+        let events = g.take_obs_events();
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, etrain_obs::Event::ForcedFlush { packet_id: 0, .. })));
     }
 
     #[test]

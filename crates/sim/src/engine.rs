@@ -22,6 +22,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use etrain_obs::{prof, Event, Journal};
 use etrain_radio::{PowerTrace, Radio, RadioParams, Timeline, Transmission};
 use etrain_sched::{HealthTransition, RetryDecision, RetryPolicy, Scheduler, SlotContext};
 use etrain_trace::bandwidth::BandwidthTrace;
@@ -212,6 +213,53 @@ pub fn run_engine_with_faults(
     plan: &FaultPlan,
     retry: &RetryPolicy,
 ) -> EngineOutput {
+    run_engine_journaled(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
+        horizon_s,
+        plan,
+        retry,
+        None,
+    )
+}
+
+/// [`run_engine_with_faults`] with an optional structured-event journal.
+///
+/// With `journal: None` this is the exact code path of
+/// [`run_engine_with_faults`] — no events are allocated and the output is
+/// bit-for-bit identical. With `Some(journal)`, the engine enables event
+/// buffering on the scheduler and records every decision point:
+/// heartbeats firing, tail re-uses at transmission start, piggyback
+/// decisions (drained from the scheduler in causal order), and retry
+/// attempts. RRC transitions are appended later from the audited timeline
+/// by the scenario layer, which also canonicalizes the journal.
+///
+/// Profiling spans (see [`etrain_obs::prof`]) wrap the whole run and each
+/// scheduler call; they are no-ops unless profiling was enabled
+/// process-wide and never influence the output.
+///
+/// # Panics
+///
+/// Panics as [`run_engine_with_faults`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_journaled(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    mut journal: Option<&mut Journal>,
+) -> EngineOutput {
+    let _engine_span = prof::Span::enter(prof::Phase::EngineRun);
+    if journal.is_some() {
+        scheduler.set_obs_enabled(true);
+    }
     assert!(horizon_s > 0.0, "horizon must be positive");
     if let Err(why) = retry.validate() {
         panic!("invalid retry policy: {why}");
@@ -339,13 +387,38 @@ pub fn run_engine_with_faults(
                         }),
                         TxFate::Retry { due_s } => {
                             retries += 1;
+                            if let Some(j) = journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: failed_attempts
+                                            .get(&packet.id)
+                                            .copied()
+                                            .unwrap_or(0),
+                                        abandoned: false,
+                                    },
+                                );
+                            }
                             retryq.push((due_s, packet));
                         }
-                        TxFate::Abandon { attempts } => abandoned.push(AbandonedPacket {
-                            packet,
-                            abandoned_at_s: end,
-                            attempts,
-                        }),
+                        TxFate::Abandon { attempts } => {
+                            if let Some(j) = journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: attempts,
+                                        abandoned: true,
+                                    },
+                                );
+                            }
+                            abandoned.push(AbandonedPacket {
+                                packet,
+                                abandoned_at_s: end,
+                                attempts,
+                            })
+                        }
                     }
                 }
             }
@@ -365,7 +438,16 @@ pub fn run_engine_with_faults(
                     predicted_bandwidth_bps: bandwidth.bandwidth_at((t - slot_s).max(0.0)),
                     trains_alive,
                 };
-                for packet in scheduler.on_slot(&ctx) {
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerSlot);
+                    scheduler.on_slot(&ctx)
+                };
+                if let Some(j) = journal.as_deref_mut() {
+                    for (time_s, event) in scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
+                for packet in released {
                     txq.push_back(TxItem::Packet {
                         packet,
                         release_s: t,
@@ -377,15 +459,31 @@ pub fn run_engine_with_faults(
                 let hb = heartbeats[hb_idx];
                 hb_idx += 1;
                 heartbeats_sent += 1;
+                if let Some(j) = journal.as_deref_mut() {
+                    j.push(
+                        t,
+                        Event::HeartbeatFired {
+                            size_bytes: hb.size_bytes,
+                        },
+                    );
+                }
                 // Heartbeats are sent by their own daemons: front of queue.
                 txq.push_front(TxItem::Heartbeat(hb));
             }
             PRIO_ARRIVAL => {
                 let packet = packets[arrival_idx];
                 arrival_idx += 1;
-                let released = scheduler
-                    .on_arrival(packet, t)
-                    .expect("workload apps are registered with the scheduler");
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerArrival);
+                    scheduler
+                        .on_arrival(packet, t)
+                        .expect("workload apps are registered with the scheduler")
+                };
+                if let Some(j) = journal.as_deref_mut() {
+                    for (time_s, event) in scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
                 for packet in released {
                     txq.push_back(TxItem::Packet {
                         packet,
@@ -404,9 +502,17 @@ pub fn run_engine_with_faults(
                     .map(|(i, _)| i)
                     .expect("retry event implies non-empty retry queue");
                 let (_, packet) = retryq.remove(idx);
-                let released = scheduler
-                    .on_tx_failure(packet, t)
-                    .expect("retried packets belong to registered apps");
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerRetry);
+                    scheduler
+                        .on_tx_failure(packet, t)
+                        .expect("retried packets belong to registered apps")
+                };
+                if let Some(j) = journal.as_deref_mut() {
+                    for (time_s, event) in scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
                 for packet in released {
                     txq.push_back(TxItem::Packet {
                         packet,
@@ -428,6 +534,24 @@ pub fn run_engine_with_faults(
                     etrain_radio::RrcState::Fach => radio_params.promotion_fach_to_dch_s(),
                     etrain_radio::RrcState::Dch => 0.0,
                 };
+                if let Some(j) = journal.as_deref_mut() {
+                    // Starting out of IDLE means the transmission re-used a
+                    // promotion or tail some earlier transmission paid for.
+                    let from_state = match radio.state() {
+                        etrain_radio::RrcState::Idle => None,
+                        etrain_radio::RrcState::Fach => Some("fach"),
+                        etrain_radio::RrcState::Dch => Some("dch"),
+                    };
+                    if let Some(from_state) = from_state {
+                        j.push(
+                            t,
+                            Event::TailReuse {
+                                from_state: from_state.to_string(),
+                                size_bytes: item.size_bytes(),
+                            },
+                        );
+                    }
+                }
                 let duration = promotion_s
                     + plan.transfer_time_s(bandwidth, t + promotion_s, item.size_bytes());
                 radio.start_transmission(t);
@@ -455,13 +579,35 @@ pub fn run_engine_with_faults(
                     }),
                     TxFate::Retry { .. } => {
                         retries += 1;
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.push(
+                                end,
+                                Event::RetryAttempt {
+                                    packet_id: packet.id,
+                                    attempt: failed_attempts.get(&packet.id).copied().unwrap_or(0),
+                                    abandoned: false,
+                                },
+                            );
+                        }
                         in_flight_unfinished.push(packet);
                     }
-                    TxFate::Abandon { attempts } => abandoned.push(AbandonedPacket {
-                        packet,
-                        abandoned_at_s: end,
-                        attempts,
-                    }),
+                    TxFate::Abandon { attempts } => {
+                        if let Some(j) = &mut journal {
+                            j.push(
+                                end,
+                                Event::RetryAttempt {
+                                    packet_id: packet.id,
+                                    attempt: attempts,
+                                    abandoned: true,
+                                },
+                            );
+                        }
+                        abandoned.push(AbandonedPacket {
+                            packet,
+                            abandoned_at_s: end,
+                            attempts,
+                        })
+                    }
                 }
             }
         } else if let TxItem::Packet { packet, .. } = item {

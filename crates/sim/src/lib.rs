@@ -56,8 +56,8 @@ pub mod sweep;
 
 pub use compare::Comparison;
 pub use engine::{
-    run_engine, run_engine_checked, run_engine_with_faults, run_engine_with_faults_checked,
-    AbandonedPacket, CompletedPacket, EngineOutput,
+    run_engine, run_engine_checked, run_engine_journaled, run_engine_with_faults,
+    run_engine_with_faults_checked, AbandonedPacket, CompletedPacket, EngineOutput,
 };
 pub use metrics::{AppReport, RunReport};
 pub use oracle::{
@@ -78,4 +78,11 @@ pub use etrain_trace::faults::{FaultPlan, FaultWindow};
 // this crate alone.
 pub use etrain_sched::{
     AdmissionConfig, HealthConfig, HealthState, HealthTransition, ShedPolicy, TransitionCause,
+};
+
+// Re-exported so observability consumers (journaled runs, metrics
+// snapshots, event recorders) can be described with this crate alone.
+pub use etrain_obs::{
+    Event, EventRecord, Journal, JsonLinesRecorder, MetricsRegistry, MetricsSnapshot, NullRecorder,
+    ObsMode, Recorder, RingRecorder, OBS_ENV,
 };

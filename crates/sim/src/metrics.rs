@@ -87,6 +87,12 @@ pub struct RunReport {
     /// Outcome of the simulation oracle's audit of this run; `None` when
     /// the run executed with [`OracleMode::Off`](crate::OracleMode::Off).
     pub oracle: Option<OracleOutcome>,
+    /// Observability metrics snapshot (energy per RRC state, tail
+    /// utilization, decision counts); `None` when the run executed with
+    /// [`ObsMode::Off`](etrain_obs::ObsMode::Off). Inside the snapshot,
+    /// undefined ratios are *absent*, not zero — see
+    /// [`etrain_obs::MetricsSnapshot`].
+    pub metrics: Option<etrain_obs::MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -172,6 +178,7 @@ impl RunReport {
             health_events: output.health_events.clone(),
             per_app,
             oracle: None,
+            metrics: None,
         }
     }
 

@@ -34,8 +34,8 @@
 //!
 //! # Modes
 //!
-//! [`OracleMode`] threads through [`Scenario`](crate::Scenario) /
-//! [`RunGrid`](crate::RunGrid) and the checked engine entry points:
+//! [`OracleMode`] threads through [`crate::Scenario`] /
+//! [`crate::RunGrid`] and the checked engine entry points:
 //!
 //! - `Off` — no auditing at all (zero overhead, the default);
 //! - `Record` — audit every run, attach the [`OracleOutcome`] to the
@@ -46,7 +46,9 @@
 //! The mode can also be set process-wide through the `ETRAIN_ORACLE`
 //! environment variable (`off` / `record` / `strict`), which
 //! `Scenario::paper_default` reads — this is how `repro_all` audits all
-//! 26 registry experiments without per-experiment plumbing.
+//! 28 registry experiments without per-experiment plumbing. The
+//! observability layer mirrors the pattern with `ETRAIN_OBS`
+//! (`etrain_obs::ObsMode`).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

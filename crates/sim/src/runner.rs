@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use crossbeam::channel;
+use etrain_obs::{Journal, ObsMode};
 
 use crate::metrics::RunReport;
 use crate::oracle::OracleMode;
@@ -141,6 +142,10 @@ impl std::error::Error for RunError {
         }
     }
 }
+
+/// One journaled job's reassembly slot: unfilled, or the job's report
+/// plus its (optional) journal, or its failure.
+type JournaledSlot = Option<Result<(RunReport, Option<Journal>), JobError>>;
 
 /// A job failure before attribution to a grid index.
 #[derive(Debug)]
@@ -366,6 +371,15 @@ impl RunGrid {
         self
     }
 
+    /// Builder: sets the observability mode on every job in the grid (see
+    /// [`Scenario::obs`]). Apply after all specs are pushed.
+    pub fn obs(mut self, mode: ObsMode) -> Self {
+        for spec in &mut self.specs {
+            spec.scenario = spec.scenario.clone().obs(mode);
+        }
+        self
+    }
+
     /// Number of jobs in the grid.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -429,7 +443,9 @@ impl RunGrid {
         let mut slots: Vec<Option<Result<RunReport, JobError>>> =
             (0..self.specs.len()).map(|_| None).collect();
         let todo: Vec<usize> = (0..self.specs.len()).collect();
-        self.execute(cache, &todo, |index, outcome| slots[index] = Some(outcome));
+        self.execute(cache, &todo, run_one_isolated, |index, outcome| {
+            slots[index] = Some(outcome)
+        });
         let mut reports = Vec::with_capacity(slots.len());
         for (index, slot) in slots.into_iter().enumerate() {
             match slot.expect("every job reports exactly once") {
@@ -440,6 +456,70 @@ impl RunGrid {
             }
         }
         Ok(reports)
+    }
+
+    /// Runs every job and additionally returns the grid's merged event
+    /// journal (see [`RunGrid::try_run_journaled`] for the fallible form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails validation or panics itself.
+    pub fn run_journaled(&self) -> (Vec<RunReport>, Journal) {
+        self.try_run_journaled().expect("invalid grid job")
+    }
+
+    /// Fallible [`RunGrid::run_journaled`]: runs every job via
+    /// [`Scenario::try_run_journaled_on`] and merges the per-run journals
+    /// with [`Journal::merge`].
+    ///
+    /// The merge is **deterministic**: per-run journals are collected into
+    /// job-index slots (not completion order) and concatenated in index
+    /// order, with each record's `run` field retagged to its job index —
+    /// so the merged journal is byte-for-byte identical no matter how many
+    /// workers ran the grid. Jobs whose scenario has observability off
+    /// contribute an empty journal, keeping run indices aligned with job
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) scenario-validation failure or
+    /// isolated job panic.
+    pub fn try_run_journaled(&self) -> Result<(Vec<RunReport>, Journal), RunError> {
+        self.try_run_journaled_with_cache(&TraceCache::new())
+    }
+
+    /// [`RunGrid::try_run_journaled`] against a caller-owned trace cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) failure — a validation error or
+    /// an isolated panic. Every other job still ran to completion first.
+    pub fn try_run_journaled_with_cache(
+        &self,
+        cache: &TraceCache,
+    ) -> Result<(Vec<RunReport>, Journal), RunError> {
+        let mut slots: Vec<JournaledSlot> = (0..self.specs.len()).map(|_| None).collect();
+        let todo: Vec<usize> = (0..self.specs.len()).collect();
+        self.execute(
+            cache,
+            &todo,
+            run_one_journaled_isolated,
+            |index, outcome| slots[index] = Some(outcome),
+        );
+        let mut reports = Vec::with_capacity(slots.len());
+        let mut journals = Vec::with_capacity(slots.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every job reports exactly once") {
+                Ok((report, journal)) => {
+                    reports.push(report);
+                    journals.push(journal.unwrap_or_default());
+                }
+                Err(error) => {
+                    return Err(error.into_run_error(index, self.specs[index].label.clone()))
+                }
+            }
+        }
+        Ok((reports, Journal::merge(journals)))
     }
 
     /// A deterministic identity for the grid's *shape*: job count plus
@@ -526,42 +606,52 @@ impl RunGrid {
         let cache = TraceCache::new();
         let mut errors = Vec::new();
         let mut fresh = 0usize;
-        self.execute(&cache, &todo, |index, outcome| match outcome {
-            Ok(report) => {
-                checkpoint.slots[index] = Some(report);
-                fresh += 1;
-                if fresh.is_multiple_of(every) {
-                    persist(&checkpoint);
+        self.execute(
+            &cache,
+            &todo,
+            run_one_isolated,
+            |index, outcome| match outcome {
+                Ok(report) => {
+                    checkpoint.slots[index] = Some(report);
+                    fresh += 1;
+                    if fresh.is_multiple_of(every) {
+                        persist(&checkpoint);
+                    }
                 }
-            }
-            Err(error) => {
-                errors.push(error.into_run_error(index, self.specs[index].label.clone()));
-            }
-        });
+                Err(error) => {
+                    errors.push(error.into_run_error(index, self.specs[index].label.clone()));
+                }
+            },
+        );
         errors.sort_by_key(RunError::index);
         persist(&checkpoint);
         (checkpoint, errors)
     }
 
-    /// Shared execution path: runs the jobs at `todo`, invoking
+    /// Shared execution path: runs `run` on the jobs at `todo`, invoking
     /// `on_result` on the calling thread as each job completes (out of
     /// index order under the pool — callers that need order re-assemble by
-    /// index). Each job is panic-isolated via [`run_one_isolated`].
-    fn execute<F: FnMut(usize, Result<RunReport, JobError>)>(
+    /// index). `run` must be panic-isolating (see [`run_one_isolated`]);
+    /// it is a plain `fn` pointer so worker threads can share it freely.
+    fn execute<T, F>(
         &self,
         cache: &TraceCache,
         todo: &[usize],
+        run: fn(&RunSpec, &TraceCache) -> Result<T, JobError>,
         mut on_result: F,
-    ) {
+    ) where
+        T: Send,
+        F: FnMut(usize, Result<T, JobError>),
+    {
         let workers = self.effective_jobs().min(todo.len().max(1));
         if workers <= 1 || todo.len() <= 1 {
             for &index in todo {
-                on_result(index, run_one_isolated(&self.specs[index], cache));
+                on_result(index, run(&self.specs[index], cache));
             }
             return;
         }
         let (job_tx, job_rx) = channel::unbounded::<(usize, &RunSpec)>();
-        let (result_tx, result_rx) = channel::unbounded::<(usize, Result<RunReport, JobError>)>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Result<T, JobError>)>();
         for &index in todo {
             job_tx
                 .send((index, &self.specs[index]))
@@ -575,10 +665,7 @@ impl RunGrid {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     while let Ok((index, spec)) = job_rx.recv() {
-                        if result_tx
-                            .send((index, run_one_isolated(spec, cache)))
-                            .is_err()
-                        {
+                        if result_tx.send((index, run(spec, cache))).is_err() {
                             return;
                         }
                     }
@@ -620,6 +707,35 @@ fn run_one_isolated(spec: &RunSpec, cache: &TraceCache) -> Result<RunReport, Job
     let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(spec, cache)));
     match unwound {
         Ok(Ok(report)) => Ok(report),
+        Ok(Err(error)) => Err(JobError::Scenario(error)),
+        Err(payload) => Err(JobError::Panicked(panic_payload_string(payload.as_ref()))),
+    }
+}
+
+/// [`run_one`] through the journaled scenario path, keeping the per-run
+/// journal (`None` when the job's scenario has observability off).
+fn run_one_journaled(
+    spec: &RunSpec,
+    cache: &TraceCache,
+) -> Result<(RunReport, Option<Journal>), ScenarioError> {
+    spec.scenario.validate()?;
+    let traces = cache.get_or_generate(&spec.scenario);
+    spec.scenario
+        .try_run_journaled_on(&traces)
+        .map(|(report, _, journal)| (report, journal))
+}
+
+/// [`run_one_journaled`] with the same panic isolation as
+/// [`run_one_isolated`].
+fn run_one_journaled_isolated(
+    spec: &RunSpec,
+    cache: &TraceCache,
+) -> Result<(RunReport, Option<Journal>), JobError> {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_one_journaled(spec, cache)
+    }));
+    match unwound {
+        Ok(Ok(result)) => Ok(result),
         Ok(Err(error)) => Err(JobError::Scenario(error)),
         Err(payload) => Err(JobError::Panicked(panic_payload_string(payload.as_ref()))),
     }

@@ -3,7 +3,8 @@
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 
-use etrain_radio::RadioParams;
+use etrain_obs::{Event, Journal, MetricsRegistry, ObsMode};
+use etrain_radio::{RadioParams, RrcState, Timeline};
 use etrain_sched::{
     AdmissionConfig, AppProfile, BaselineScheduler, ETimeConfig, ETimeScheduler, ETrainConfig,
     ETrainScheduler, GuardedScheduler, HealthConfig, PerEsConfig, PerEsScheduler, RetryPolicy,
@@ -15,7 +16,7 @@ use etrain_trace::heartbeats::{synthesize, Heartbeat, TrainAppSpec};
 use etrain_trace::packets::{CargoWorkload, Packet};
 use serde::Serialize;
 
-use crate::engine::run_engine_with_faults;
+use crate::engine::{run_engine_journaled, EngineOutput};
 use crate::metrics::RunReport;
 use crate::oracle::{self, OracleMode, OracleViolation};
 
@@ -291,6 +292,7 @@ pub struct Scenario {
     faults: FaultPlan,
     retry: RetryPolicy,
     oracle: OracleMode,
+    obs: ObsMode,
 }
 
 impl Scenario {
@@ -313,6 +315,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             oracle: OracleMode::from_env(),
+            obs: ObsMode::from_env(),
         }
     }
 
@@ -420,6 +423,39 @@ impl Scenario {
     /// The simulation-oracle mode this scenario runs under.
     pub fn oracle_mode(&self) -> OracleMode {
         self.oracle
+    }
+
+    /// Sets the observability mode for this scenario's runs.
+    /// [`Scenario::paper_default`] starts from the `ETRAIN_OBS`
+    /// environment variable ([`ObsMode::from_env`], default `Off`); this
+    /// builder overrides it. With observability off the run takes the
+    /// exact bit-for-bit code path it always did; any enabled mode makes
+    /// [`Scenario::try_run_journaled`] return a structured event journal
+    /// and fills [`RunReport::metrics`](crate::RunReport::metrics).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use etrain_sim::{ObsMode, Scenario};
+    ///
+    /// let (report, _output, journal) = Scenario::paper_default()
+    ///     .duration_secs(600)
+    ///     .obs(ObsMode::Jsonl)
+    ///     .seed(1)
+    ///     .try_run_journaled()
+    ///     .expect("valid scenario");
+    /// let journal = journal.expect("journaling was enabled");
+    /// assert!(!journal.is_empty());
+    /// assert!(report.metrics.is_some());
+    /// ```
+    pub fn obs(mut self, mode: ObsMode) -> Self {
+        self.obs = mode;
+        self
+    }
+
+    /// The observability mode this scenario runs under.
+    pub fn obs_mode(&self) -> ObsMode {
+        self.obs
     }
 
     /// The scheduler this scenario runs.
@@ -582,10 +618,53 @@ impl Scenario {
     pub fn try_run_with_output_on(
         &self,
         traces: &TraceBundle,
-    ) -> Result<(RunReport, crate::engine::EngineOutput), ScenarioError> {
+    ) -> Result<(RunReport, EngineOutput), ScenarioError> {
+        let (report, output, _journal) = self.try_run_journaled_on(traces)?;
+        Ok((report, output))
+    }
+
+    /// Fallible journaled run on self-generated traces: validates,
+    /// generates traces, then calls [`Scenario::try_run_journaled_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns what [`Scenario::validate`] returns.
+    pub fn try_run_journaled(
+        &self,
+    ) -> Result<(RunReport, EngineOutput, Option<Journal>), ScenarioError> {
+        self.validate()?;
+        let traces = self.generate_traces();
+        self.try_run_journaled_on(&traces)
+    }
+
+    /// Runs the scenario on pre-generated traces and — when the scenario's
+    /// [`ObsMode`] is enabled — additionally returns the run's structured
+    /// event journal and fills [`RunReport::metrics`](crate::RunReport::metrics)
+    /// with a [`MetricsRegistry`] snapshot.
+    ///
+    /// The journal is canonicalized ((time, seq)-ordered with densely
+    /// renumbered sequence numbers), so two runs of the same scenario
+    /// produce byte-identical [`Journal::to_jsonl`] output. RRC state
+    /// transitions are reconstructed from the run's offline
+    /// [`Timeline`] and merged into the event stream. With observability
+    /// off this is exactly [`Scenario::try_run_with_output_on`] plus a
+    /// `None` journal — bit-for-bit, no instrumentation overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns what [`Scenario::validate`] returns.
+    pub fn try_run_journaled_on(
+        &self,
+        traces: &TraceBundle,
+    ) -> Result<(RunReport, EngineOutput, Option<Journal>), ScenarioError> {
         self.validate()?;
         let mut scheduler = self.scheduler.build(self.profiles.clone());
-        let output = run_engine_with_faults(
+        let mut journal = if self.obs.is_enabled() {
+            Some(Journal::new())
+        } else {
+            None
+        };
+        let output = run_engine_journaled(
             scheduler.as_mut(),
             &traces.packets,
             &traces.heartbeats,
@@ -594,8 +673,15 @@ impl Scenario {
             self.horizon_s,
             &self.faults,
             &self.retry,
+            journal.as_mut(),
         );
         let mut report = RunReport::from_engine(scheduler.name(), &output, &self.profiles);
+        if let Some(journal) = journal.as_mut() {
+            let timeline = output.timeline();
+            append_rrc_transitions(journal, &timeline);
+            journal.canonicalize();
+            report.metrics = Some(collect_metrics(&output, &timeline, &self.radio, journal));
+        }
         if self.oracle.is_enabled() {
             let outcome = oracle::audit_run(
                 &report,
@@ -615,8 +701,84 @@ impl Scenario {
             }
             report.oracle = Some(outcome);
         }
-        Ok((report, output))
+        Ok((report, output, journal))
     }
+}
+
+/// Lowercase label for an RRC state, matching the engine's
+/// `Event::TailReuse { from_state }` convention.
+fn state_label(state: RrcState) -> &'static str {
+    match state {
+        RrcState::Idle => "idle",
+        RrcState::Fach => "fach",
+        RrcState::Dch => "dch",
+    }
+}
+
+/// Reconstructs `Event::RrcTransition` events from the offline timeline
+/// and appends them to the journal (the caller canonicalizes afterwards,
+/// interleaving them with the online events by time).
+fn append_rrc_transitions(journal: &mut Journal, timeline: &Timeline) {
+    for pair in timeline.segments().windows(2) {
+        if pair[0].state != pair[1].state {
+            journal.push(
+                pair[1].start_s,
+                Event::RrcTransition {
+                    from: state_label(pair[0].state).to_string(),
+                    to: state_label(pair[1].state).to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Builds the run's metrics snapshot from the engine output, the offline
+/// timeline and the canonicalized journal.
+///
+/// The three per-state energy gauges decompose the run's *total* energy:
+/// each gauge is (baseline idle draw + that state's extra draw) × time in
+/// state, so across the horizon the gauges sum to
+/// [`RunReport::total_energy_j`](crate::RunReport::total_energy_j)
+/// exactly (the same identity the oracle's energy-ledger invariant
+/// audits).
+fn collect_metrics(
+    output: &EngineOutput,
+    timeline: &Timeline,
+    radio: &RadioParams,
+    journal: &Journal,
+) -> etrain_obs::MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    reg.heartbeats.add(output.heartbeats_sent as u64);
+    reg.tx_starts.add(output.transmissions.len() as u64);
+    reg.retries.add(output.retries as u64);
+    reg.sheds.add(output.shed.len() as u64);
+    reg.forced_flushes.add(output.forced_flushes as u64);
+    reg.health_transitions
+        .add(output.health_events.len() as u64);
+    for record in journal.records() {
+        match &record.event {
+            Event::TailReuse { .. } => reg.tail_reuses.inc(),
+            Event::PiggybackDecision {
+                queued, released, ..
+            } => {
+                reg.decisions.inc();
+                reg.releases.add(*released as u64);
+                if *queued > 0 {
+                    reg.queue_depth.observe(*queued as f64);
+                }
+            }
+            Event::RrcTransition { .. } => reg.rrc_transitions.inc(),
+            _ => {}
+        }
+    }
+    let idle_mw = radio.idle_mw();
+    reg.energy_idle_j
+        .set(idle_mw * timeline.time_in_state_s(RrcState::Idle) / 1000.0);
+    reg.energy_fach_j
+        .set((idle_mw + radio.fach_extra_mw()) * timeline.time_in_state_s(RrcState::Fach) / 1000.0);
+    reg.energy_dch_j
+        .set((idle_mw + radio.dch_extra_mw()) * timeline.time_in_state_s(RrcState::Dch) / 1000.0);
+    reg.snapshot()
 }
 
 #[cfg(test)]

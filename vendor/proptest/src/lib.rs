@@ -177,7 +177,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// A length specification for [`vec`]: a fixed size or a half-open
+    /// A length specification for [`vec()`]: a fixed size or a half-open
     /// range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
