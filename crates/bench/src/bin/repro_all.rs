@@ -25,6 +25,7 @@
 use std::time::Instant;
 
 fn main() {
+    etrain_bench::validate_env_knobs();
     let args: Vec<String> = std::env::args().collect();
     if std::env::var(etrain_sim::ORACLE_ENV).is_err() {
         // Default the whole suite to record-mode auditing. Set before any

@@ -1,0 +1,7 @@
+//! Robustness: a quick chaos campaign, oracle self-test with shrinking,
+//! and kill/resume crash-consistency trials. See `experiments::chaos`;
+//! the standalone `chaos` binary scales the same machinery up.
+
+fn main() {
+    etrain_bench::run_binary("robustness");
+}

@@ -1,0 +1,134 @@
+//! Robustness: the deterministic chaos campaign in experiment form.
+//!
+//! Three tiers, all seeded and reproducible:
+//!
+//! 1. **Campaign** — randomized scenario plans × fault plans × scheduler
+//!    kinds swept through the grid runner under the strict oracle; every
+//!    violation, panic, and health-ladder anomaly is a finding (the
+//!    expected count is zero).
+//! 2. **Oracle self-test** — deliberate post-run corruptions that the
+//!    oracle must catch, each delta-debugged down to a minimal repro (the
+//!    acceptance bar is ≤ 10 events).
+//! 3. **Kill/resume** — runs killed at seed-derived points and resumed
+//!    from the last durable engine snapshot must match the uninterrupted
+//!    run bit-for-bit, report and merged journal alike.
+//!
+//! The standalone `chaos` binary runs the same machinery at nightly
+//! scale with date-derived seeds and writes repro artifacts; this
+//! experiment keeps a smoke-sized slice of it in the default suite.
+
+use crate::ExperimentResult;
+use etrain_chaos::{campaign_cases, run_campaign, run_kill_resume, shrink, ChaosCase, Corruption};
+use etrain_sim::{CasePlan, SchedulerKind, Table};
+
+/// Runs the chaos experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    // Tier 1: the campaign. Jobs = 1 because the repro suite already
+    // parallelizes across experiments.
+    let case_count = if quick { 16 } else { 80 };
+    let cases = campaign_cases(0, case_count, quick);
+    let campaign = run_campaign(&cases, 1);
+    let mut campaign_table = Table::new(
+        "Chaos campaign — seeded scenarios × faults × schedulers, strict oracle",
+        &["cases", "findings"],
+    );
+    campaign_table.push_row_strings(vec![
+        campaign.cases_run.to_string(),
+        campaign.findings.len().to_string(),
+    ]);
+
+    // Tier 2: oracle self-test with shrinking.
+    let mut plan = CasePlan::from_seed(6, false);
+    plan.horizon_s = plan.horizon_s.min(if quick { 600 } else { 900 });
+    let mut selftest_table = Table::new(
+        "Oracle self-test — injected corruptions, shrunk to minimal repros",
+        &["corruption", "caught", "repro_events", "signature"],
+    );
+    let mut max_repro_events = 0usize;
+    let mut caught = 0usize;
+    for corruption in Corruption::all() {
+        let case = ChaosCase {
+            plan: plan.clone(),
+            kind: SchedulerKind::Baseline,
+            corruption: Some(corruption),
+        };
+        match shrink(&case) {
+            Some(repro) => {
+                caught += 1;
+                max_repro_events = max_repro_events.max(repro.events);
+                selftest_table.push_row_strings(vec![
+                    format!("{corruption:?}"),
+                    "yes".to_owned(),
+                    repro.events.to_string(),
+                    repro.signature,
+                ]);
+            }
+            None => selftest_table.push_row_strings(vec![
+                format!("{corruption:?}"),
+                "NO".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]),
+        }
+    }
+
+    // Tier 3: kill/resume crash consistency.
+    let seeds: Vec<u64> = (0..if quick { 4 } else { 12 }).collect();
+    let killres = run_kill_resume(&seeds, 3);
+    let mut killres_table = Table::new(
+        "Kill/resume — mid-run snapshot, kill, resume; bit-for-bit comparison",
+        &["trials", "identical", "divergent"],
+    );
+    killres_table.push_row_strings(vec![
+        killres.trials.len().to_string(),
+        killres.identical_count().to_string(),
+        (killres.trials.len() - killres.identical_count()).to_string(),
+    ]);
+
+    ExperimentResult::from_tables(vec![campaign_table, selftest_table, killres_table])
+        .headline(
+            "chaos_campaign_findings",
+            campaign.findings.len() as f64,
+            "count",
+        )
+        .headline(
+            "chaos_selftest_caught",
+            caught as f64,
+            format!("of {}", Corruption::all().len()),
+        )
+        .headline(
+            "chaos_selftest_max_repro_events",
+            max_repro_events as f64,
+            "events",
+        )
+        .headline(
+            "chaos_killres_divergent",
+            (killres.trials.len() - killres.identical_count()) as f64,
+            "trials",
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_experiment_is_clean_in_quick_mode() {
+        let result = run(true);
+        let headline = |metric: &str| {
+            result
+                .headlines
+                .iter()
+                .find(|h| h.metric == metric)
+                .unwrap_or_else(|| panic!("missing headline {metric}"))
+                .value
+        };
+        assert_eq!(headline("chaos_campaign_findings"), 0.0);
+        assert_eq!(
+            headline("chaos_selftest_caught"),
+            Corruption::all().len() as f64
+        );
+        assert!(headline("chaos_selftest_max_repro_events") <= 10.0);
+        assert_eq!(headline("chaos_killres_divergent"), 0.0);
+    }
+}

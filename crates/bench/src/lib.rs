@@ -264,6 +264,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Extension: journal-driven event-by-event energy ledger decomposition",
             run: experiments::explain::run,
         },
+        Experiment {
+            name: "robustness",
+            description: "Robustness: chaos campaign, oracle self-test with shrinking, kill/resume",
+            run: experiments::chaos::run,
+        },
     ]
 }
 
@@ -300,14 +305,40 @@ pub struct ReproRun {
     pub result: ExperimentResult,
 }
 
+/// Validates every `ETRAIN_*` environment knob a bench binary honors
+/// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_JOBS`), exiting with status 2
+/// and one message per bad knob. Binaries call this first: a typo like
+/// `ETRAIN_ORACLE=stric` must abort the run, not silently audit nothing
+/// (library contexts keep the lenient warn-once fallback instead).
+pub fn validate_env_knobs() {
+    let mut problems = Vec::new();
+    if let Err(reason) = etrain_sim::OracleMode::try_from_env() {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_obs::ObsMode::try_from_env() {
+        problems.push(reason);
+    }
+    let jobs_raw = std::env::var(etrain_sim::JOBS_ENV).ok();
+    if let Err(reason) = etrain_sim::try_jobs_from_env(jobs_raw.as_deref()) {
+        problems.push(reason);
+    }
+    if !problems.is_empty() {
+        for problem in &problems {
+            eprintln!("error: {problem}");
+        }
+        std::process::exit(2);
+    }
+}
+
 /// The number of workers `repro_all` uses by default: the `ETRAIN_JOBS`
 /// environment variable if set to a positive integer, otherwise the
-/// machine's available parallelism.
+/// machine's available parallelism. Binaries run [`validate_env_knobs`]
+/// first, so an unparseable value has already aborted before the lenient
+/// fallback here could matter.
 pub fn default_jobs() -> usize {
-    std::env::var(etrain_sim::JOBS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|&n| n > 0)
+    let raw = std::env::var(etrain_sim::JOBS_ENV).ok();
+    etrain_sim::try_jobs_from_env(raw.as_deref())
+        .unwrap_or(None)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -472,6 +503,7 @@ pub fn repro_report_json(runs: &[ReproRun]) -> String {
 /// it), or if `--csv` is given without a directory or the directory cannot
 /// be written.
 pub fn run_binary(name: &str) {
+    validate_env_knobs();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv_dir = args

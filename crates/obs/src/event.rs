@@ -181,6 +181,30 @@ impl Journal {
         self.records.is_empty()
     }
 
+    /// Drops every record after the first `len`, rewinding the journal to
+    /// a durable prefix — a crash-consistency resume keeps only what had
+    /// been flushed when its snapshot was taken. `seq` assignment
+    /// continues densely from the new end.
+    pub fn truncate(&mut self, len: usize) {
+        self.records.truncate(len);
+        self.next_seq = self.records.len() as u64;
+    }
+
+    /// Appends another journal's records after this one's, re-tagging them
+    /// with this journal's run id and renumbering their `seq` to continue
+    /// this journal's sequence (unlike [`Journal::merge`], which keeps
+    /// parts as separate runs). The kill/resume harness uses this to
+    /// splice a resumed run's post-snapshot suffix onto the durable
+    /// prefix before canonicalizing.
+    pub fn extend_from(&mut self, other: Journal) {
+        for mut record in other.records {
+            record.run = self.run;
+            record.seq = self.next_seq;
+            self.next_seq += 1;
+            self.records.push(record);
+        }
+    }
+
     /// Stable-sorts records by simulated time and renumbers `seq` densely
     /// from 0, so equal-time events keep their causal push order and the
     /// sequence number becomes the chronological index.

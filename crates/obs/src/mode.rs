@@ -25,15 +25,34 @@ pub enum ObsMode {
 }
 
 impl ObsMode {
+    /// Strict [`OBS_ENV`] reader: `Ok(Off)` when unset or empty, the
+    /// parsed mode otherwise, and `Err` (with the parse reason) for an
+    /// unrecognized value. Binaries call this so a typo like
+    /// `ETRAIN_OBS=jsnol` fails fast instead of silently recording
+    /// nothing.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var(OBS_ENV) {
+            Err(_) => Ok(ObsMode::Off),
+            Ok(raw) if raw.trim().is_empty() => Ok(ObsMode::Off),
+            Ok(raw) => raw.parse(),
+        }
+    }
+
     /// Reads the mode from the [`OBS_ENV`] environment variable.
     ///
     /// Unset, empty, or unparseable values fall back to [`ObsMode::Off`]
-    /// so that stray environment state can never change results.
+    /// so that stray environment state can never change results — but an
+    /// unparseable value warns once on stderr rather than being swallowed
+    /// silently (library contexts cannot fail fast; binaries use
+    /// [`ObsMode::try_from_env`]).
     pub fn from_env() -> Self {
-        std::env::var(OBS_ENV)
-            .ok()
-            .and_then(|raw| raw.trim().to_ascii_lowercase().parse().ok())
-            .unwrap_or(ObsMode::Off)
+        ObsMode::try_from_env().unwrap_or_else(|reason| {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: ignoring {reason}; observability stays off");
+            });
+            ObsMode::Off
+        })
     }
 
     /// Whether any recording happens at all.

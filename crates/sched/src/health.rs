@@ -106,6 +106,73 @@ impl std::fmt::Display for HealthTransition {
     }
 }
 
+/// The rung index of a state on the ladder (Healthy = 0 … Fallback = 2).
+fn rung(state: HealthState) -> i32 {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::Fallback => 2,
+    }
+}
+
+/// Audits a recorded transition log against the ladder's structural
+/// invariants, returning one human-readable anomaly per violation (empty
+/// for a clean log). A healthy [`GuardedScheduler`] can never produce an
+/// anomalous log, so any finding signals a ladder bug — the chaos
+/// campaign runs this over every guarded run it sweeps.
+///
+/// Checked invariants:
+///
+/// - timestamps are finite, non-negative, and non-decreasing;
+/// - the log chains: each transition leaves the state the previous one
+///   entered, and the first leaves `Healthy` (every run starts there);
+/// - no transition is a self-loop;
+/// - every step moves exactly one rung, except the
+///   [`TransitionCause::TrainDeath`] watchdog, which may drop straight
+///   from any rung to `Fallback` (and only to `Fallback`);
+/// - [`TransitionCause::Recovered`] appears only on promotions, every
+///   other cause only on demotions.
+pub fn audit_transitions(transitions: &[HealthTransition]) -> Vec<String> {
+    let mut anomalies = Vec::new();
+    let mut expected_from = HealthState::Healthy;
+    let mut last_at_s = f64::NEG_INFINITY;
+    for (i, t) in transitions.iter().enumerate() {
+        if !t.at_s.is_finite() || t.at_s < 0.0 {
+            anomalies.push(format!("#{i}: non-finite or negative timestamp ({t})"));
+        } else if t.at_s < last_at_s {
+            anomalies.push(format!(
+                "#{i}: timestamp moves backwards ({} < {last_at_s}) ({t})",
+                t.at_s
+            ));
+        }
+        if t.from != expected_from {
+            anomalies.push(format!(
+                "#{i}: broken chain — leaves {} but the ladder was in {expected_from} ({t})",
+                t.from
+            ));
+        }
+        let step = rung(t.to) - rung(t.from);
+        let watchdog_drop =
+            matches!(t.cause, TransitionCause::TrainDeath) && t.to == HealthState::Fallback;
+        if step == 0 {
+            anomalies.push(format!("#{i}: self-transition ({t})"));
+        } else if step.abs() > 1 && !watchdog_drop {
+            anomalies.push(format!("#{i}: skips a rung ({t})"));
+        }
+        let is_promotion = step < 0;
+        let cause_is_recovery = matches!(t.cause, TransitionCause::Recovered { .. });
+        if is_promotion && !cause_is_recovery {
+            anomalies.push(format!("#{i}: promotion with a demotion cause ({t})"));
+        }
+        if step > 0 && cause_is_recovery {
+            anomalies.push(format!("#{i}: demotion attributed to recovery ({t})"));
+        }
+        expected_from = t.to;
+        last_at_s = last_at_s.max(t.at_s);
+    }
+    anomalies
+}
+
 /// Tuning of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HealthConfig {
@@ -528,6 +595,151 @@ mod tests {
             HealthConfig::default(),
             AppProfile::paper_trio(30.0),
         )
+    }
+
+    fn step(
+        at_s: f64,
+        from: HealthState,
+        to: HealthState,
+        cause: TransitionCause,
+    ) -> HealthTransition {
+        HealthTransition {
+            at_s,
+            from,
+            to,
+            cause,
+        }
+    }
+
+    #[test]
+    fn audit_accepts_a_legal_demote_recover_cycle() {
+        let log = [
+            step(
+                10.0,
+                HealthState::Healthy,
+                HealthState::Degraded,
+                TransitionCause::RepeatedTxFailures { failures: 3 },
+            ),
+            step(
+                20.0,
+                HealthState::Degraded,
+                HealthState::Fallback,
+                TransitionCause::TrainDeath,
+            ),
+            step(
+                90.0,
+                HealthState::Fallback,
+                HealthState::Degraded,
+                TransitionCause::Recovered {
+                    clean_heartbeats: 5,
+                },
+            ),
+            step(
+                150.0,
+                HealthState::Degraded,
+                HealthState::Healthy,
+                TransitionCause::Recovered {
+                    clean_heartbeats: 5,
+                },
+            ),
+        ];
+        assert!(audit_transitions(&log).is_empty());
+        assert!(audit_transitions(&[]).is_empty());
+    }
+
+    #[test]
+    fn audit_flags_each_structural_violation() {
+        let demote = TransitionCause::OracleViolation;
+        let recover = TransitionCause::Recovered {
+            clean_heartbeats: 5,
+        };
+        // Rung skip — except the train-death watchdog, which is the one
+        // cause allowed to drop straight to Fallback.
+        let skip = [step(
+            1.0,
+            HealthState::Healthy,
+            HealthState::Fallback,
+            demote,
+        )];
+        assert!(audit_transitions(&skip)[0].contains("skips a rung"));
+        let watchdog = [step(
+            1.0,
+            HealthState::Healthy,
+            HealthState::Fallback,
+            TransitionCause::TrainDeath,
+        )];
+        assert!(audit_transitions(&watchdog).is_empty());
+        // Self-loop.
+        let looped = [step(
+            1.0,
+            HealthState::Healthy,
+            HealthState::Healthy,
+            demote,
+        )];
+        assert!(audit_transitions(&looped)[0].contains("self-transition"));
+        // Broken chain: second transition leaves a state never entered.
+        let broken = [
+            step(1.0, HealthState::Healthy, HealthState::Degraded, demote),
+            step(2.0, HealthState::Fallback, HealthState::Degraded, recover),
+        ];
+        assert!(audit_transitions(&broken)
+            .iter()
+            .any(|a| a.contains("broken chain")));
+        // First transition not from Healthy.
+        let cold = [step(
+            1.0,
+            HealthState::Degraded,
+            HealthState::Fallback,
+            demote,
+        )];
+        assert!(audit_transitions(&cold)[0].contains("broken chain"));
+        // Time reversal.
+        let reversed = [
+            step(5.0, HealthState::Healthy, HealthState::Degraded, demote),
+            step(2.0, HealthState::Degraded, HealthState::Fallback, demote),
+        ];
+        assert!(audit_transitions(&reversed)
+            .iter()
+            .any(|a| a.contains("moves backwards")));
+        // Non-finite timestamp.
+        let nan = [step(
+            f64::NAN,
+            HealthState::Healthy,
+            HealthState::Degraded,
+            demote,
+        )];
+        assert!(audit_transitions(&nan)[0].contains("non-finite"));
+        // Cause/direction mismatches.
+        let bad_promote = [
+            step(1.0, HealthState::Healthy, HealthState::Degraded, demote),
+            step(2.0, HealthState::Degraded, HealthState::Healthy, demote),
+        ];
+        assert!(audit_transitions(&bad_promote)
+            .iter()
+            .any(|a| a.contains("promotion with a demotion cause")));
+        let bad_demote = [step(
+            1.0,
+            HealthState::Healthy,
+            HealthState::Degraded,
+            recover,
+        )];
+        assert!(audit_transitions(&bad_demote)[0].contains("demotion attributed to recovery"));
+    }
+
+    #[test]
+    fn audit_accepts_real_guarded_scheduler_logs() {
+        // Drive an actual ladder through demotions and a recovery and
+        // audit the log it produced.
+        let mut g = guarded(None);
+        for i in 0..6 {
+            g.on_tx_failure(packet(i, 1, 0.0), i as f64).unwrap();
+        }
+        assert_eq!(g.state(), HealthState::Fallback);
+        for i in 0..12 {
+            let _ = g.on_slot(&ctx(10.0 + i as f64, true, true));
+        }
+        assert!(!g.transitions().is_empty());
+        assert!(audit_transitions(g.transitions()).is_empty());
     }
 
     #[test]

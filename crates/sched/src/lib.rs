@@ -69,7 +69,10 @@ pub use baseline::BaselineScheduler;
 pub use cost::CostProfile;
 pub use etime::{ETimeConfig, ETimeScheduler};
 pub use etrain::{ETrainConfig, ETrainScheduler};
-pub use health::{GuardedScheduler, HealthConfig, HealthState, HealthTransition, TransitionCause};
+pub use health::{
+    audit_transitions, GuardedScheduler, HealthConfig, HealthState, HealthTransition,
+    TransitionCause,
+};
 pub use offline::{OfflineProblem, OfflineRelease, OfflineSchedule};
 pub use peres::{PerEsConfig, PerEsScheduler};
 pub use queue::{AppProfile, WaitingQueues};

@@ -120,10 +120,11 @@ impl RetryPolicy {
     /// in `failed_attempts` and bounded by `max_backoff_s`.
     pub fn backoff_s(&self, failed_attempts: u32) -> f64 {
         debug_assert!(failed_attempts >= 1);
-        let exp = self
-            .backoff_factor
-            .powi(failed_attempts.saturating_sub(1) as i32);
-        (self.base_backoff_s * exp).min(self.max_backoff_s)
+        // Clamp the exponent before the i32 cast: attempt counts past
+        // 2^31 would wrap negative and collapse the delay to ~0. The
+        // clamped power overflows to +inf at worst, which min() absorbs.
+        let exp = failed_attempts.saturating_sub(1).min(i32::MAX as u32) as i32;
+        (self.base_backoff_s * self.backoff_factor.powi(exp)).min(self.max_backoff_s)
     }
 
     /// The jittered backoff: `backoff_s(n) * (1 + jitter_frac * (u - 0.5))`

@@ -199,3 +199,74 @@ proptest! {
         prop_assert!(sched.total_cost(t0 + 10.0) >= sched.total_cost(t0) - 1e-9);
     }
 }
+
+proptest! {
+    /// Backoff extremes: even when `backoff_factor^(n-1)` overflows f64 to
+    /// infinity, the undelayed backoff clamps to `max_backoff_s` and stays
+    /// finite and monotone for every attempt count up to `u32::MAX`.
+    #[test]
+    fn retry_backoff_clamps_under_overflow(
+        base in 0.001f64..1e6,
+        factor in 1.0f64..1e6,
+        cap_mult in 1.0f64..1e3,
+        attempts in prop::collection::vec(1u32..=u32::MAX, 1..16),
+    ) {
+        let policy = etrain_sched::RetryPolicy {
+            base_backoff_s: base,
+            backoff_factor: factor,
+            max_backoff_s: base * cap_mult,
+            ..etrain_sched::RetryPolicy::default()
+        };
+        prop_assert!(policy.validate().is_ok());
+        for &n in &attempts {
+            // factor^(n-1) reaches inf long before n = u32::MAX for any
+            // factor > 1; the min() against the cap must absorb that.
+            let d = policy.backoff_s(n);
+            prop_assert!(d.is_finite(), "attempt {n}: got {d}");
+            prop_assert!(d <= policy.max_backoff_s + 1e-12, "attempt {n}: {d}");
+            prop_assert!(d >= 0.0);
+            if n < u32::MAX {
+                prop_assert!(policy.backoff_s(n + 1) >= d - 1e-12, "monotone at {n}");
+            }
+        }
+    }
+
+    /// Deadline-aware give-up: whenever `decide` schedules a retry, the
+    /// packet's age at that retry is within `give_up_age_s` — the policy
+    /// never schedules an attempt past its own deadline, for any jitter,
+    /// age and backoff geometry (including overflowing factors).
+    #[test]
+    fn retry_never_schedules_past_the_deadline(
+        base in 0.001f64..1e4,
+        factor in 1.0f64..1e6,
+        cap_mult in 1.0f64..1e3,
+        jitter in 0.0f64..=1.0,
+        give_up in 0.1f64..1e6,
+        failed in 1u32..=u32::MAX,
+        now in 0.0f64..1e6,
+        arrival_back in 0.0f64..1e6,
+        unit in 0.0f64..1.0,
+    ) {
+        let policy = etrain_sched::RetryPolicy {
+            base_backoff_s: base,
+            backoff_factor: factor,
+            max_backoff_s: base * cap_mult,
+            jitter_frac: jitter,
+            max_attempts: u32::MAX,
+            give_up_age_s: give_up,
+        };
+        prop_assert!(policy.validate().is_ok());
+        let arrival = now - arrival_back;
+        match policy.decide(failed, now, arrival, unit) {
+            etrain_sched::RetryDecision::RetryAfter(delay) => {
+                prop_assert!(delay.is_finite() && delay >= 0.0, "delay {delay}");
+                let age_at_retry = now + delay - arrival;
+                prop_assert!(
+                    age_at_retry <= give_up + 1e-9,
+                    "age {age_at_retry} exceeds give-up {give_up}"
+                );
+            }
+            etrain_sched::RetryDecision::Abandon => {}
+        }
+    }
+}

@@ -19,7 +19,16 @@
 //! *previous* slot's bandwidth — the noisy estimate available to PerES and
 //! eTime. `trains_alive` is ground truth from the heartbeat trace (the live
 //! system in `etrain-core` uses the `etrain-hb` monitor instead).
+//!
+//! The loop itself lives in [`Engine`], a stepwise form of the same
+//! machine: [`Engine::step`] processes exactly one event, [`Engine::snapshot`]
+//! captures a versioned, fingerprinted mid-run checkpoint at any step
+//! boundary, and [`Engine::restore`] rebuilds the engine at that point by
+//! deterministic replay (verifying the fingerprint). The batch entry
+//! points ([`run_engine`] and friends) are thin wrappers that construct an
+//! engine and drive it to the horizon.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 
 use etrain_obs::{prof, Event, Journal};
@@ -29,6 +38,7 @@ use etrain_trace::bandwidth::BandwidthTrace;
 use etrain_trace::faults::{hash_unit, FaultPlan};
 use etrain_trace::heartbeats::Heartbeat;
 use etrain_trace::packets::Packet;
+use serde::{Deserialize, Serialize};
 
 use crate::oracle::{OracleMode, OracleOutcome, OracleViolation};
 
@@ -112,6 +122,9 @@ pub struct EngineOutput {
     pub transmissions: Vec<Transmission>,
     /// The radio parameters the run used.
     pub radio_params: RadioParams,
+    /// Discrete events the engine processed to produce this output — the
+    /// coordinate [`EngineSnapshot`]s and the kill/resume harness use.
+    pub events_processed: u64,
 }
 
 impl EngineOutput {
@@ -145,6 +158,839 @@ impl TxItem {
             TxItem::Heartbeat(hb) => hb.size_bytes,
             TxItem::Packet { packet, .. } => packet.size_bytes,
         }
+    }
+}
+
+/// The fate of a cargo transfer attempt that just ended. Burned energy
+/// stays burned; a retried packet keeps its original arrival time so
+/// φ_u(t − t_a) keeps growing.
+enum TxFate {
+    Delivered,
+    Retry { due_s: f64 },
+    Abandon { attempts: u32 },
+}
+
+// Event priorities at equal time (lower runs first).
+const PRIO_TX_COMPLETE: u8 = 0;
+const PRIO_SLOT: u8 = 1;
+const PRIO_HEARTBEAT: u8 = 2;
+const PRIO_ARRIVAL: u8 = 3;
+const PRIO_RETRY: u8 = 4;
+
+/// Version tag written into every [`EngineSnapshot`]; bumped whenever the
+/// fingerprint's field coverage or encoding changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A durable mid-run capture of the engine's progress, taken at a step
+/// boundary via [`Engine::snapshot`] and consumed by [`Engine::restore`].
+///
+/// The simulation is deterministic end to end, so the snapshot does not
+/// serialize the full mutable state (the scheduler behind the trait object
+/// could not be anyway); it records *how far* the run got —
+/// `events_processed` — plus an FNV-1a fingerprint over every observable
+/// piece of engine, radio and scheduler state. Restoring replays the run
+/// to the same event count on freshly built inputs and verifies the
+/// fingerprint, which catches divergent inputs and nondeterminism between
+/// the snapshotting process and the resuming one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// Simulated time of the last processed event, in seconds.
+    pub taken_at_s: f64,
+    /// Events the engine had processed when the snapshot was taken.
+    pub events_processed: u64,
+    /// Slot boundaries the engine had run.
+    pub slots_run: u64,
+    /// Records in the attached journal at snapshot time (0 when
+    /// unjournaled) — the durable journal prefix a resume merges with.
+    pub journal_events: usize,
+    /// FNV-1a fingerprint of the engine's observable mutable state.
+    pub fingerprint: u64,
+}
+
+/// Why [`Engine::restore`] refused a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// The version this build writes and reads.
+        expected: u32,
+        /// The version found in the snapshot.
+        found: u32,
+    },
+    /// The inputs ran out of events before reaching the snapshot's
+    /// `events_processed` — the snapshot is from different inputs.
+    ReplayExhausted {
+        /// The snapshot's event count.
+        wanted: u64,
+        /// Where replay actually stopped.
+        reached: u64,
+    },
+    /// Replay reached the event count but the state fingerprint differs —
+    /// the inputs changed or the simulation is nondeterministic.
+    FingerprintMismatch {
+        /// The snapshot's fingerprint.
+        expected: u64,
+        /// The replayed engine's fingerprint.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { expected, found } => write!(
+                f,
+                "snapshot version {found} is not this build's version {expected}"
+            ),
+            SnapshotError::ReplayExhausted { wanted, reached } => write!(
+                f,
+                "inputs exhausted at event {reached} before the snapshot's event {wanted}"
+            ),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "state fingerprint {found:#018x} does not match the snapshot's {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a over little-endian field encodings, with every field length
+/// explicit — the same stable cross-process construction the grid
+/// checkpoint fingerprint uses.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The discrete-event loop as a stepwise state machine.
+///
+/// [`Engine::new`] validates the inputs and applies the fault plan's
+/// heartbeat filtering; each [`Engine::step`] processes exactly one event
+/// (returning `false` once no event at or before the horizon remains);
+/// [`Engine::finish`] performs the horizon finalization and produces the
+/// [`EngineOutput`]. [`Engine::run`] drives step-to-exhaustion plus
+/// finish, and is bit-for-bit the behaviour of [`run_engine_journaled`].
+///
+/// Between steps the engine can be checkpointed ([`Engine::snapshot`]) and
+/// later rebuilt at the same point ([`Engine::restore`]); see
+/// [`EngineSnapshot`] for the replay-based restore semantics.
+pub struct Engine<'a> {
+    scheduler: &'a mut dyn Scheduler,
+    packets: &'a [Packet],
+    heartbeats: Cow<'a, [Heartbeat]>,
+    bandwidth: &'a BandwidthTrace,
+    radio_params: &'a RadioParams,
+    horizon_s: f64,
+    plan: &'a FaultPlan,
+    retry: &'a RetryPolicy,
+    journal: Option<&'a mut Journal>,
+    _span: prof::Span,
+
+    radio: Radio,
+    slot_s: f64,
+    txq: VecDeque<TxItem>,
+    in_flight: Option<(TxItem, f64, f64)>, // (item, start, end)
+    completed: Vec<CompletedPacket>,
+    abandoned: Vec<AbandonedPacket>,
+    transmissions: Vec<Transmission>,
+    heartbeats_sent: usize,
+    arrival_idx: usize,
+    hb_idx: usize,
+    next_slot_s: f64,
+    // Retry state: packets awaiting their backed-off re-offer, keyed by
+    // due time, and each packet's failed-attempt count.
+    retryq: Vec<(f64, Packet)>,
+    failed_attempts: HashMap<u64, u32>,
+    retries: usize,
+    wasted_retry_energy_j: f64,
+    // Injected oracle alarms, delivered at the first slot boundary at or
+    // after each alarm time (empty for the common fault-free run).
+    alarms: Vec<f64>,
+    alarm_idx: usize,
+    events_processed: u64,
+    slots_run: u64,
+    last_event_s: f64,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine over the given inputs, ready to step from t = 0.
+    ///
+    /// `packets` and `heartbeats` must be sorted by time (the generators
+    /// in `etrain-trace` produce sorted traces). The run covers
+    /// `[0, horizon_s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not strictly positive, `retry` fails
+    /// [`RetryPolicy::validate`], or an input trace is unsorted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        scheduler: &'a mut dyn Scheduler,
+        packets: &'a [Packet],
+        heartbeats: &'a [Heartbeat],
+        bandwidth: &'a BandwidthTrace,
+        radio_params: &'a RadioParams,
+        horizon_s: f64,
+        plan: &'a FaultPlan,
+        retry: &'a RetryPolicy,
+        journal: Option<&'a mut Journal>,
+    ) -> Engine<'a> {
+        let span = prof::Span::enter(prof::Phase::EngineRun);
+        if journal.is_some() {
+            scheduler.set_obs_enabled(true);
+        }
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        if let Err(why) = retry.validate() {
+            panic!("invalid retry policy: {why}");
+        }
+        assert!(
+            packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "packet trace must be sorted by arrival time"
+        );
+        assert!(
+            heartbeats.windows(2).all(|w| w[0].time_s <= w[1].time_s),
+            "heartbeat trace must be sorted by time"
+        );
+
+        // Heartbeats dropped by the plan (or inside a death window) never
+        // depart. A no-op plan leaves the slice untouched.
+        let heartbeats: Cow<'a, [Heartbeat]> = if plan.is_noop() {
+            Cow::Borrowed(heartbeats)
+        } else {
+            Cow::Owned(plan.apply_to_heartbeats(heartbeats))
+        };
+
+        let radio = Radio::new(radio_params.clone());
+        let slot_s = scheduler.slot_s();
+        let mut alarms = plan.oracle_alarms.clone();
+        alarms.sort_by(f64::total_cmp);
+
+        Engine {
+            scheduler,
+            packets,
+            heartbeats,
+            bandwidth,
+            radio_params,
+            horizon_s,
+            plan,
+            retry,
+            journal,
+            _span: span,
+            radio,
+            slot_s,
+            txq: VecDeque::new(),
+            in_flight: None,
+            completed: Vec::new(),
+            abandoned: Vec::new(),
+            transmissions: Vec::new(),
+            heartbeats_sent: 0,
+            arrival_idx: 0,
+            hb_idx: 0,
+            next_slot_s: 0.0,
+            retryq: Vec::new(),
+            failed_attempts: HashMap::new(),
+            retries: 0,
+            wasted_retry_energy_j: 0.0,
+            alarms,
+            alarm_idx: 0,
+            events_processed: 0,
+            slots_run: 0,
+            last_event_s: 0.0,
+        }
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Slot boundaries run so far.
+    pub fn slots_run(&self) -> u64 {
+        self.slots_run
+    }
+
+    /// Simulated time of the last processed event, in seconds (0 before
+    /// the first step).
+    pub fn now_s(&self) -> f64 {
+        self.last_event_s
+    }
+
+    /// Records currently in the attached journal (0 when unjournaled).
+    pub fn journal_events(&self) -> usize {
+        self.journal.as_deref().map_or(0, Journal::len)
+    }
+
+    /// Attaches a journal mid-run, enabling scheduler observability from
+    /// this point on — the resume path uses this so a restored engine
+    /// journals only post-snapshot events (the pre-snapshot prefix is the
+    /// durable journal persisted alongside the snapshot).
+    pub fn attach_journal(&mut self, journal: &'a mut Journal) {
+        self.scheduler.set_obs_enabled(true);
+        self.journal = Some(journal);
+    }
+
+    /// The earliest pending event, as `(time, priority)`.
+    fn next_event(&self) -> Option<(f64, u8)> {
+        let mut next: Option<(f64, u8)> = None;
+        let consider = |t: f64, prio: u8, next: &mut Option<(f64, u8)>| {
+            let better = match next {
+                None => true,
+                Some((bt, bp)) => t < *bt || (t == *bt && prio < *bp),
+            };
+            if better {
+                *next = Some((t, prio));
+            }
+        };
+        if let Some((_, _, end)) = self.in_flight {
+            consider(end, PRIO_TX_COMPLETE, &mut next);
+        }
+        consider(self.next_slot_s, PRIO_SLOT, &mut next);
+        if self.hb_idx < self.heartbeats.len() {
+            consider(
+                self.heartbeats[self.hb_idx].time_s,
+                PRIO_HEARTBEAT,
+                &mut next,
+            );
+        }
+        if self.arrival_idx < self.packets.len() {
+            consider(
+                self.packets[self.arrival_idx].arrival_s,
+                PRIO_ARRIVAL,
+                &mut next,
+            );
+        }
+        if let Some(due) = self.retryq.iter().map(|(due, _)| *due).reduce(f64::min) {
+            consider(due, PRIO_RETRY, &mut next);
+        }
+        next
+    }
+
+    /// Settles a cargo transfer attempt that ended at `end`.
+    fn settle_attempt(&mut self, packet: &Packet, start: f64, end: f64) -> TxFate {
+        let attempt = self.failed_attempts.get(&packet.id).copied().unwrap_or(0) + 1;
+        if !self.plan.loses_transmission(packet.id, attempt) {
+            return TxFate::Delivered;
+        }
+        self.wasted_retry_energy_j += (end - start) * self.radio_params.dch_extra_mw() / 1000.0;
+        self.failed_attempts.insert(packet.id, attempt);
+        let jitter = hash_unit(self.plan.seed ^ JITTER_SALT, packet.id, u64::from(attempt));
+        match self.retry.decide(attempt, end, packet.arrival_s, jitter) {
+            RetryDecision::RetryAfter(delay) => TxFate::Retry { due_s: end + delay },
+            RetryDecision::Abandon => TxFate::Abandon { attempts: attempt },
+        }
+    }
+
+    /// Processes exactly one event; returns `false` — consuming nothing —
+    /// once no event at or before the horizon remains.
+    pub fn step(&mut self) -> bool {
+        let Some((t, prio)) = self.next_event() else {
+            return false;
+        };
+        if t > self.horizon_s {
+            return false;
+        }
+
+        match prio {
+            PRIO_TX_COMPLETE => {
+                let (item, start, end) = self
+                    .in_flight
+                    .take()
+                    .expect("tx-complete implies in-flight");
+                self.radio.end_transmission(end);
+                if let TxItem::Packet { packet, release_s } = item {
+                    match self.settle_attempt(&packet, start, end) {
+                        TxFate::Delivered => self.completed.push(CompletedPacket {
+                            packet,
+                            release_s,
+                            tx_start_s: start,
+                            tx_end_s: end,
+                        }),
+                        TxFate::Retry { due_s } => {
+                            self.retries += 1;
+                            if let Some(j) = self.journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: self
+                                            .failed_attempts
+                                            .get(&packet.id)
+                                            .copied()
+                                            .unwrap_or(0),
+                                        abandoned: false,
+                                    },
+                                );
+                            }
+                            self.retryq.push((due_s, packet));
+                        }
+                        TxFate::Abandon { attempts } => {
+                            if let Some(j) = self.journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: attempts,
+                                        abandoned: true,
+                                    },
+                                );
+                            }
+                            self.abandoned.push(AbandonedPacket {
+                                packet,
+                                abandoned_at_s: end,
+                                attempts,
+                            })
+                        }
+                    }
+                }
+            }
+            PRIO_SLOT => {
+                while self.alarm_idx < self.alarms.len() && self.alarms[self.alarm_idx] <= t {
+                    self.scheduler.on_oracle_violation(t);
+                    self.alarm_idx += 1;
+                }
+                let heartbeat_departing = self.heartbeats[self.hb_idx..]
+                    .iter()
+                    .take_while(|hb| hb.time_s < t + self.slot_s)
+                    .any(|hb| hb.time_s >= t);
+                let trains_alive =
+                    self.hb_idx < self.heartbeats.len() && !self.plan.trains_dead_at(t);
+                let ctx = SlotContext {
+                    now_s: t,
+                    heartbeat_departing,
+                    predicted_bandwidth_bps: self
+                        .bandwidth
+                        .bandwidth_at((t - self.slot_s).max(0.0)),
+                    trains_alive,
+                };
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerSlot);
+                    self.scheduler.on_slot(&ctx)
+                };
+                if let Some(j) = self.journal.as_deref_mut() {
+                    for (time_s, event) in self.scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
+                for packet in released {
+                    self.txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+                self.next_slot_s += self.slot_s;
+                self.slots_run += 1;
+            }
+            PRIO_HEARTBEAT => {
+                let hb = self.heartbeats[self.hb_idx];
+                self.hb_idx += 1;
+                self.heartbeats_sent += 1;
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.push(
+                        t,
+                        Event::HeartbeatFired {
+                            size_bytes: hb.size_bytes,
+                        },
+                    );
+                }
+                // Heartbeats are sent by their own daemons: front of queue.
+                self.txq.push_front(TxItem::Heartbeat(hb));
+            }
+            PRIO_ARRIVAL => {
+                let packet = self.packets[self.arrival_idx];
+                self.arrival_idx += 1;
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerArrival);
+                    self.scheduler
+                        .on_arrival(packet, t)
+                        .expect("workload apps are registered with the scheduler")
+                };
+                if let Some(j) = self.journal.as_deref_mut() {
+                    for (time_s, event) in self.scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
+                for packet in released {
+                    self.txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+            }
+            PRIO_RETRY => {
+                // Pop the earliest-due retry (first of equals — insertion
+                // order keeps this deterministic) and re-offer it through
+                // the scheduler's failure-feedback hook.
+                let idx = self
+                    .retryq
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (a, _)), (_, (b, _))| a.total_cmp(b))
+                    .map(|(i, _)| i)
+                    .expect("retry event implies non-empty retry queue");
+                let (_, packet) = self.retryq.remove(idx);
+                let released = {
+                    let _span = prof::Span::enter(prof::Phase::SchedulerRetry);
+                    self.scheduler
+                        .on_tx_failure(packet, t)
+                        .expect("retried packets belong to registered apps")
+                };
+                if let Some(j) = self.journal.as_deref_mut() {
+                    for (time_s, event) in self.scheduler.take_obs_events() {
+                        j.push(time_s, event);
+                    }
+                }
+                for packet in released {
+                    self.txq.push_back(TxItem::Packet {
+                        packet,
+                        release_s: t,
+                    });
+                }
+            }
+            _ => unreachable!("unknown event priority"),
+        }
+
+        // Start the next transmission if the radio is free. Data flows
+        // only after any RRC state promotion completes (IDLE→DCH or
+        // FACH→DCH signaling — 0 s with the paper's defaults, non-zero in
+        // the fast-dormancy ablation); the radio is busy throughout.
+        if self.in_flight.is_none() {
+            if let Some(item) = self.txq.pop_front() {
+                let promotion_s = match self.radio.state() {
+                    etrain_radio::RrcState::Idle => self.radio_params.promotion_idle_to_dch_s(),
+                    etrain_radio::RrcState::Fach => self.radio_params.promotion_fach_to_dch_s(),
+                    etrain_radio::RrcState::Dch => 0.0,
+                };
+                if let Some(j) = self.journal.as_deref_mut() {
+                    // Starting out of IDLE means the transmission re-used a
+                    // promotion or tail some earlier transmission paid for.
+                    let from_state = match self.radio.state() {
+                        etrain_radio::RrcState::Idle => None,
+                        etrain_radio::RrcState::Fach => Some("fach"),
+                        etrain_radio::RrcState::Dch => Some("dch"),
+                    };
+                    if let Some(from_state) = from_state {
+                        j.push(
+                            t,
+                            Event::TailReuse {
+                                from_state: from_state.to_string(),
+                                size_bytes: item.size_bytes(),
+                            },
+                        );
+                    }
+                }
+                let duration = promotion_s
+                    + self
+                        .plan
+                        .transfer_time_s(self.bandwidth, t + promotion_s, item.size_bytes());
+                self.radio.start_transmission(t);
+                self.transmissions.push(Transmission::new(t, duration));
+                self.in_flight = Some((item, t, t + duration));
+            }
+        }
+
+        self.events_processed += 1;
+        self.last_event_s = t;
+        true
+    }
+
+    /// Finalizes the run at the horizon and produces the output.
+    ///
+    /// Call after [`Engine::step`] returns `false`; calling earlier
+    /// truncates the run at the current step boundary (everything still
+    /// queued counts as unfinished).
+    pub fn finish(mut self) -> EngineOutput {
+        // Let the in-flight transmission finish if it ends exactly at the
+        // horizon boundary; otherwise count it as unfinished. A boundary
+        // completion still flips its loss coin: a lost final attempt whose
+        // retry falls past the horizon counts as unfinished, not completed.
+        let mut in_flight_unfinished = Vec::new();
+        if let Some((item, start, end)) = self.in_flight.take() {
+            if end <= self.horizon_s {
+                self.radio.end_transmission(end);
+                if let TxItem::Packet { packet, release_s } = item {
+                    match self.settle_attempt(&packet, start, end) {
+                        TxFate::Delivered => self.completed.push(CompletedPacket {
+                            packet,
+                            release_s,
+                            tx_start_s: start,
+                            tx_end_s: end,
+                        }),
+                        TxFate::Retry { .. } => {
+                            self.retries += 1;
+                            if let Some(j) = self.journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: self
+                                            .failed_attempts
+                                            .get(&packet.id)
+                                            .copied()
+                                            .unwrap_or(0),
+                                        abandoned: false,
+                                    },
+                                );
+                            }
+                            in_flight_unfinished.push(packet);
+                        }
+                        TxFate::Abandon { attempts } => {
+                            if let Some(j) = self.journal.as_deref_mut() {
+                                j.push(
+                                    end,
+                                    Event::RetryAttempt {
+                                        packet_id: packet.id,
+                                        attempt: attempts,
+                                        abandoned: true,
+                                    },
+                                );
+                            }
+                            self.abandoned.push(AbandonedPacket {
+                                packet,
+                                abandoned_at_s: end,
+                                attempts,
+                            })
+                        }
+                    }
+                }
+            } else if let TxItem::Packet { packet, .. } = item {
+                in_flight_unfinished.push(packet);
+            }
+        }
+        self.radio.advance_to(self.horizon_s);
+        for item in std::mem::take(&mut self.txq) {
+            if let TxItem::Packet { packet, .. } = item {
+                in_flight_unfinished.push(packet);
+            }
+        }
+        // Retries still backing off at the horizon were released but never
+        // re-delivered: unfinished.
+        for (_, packet) in std::mem::take(&mut self.retryq) {
+            in_flight_unfinished.push(packet);
+        }
+
+        EngineOutput {
+            completed: std::mem::take(&mut self.completed),
+            in_flight: in_flight_unfinished,
+            abandoned: std::mem::take(&mut self.abandoned),
+            retries: self.retries,
+            wasted_retry_energy_j: self.wasted_retry_energy_j,
+            still_deferred: self.scheduler.pending(),
+            shed: self.scheduler.take_shed(),
+            forced_flushes: self.scheduler.forced_flushes(),
+            health_events: self.scheduler.health_transitions(),
+            heartbeats_sent: self.heartbeats_sent,
+            transmission_energy_j: self.radio.transmission_energy_j(),
+            tail_energy_j: self.radio.tail_energy_j(),
+            idle_energy_j: self.radio_params.idle_mw() / 1000.0 * self.horizon_s,
+            busy_time_s: self.radio.busy_time_s(),
+            promotions: self.radio.promotions(),
+            horizon_s: self.horizon_s,
+            transmissions: std::mem::take(&mut self.transmissions),
+            radio_params: self.radio_params.clone(),
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Steps to exhaustion and finalizes — the batch entry points are thin
+    /// wrappers over this.
+    pub fn run(mut self) -> EngineOutput {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Captures a versioned, fingerprinted checkpoint of the run at the
+    /// current step boundary. Cheap relative to a run (one hashing pass
+    /// over the engine's state), serializable, and consumed by
+    /// [`Engine::restore`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            taken_at_s: self.last_event_s,
+            events_processed: self.events_processed,
+            slots_run: self.slots_run,
+            journal_events: self.journal_events(),
+            fingerprint: self.fingerprint(),
+        }
+    }
+
+    /// FNV-1a over every observable piece of mutable run state: engine
+    /// counters and queues, terminal records, radio accounting, and the
+    /// scheduler's non-consuming observables.
+    fn fingerprint(&self) -> u64 {
+        let mut f = Fnv::new();
+        f.write_u64(self.events_processed);
+        f.write_u64(self.slots_run);
+        f.write_f64(self.last_event_s);
+        f.write_f64(self.next_slot_s);
+        f.write_u64(self.arrival_idx as u64);
+        f.write_u64(self.hb_idx as u64);
+        f.write_u64(self.alarm_idx as u64);
+        f.write_u64(self.heartbeats_sent as u64);
+        f.write_u64(self.retries as u64);
+        f.write_f64(self.wasted_retry_energy_j);
+
+        let item = |f: &mut Fnv, item: &TxItem| match item {
+            TxItem::Heartbeat(hb) => {
+                f.write_u64(0);
+                f.write_f64(hb.time_s);
+                f.write_u64(hb.size_bytes);
+            }
+            TxItem::Packet { packet, release_s } => {
+                f.write_u64(1);
+                f.write_u64(packet.id);
+                f.write_f64(packet.arrival_s);
+                f.write_u64(packet.size_bytes);
+                f.write_f64(*release_s);
+            }
+        };
+        f.write_u64(self.txq.len() as u64);
+        for queued in &self.txq {
+            item(&mut f, queued);
+        }
+        match &self.in_flight {
+            None => f.write_u64(0),
+            Some((flying, start, end)) => {
+                f.write_u64(1);
+                item(&mut f, flying);
+                f.write_f64(*start);
+                f.write_f64(*end);
+            }
+        }
+        f.write_u64(self.retryq.len() as u64);
+        for (due, packet) in &self.retryq {
+            f.write_f64(*due);
+            f.write_u64(packet.id);
+        }
+        let mut attempts: Vec<(u64, u32)> =
+            self.failed_attempts.iter().map(|(k, v)| (*k, *v)).collect();
+        attempts.sort_unstable_by_key(|(id, _)| *id);
+        f.write_u64(attempts.len() as u64);
+        for (id, count) in attempts {
+            f.write_u64(id);
+            f.write_u64(u64::from(count));
+        }
+
+        f.write_u64(self.completed.len() as u64);
+        for c in &self.completed {
+            f.write_u64(c.packet.id);
+            f.write_f64(c.release_s);
+            f.write_f64(c.tx_start_s);
+            f.write_f64(c.tx_end_s);
+        }
+        f.write_u64(self.abandoned.len() as u64);
+        for a in &self.abandoned {
+            f.write_u64(a.packet.id);
+            f.write_f64(a.abandoned_at_s);
+            f.write_u64(u64::from(a.attempts));
+        }
+        f.write_u64(self.transmissions.len() as u64);
+        for tx in &self.transmissions {
+            f.write_f64(tx.start_s);
+            f.write_f64(tx.duration_s);
+        }
+
+        f.write_u64(match self.radio.state() {
+            etrain_radio::RrcState::Idle => 0,
+            etrain_radio::RrcState::Fach => 1,
+            etrain_radio::RrcState::Dch => 2,
+        });
+        f.write_f64(self.radio.now_s());
+        f.write_f64(self.radio.busy_time_s());
+        f.write_f64(self.radio.transmission_energy_j());
+        f.write_f64(self.radio.tail_energy_j());
+        f.write_u64(self.radio.promotions() as u64);
+
+        f.write_u64(self.scheduler.pending() as u64);
+        f.write_u64(self.scheduler.pending_bytes());
+        f.write_u64(self.scheduler.forced_flushes() as u64);
+        f.write_u64(self.scheduler.health_transitions().len() as u64);
+        f.finish()
+    }
+
+    /// Rebuilds an engine at a snapshot's step boundary by deterministic
+    /// replay over freshly built inputs: steps a new engine (unjournaled)
+    /// to the snapshot's `events_processed`, then verifies the state
+    /// fingerprint. The scheduler must be freshly built from the same
+    /// configuration the snapshotting run used.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::VersionMismatch`] for a foreign snapshot format,
+    /// [`SnapshotError::ReplayExhausted`] when the inputs end early, and
+    /// [`SnapshotError::FingerprintMismatch`] when replay reaches the
+    /// event count in a different state — each means the snapshot does not
+    /// belong to these inputs (or the simulation lost determinism).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Engine::new`] does on invalid inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        scheduler: &'a mut dyn Scheduler,
+        packets: &'a [Packet],
+        heartbeats: &'a [Heartbeat],
+        bandwidth: &'a BandwidthTrace,
+        radio_params: &'a RadioParams,
+        horizon_s: f64,
+        plan: &'a FaultPlan,
+        retry: &'a RetryPolicy,
+        snapshot: &EngineSnapshot,
+    ) -> Result<Engine<'a>, SnapshotError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: snapshot.version,
+            });
+        }
+        let mut engine = Engine::new(
+            scheduler,
+            packets,
+            heartbeats,
+            bandwidth,
+            radio_params,
+            horizon_s,
+            plan,
+            retry,
+            None,
+        );
+        while engine.events_processed < snapshot.events_processed {
+            if !engine.step() {
+                return Err(SnapshotError::ReplayExhausted {
+                    wanted: snapshot.events_processed,
+                    reached: engine.events_processed,
+                });
+            }
+        }
+        let found = engine.fingerprint();
+        if found != snapshot.fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected: snapshot.fingerprint,
+                found,
+            });
+        }
+        Ok(engine)
     }
 }
 
@@ -254,398 +1100,20 @@ pub fn run_engine_journaled(
     horizon_s: f64,
     plan: &FaultPlan,
     retry: &RetryPolicy,
-    mut journal: Option<&mut Journal>,
+    journal: Option<&mut Journal>,
 ) -> EngineOutput {
-    let _engine_span = prof::Span::enter(prof::Phase::EngineRun);
-    if journal.is_some() {
-        scheduler.set_obs_enabled(true);
-    }
-    assert!(horizon_s > 0.0, "horizon must be positive");
-    if let Err(why) = retry.validate() {
-        panic!("invalid retry policy: {why}");
-    }
-    assert!(
-        packets.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "packet trace must be sorted by arrival time"
-    );
-    assert!(
-        heartbeats.windows(2).all(|w| w[0].time_s <= w[1].time_s),
-        "heartbeat trace must be sorted by time"
-    );
-
-    // Heartbeats dropped by the plan (or inside a death window) never
-    // depart. A no-op plan leaves the slice untouched.
-    let filtered_heartbeats: Vec<Heartbeat>;
-    let heartbeats: &[Heartbeat] = if plan.is_noop() {
-        heartbeats
-    } else {
-        filtered_heartbeats = plan.apply_to_heartbeats(heartbeats);
-        &filtered_heartbeats
-    };
-
-    let mut radio = Radio::new(radio_params.clone());
-    let slot_s = scheduler.slot_s();
-    let mut txq: VecDeque<TxItem> = VecDeque::new();
-    let mut in_flight: Option<(TxItem, f64, f64)> = None; // (item, start, end)
-
-    let mut completed = Vec::new();
-    let mut abandoned: Vec<AbandonedPacket> = Vec::new();
-    let mut transmissions: Vec<Transmission> = Vec::new();
-    let mut heartbeats_sent = 0usize;
-    let mut arrival_idx = 0usize;
-    let mut hb_idx = 0usize;
-    let mut next_slot_s = 0.0f64;
-
-    // Retry state: packets awaiting their backed-off re-offer, keyed by
-    // due time, and each packet's failed-attempt count.
-    let mut retryq: Vec<(f64, Packet)> = Vec::new();
-    let mut failed_attempts: HashMap<u64, u32> = HashMap::new();
-    let mut retries = 0usize;
-    let mut wasted_retry_energy_j = 0.0f64;
-
-    // Injected oracle alarms, delivered at the first slot boundary at or
-    // after each alarm time (empty for the common fault-free run).
-    let mut alarms: Vec<f64> = plan.oracle_alarms.clone();
-    alarms.sort_by(f64::total_cmp);
-    let mut alarm_idx = 0usize;
-
-    // The fate of a cargo transfer attempt that just ended at `end`.
-    // Burned energy stays burned; a retried packet keeps its original
-    // arrival time so φ_u(t − t_a) keeps growing.
-    enum TxFate {
-        Delivered,
-        Retry { due_s: f64 },
-        Abandon { attempts: u32 },
-    }
-    let mut settle_attempt = |packet: &Packet,
-                              start: f64,
-                              end: f64,
-                              failed_attempts: &mut HashMap<u64, u32>|
-     -> TxFate {
-        let attempt = failed_attempts.get(&packet.id).copied().unwrap_or(0) + 1;
-        if !plan.loses_transmission(packet.id, attempt) {
-            return TxFate::Delivered;
-        }
-        wasted_retry_energy_j += (end - start) * radio_params.dch_extra_mw() / 1000.0;
-        failed_attempts.insert(packet.id, attempt);
-        let jitter = hash_unit(plan.seed ^ JITTER_SALT, packet.id, u64::from(attempt));
-        match retry.decide(attempt, end, packet.arrival_s, jitter) {
-            RetryDecision::RetryAfter(delay) => TxFate::Retry { due_s: end + delay },
-            RetryDecision::Abandon => TxFate::Abandon { attempts: attempt },
-        }
-    };
-
-    // Event priorities at equal time (lower runs first).
-    const PRIO_TX_COMPLETE: u8 = 0;
-    const PRIO_SLOT: u8 = 1;
-    const PRIO_HEARTBEAT: u8 = 2;
-    const PRIO_ARRIVAL: u8 = 3;
-    const PRIO_RETRY: u8 = 4;
-
-    loop {
-        // Find the earliest next event.
-        let mut next: Option<(f64, u8)> = None;
-        let consider = |t: f64, prio: u8, next: &mut Option<(f64, u8)>| {
-            let better = match next {
-                None => true,
-                Some((bt, bp)) => t < *bt || (t == *bt && prio < *bp),
-            };
-            if better {
-                *next = Some((t, prio));
-            }
-        };
-        if let Some((_, _, end)) = in_flight {
-            consider(end, PRIO_TX_COMPLETE, &mut next);
-        }
-        consider(next_slot_s, PRIO_SLOT, &mut next);
-        if hb_idx < heartbeats.len() {
-            consider(heartbeats[hb_idx].time_s, PRIO_HEARTBEAT, &mut next);
-        }
-        if arrival_idx < packets.len() {
-            consider(packets[arrival_idx].arrival_s, PRIO_ARRIVAL, &mut next);
-        }
-        if let Some(due) = retryq.iter().map(|(due, _)| *due).reduce(f64::min) {
-            consider(due, PRIO_RETRY, &mut next);
-        }
-
-        let Some((t, prio)) = next else { break };
-        if t > horizon_s {
-            break;
-        }
-
-        match prio {
-            PRIO_TX_COMPLETE => {
-                let (item, start, end) = in_flight.take().expect("tx-complete implies in-flight");
-                radio.end_transmission(end);
-                if let TxItem::Packet { packet, release_s } = item {
-                    match settle_attempt(&packet, start, end, &mut failed_attempts) {
-                        TxFate::Delivered => completed.push(CompletedPacket {
-                            packet,
-                            release_s,
-                            tx_start_s: start,
-                            tx_end_s: end,
-                        }),
-                        TxFate::Retry { due_s } => {
-                            retries += 1;
-                            if let Some(j) = journal.as_deref_mut() {
-                                j.push(
-                                    end,
-                                    Event::RetryAttempt {
-                                        packet_id: packet.id,
-                                        attempt: failed_attempts
-                                            .get(&packet.id)
-                                            .copied()
-                                            .unwrap_or(0),
-                                        abandoned: false,
-                                    },
-                                );
-                            }
-                            retryq.push((due_s, packet));
-                        }
-                        TxFate::Abandon { attempts } => {
-                            if let Some(j) = journal.as_deref_mut() {
-                                j.push(
-                                    end,
-                                    Event::RetryAttempt {
-                                        packet_id: packet.id,
-                                        attempt: attempts,
-                                        abandoned: true,
-                                    },
-                                );
-                            }
-                            abandoned.push(AbandonedPacket {
-                                packet,
-                                abandoned_at_s: end,
-                                attempts,
-                            })
-                        }
-                    }
-                }
-            }
-            PRIO_SLOT => {
-                while alarm_idx < alarms.len() && alarms[alarm_idx] <= t {
-                    scheduler.on_oracle_violation(t);
-                    alarm_idx += 1;
-                }
-                let heartbeat_departing = heartbeats[hb_idx..]
-                    .iter()
-                    .take_while(|hb| hb.time_s < t + slot_s)
-                    .any(|hb| hb.time_s >= t);
-                let trains_alive = hb_idx < heartbeats.len() && !plan.trains_dead_at(t);
-                let ctx = SlotContext {
-                    now_s: t,
-                    heartbeat_departing,
-                    predicted_bandwidth_bps: bandwidth.bandwidth_at((t - slot_s).max(0.0)),
-                    trains_alive,
-                };
-                let released = {
-                    let _span = prof::Span::enter(prof::Phase::SchedulerSlot);
-                    scheduler.on_slot(&ctx)
-                };
-                if let Some(j) = journal.as_deref_mut() {
-                    for (time_s, event) in scheduler.take_obs_events() {
-                        j.push(time_s, event);
-                    }
-                }
-                for packet in released {
-                    txq.push_back(TxItem::Packet {
-                        packet,
-                        release_s: t,
-                    });
-                }
-                next_slot_s += slot_s;
-            }
-            PRIO_HEARTBEAT => {
-                let hb = heartbeats[hb_idx];
-                hb_idx += 1;
-                heartbeats_sent += 1;
-                if let Some(j) = journal.as_deref_mut() {
-                    j.push(
-                        t,
-                        Event::HeartbeatFired {
-                            size_bytes: hb.size_bytes,
-                        },
-                    );
-                }
-                // Heartbeats are sent by their own daemons: front of queue.
-                txq.push_front(TxItem::Heartbeat(hb));
-            }
-            PRIO_ARRIVAL => {
-                let packet = packets[arrival_idx];
-                arrival_idx += 1;
-                let released = {
-                    let _span = prof::Span::enter(prof::Phase::SchedulerArrival);
-                    scheduler
-                        .on_arrival(packet, t)
-                        .expect("workload apps are registered with the scheduler")
-                };
-                if let Some(j) = journal.as_deref_mut() {
-                    for (time_s, event) in scheduler.take_obs_events() {
-                        j.push(time_s, event);
-                    }
-                }
-                for packet in released {
-                    txq.push_back(TxItem::Packet {
-                        packet,
-                        release_s: t,
-                    });
-                }
-            }
-            PRIO_RETRY => {
-                // Pop the earliest-due retry (first of equals — insertion
-                // order keeps this deterministic) and re-offer it through
-                // the scheduler's failure-feedback hook.
-                let idx = retryq
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, (a, _)), (_, (b, _))| a.total_cmp(b))
-                    .map(|(i, _)| i)
-                    .expect("retry event implies non-empty retry queue");
-                let (_, packet) = retryq.remove(idx);
-                let released = {
-                    let _span = prof::Span::enter(prof::Phase::SchedulerRetry);
-                    scheduler
-                        .on_tx_failure(packet, t)
-                        .expect("retried packets belong to registered apps")
-                };
-                if let Some(j) = journal.as_deref_mut() {
-                    for (time_s, event) in scheduler.take_obs_events() {
-                        j.push(time_s, event);
-                    }
-                }
-                for packet in released {
-                    txq.push_back(TxItem::Packet {
-                        packet,
-                        release_s: t,
-                    });
-                }
-            }
-            _ => unreachable!("unknown event priority"),
-        }
-
-        // Start the next transmission if the radio is free. Data flows
-        // only after any RRC state promotion completes (IDLE→DCH or
-        // FACH→DCH signaling — 0 s with the paper's defaults, non-zero in
-        // the fast-dormancy ablation); the radio is busy throughout.
-        if in_flight.is_none() {
-            if let Some(item) = txq.pop_front() {
-                let promotion_s = match radio.state() {
-                    etrain_radio::RrcState::Idle => radio_params.promotion_idle_to_dch_s(),
-                    etrain_radio::RrcState::Fach => radio_params.promotion_fach_to_dch_s(),
-                    etrain_radio::RrcState::Dch => 0.0,
-                };
-                if let Some(j) = journal.as_deref_mut() {
-                    // Starting out of IDLE means the transmission re-used a
-                    // promotion or tail some earlier transmission paid for.
-                    let from_state = match radio.state() {
-                        etrain_radio::RrcState::Idle => None,
-                        etrain_radio::RrcState::Fach => Some("fach"),
-                        etrain_radio::RrcState::Dch => Some("dch"),
-                    };
-                    if let Some(from_state) = from_state {
-                        j.push(
-                            t,
-                            Event::TailReuse {
-                                from_state: from_state.to_string(),
-                                size_bytes: item.size_bytes(),
-                            },
-                        );
-                    }
-                }
-                let duration = promotion_s
-                    + plan.transfer_time_s(bandwidth, t + promotion_s, item.size_bytes());
-                radio.start_transmission(t);
-                transmissions.push(Transmission::new(t, duration));
-                in_flight = Some((item, t, t + duration));
-            }
-        }
-    }
-
-    // Let the in-flight transmission finish if it ends exactly at the
-    // horizon boundary; otherwise count it as unfinished. A boundary
-    // completion still flips its loss coin: a lost final attempt whose
-    // retry falls past the horizon counts as unfinished, not completed.
-    let mut in_flight_unfinished = Vec::new();
-    if let Some((item, start, end)) = in_flight {
-        if end <= horizon_s {
-            radio.end_transmission(end);
-            if let TxItem::Packet { packet, release_s } = item {
-                match settle_attempt(&packet, start, end, &mut failed_attempts) {
-                    TxFate::Delivered => completed.push(CompletedPacket {
-                        packet,
-                        release_s,
-                        tx_start_s: start,
-                        tx_end_s: end,
-                    }),
-                    TxFate::Retry { .. } => {
-                        retries += 1;
-                        if let Some(j) = journal.as_deref_mut() {
-                            j.push(
-                                end,
-                                Event::RetryAttempt {
-                                    packet_id: packet.id,
-                                    attempt: failed_attempts.get(&packet.id).copied().unwrap_or(0),
-                                    abandoned: false,
-                                },
-                            );
-                        }
-                        in_flight_unfinished.push(packet);
-                    }
-                    TxFate::Abandon { attempts } => {
-                        if let Some(j) = &mut journal {
-                            j.push(
-                                end,
-                                Event::RetryAttempt {
-                                    packet_id: packet.id,
-                                    attempt: attempts,
-                                    abandoned: true,
-                                },
-                            );
-                        }
-                        abandoned.push(AbandonedPacket {
-                            packet,
-                            abandoned_at_s: end,
-                            attempts,
-                        })
-                    }
-                }
-            }
-        } else if let TxItem::Packet { packet, .. } = item {
-            in_flight_unfinished.push(packet);
-        }
-    }
-    radio.advance_to(horizon_s);
-    for item in txq {
-        if let TxItem::Packet { packet, .. } = item {
-            in_flight_unfinished.push(packet);
-        }
-    }
-    // Retries still backing off at the horizon were released but never
-    // re-delivered: unfinished.
-    for (_, packet) in retryq {
-        in_flight_unfinished.push(packet);
-    }
-
-    EngineOutput {
-        completed,
-        in_flight: in_flight_unfinished,
-        abandoned,
-        retries,
-        wasted_retry_energy_j,
-        still_deferred: scheduler.pending(),
-        shed: scheduler.take_shed(),
-        forced_flushes: scheduler.forced_flushes(),
-        health_events: scheduler.health_transitions(),
-        heartbeats_sent,
-        transmission_energy_j: radio.transmission_energy_j(),
-        tail_energy_j: radio.tail_energy_j(),
-        idle_energy_j: radio_params.idle_mw() / 1000.0 * horizon_s,
-        busy_time_s: radio.busy_time_s(),
-        promotions: radio.promotions(),
+    Engine::new(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
         horizon_s,
-        transmissions,
-        radio_params: radio_params.clone(),
-    }
+        plan,
+        retry,
+        journal,
+    )
+    .run()
 }
 
 /// [`run_engine`] under a simulation-oracle mode.
@@ -1104,6 +1572,215 @@ mod tests {
             &BandwidthTrace::constant(1e6),
             &RadioParams::galaxy_s4_3g(),
             100.0,
+        );
+    }
+
+    // ---- snapshot/restore ----
+
+    struct Inputs {
+        packets: Vec<Packet>,
+        heartbeats: Vec<Heartbeat>,
+        bandwidth: BandwidthTrace,
+        radio: RadioParams,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+        horizon_s: f64,
+    }
+
+    fn faulted_inputs() -> Inputs {
+        Inputs {
+            packets: CargoWorkload::paper_default(0.10).generate(900.0, 5),
+            heartbeats: synthesize(&TrainAppSpec::paper_trio(), 900.0, 5),
+            bandwidth: BandwidthTrace::constant(400_000.0),
+            radio: RadioParams::galaxy_s4_3g(),
+            plan: FaultPlan::seeded(17)
+                .with_loss(0.3)
+                .with_outage(200.0, 260.0),
+            retry: RetryPolicy::default(),
+            horizon_s: 900.0,
+        }
+    }
+
+    fn sched() -> ETrainScheduler {
+        ETrainScheduler::new(ETrainConfig::default(), profiles())
+    }
+
+    fn output_eq(a: &EngineOutput, b: &EngineOutput) {
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.in_flight, b.in_flight);
+        assert_eq!(a.abandoned, b.abandoned);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(
+            a.wasted_retry_energy_j.to_bits(),
+            b.wasted_retry_energy_j.to_bits()
+        );
+        assert_eq!(
+            a.transmission_energy_j.to_bits(),
+            b.transmission_energy_j.to_bits()
+        );
+        assert_eq!(a.tail_energy_j.to_bits(), b.tail_energy_j.to_bits());
+        assert_eq!(a.busy_time_s.to_bits(), b.busy_time_s.to_bits());
+        assert_eq!(a.promotions, b.promotions);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.transmissions.len(), b.transmissions.len());
+    }
+
+    #[test]
+    fn stepwise_engine_matches_batch_run() {
+        let inputs = faulted_inputs();
+        let mut s1 = sched();
+        let batch = run_engine_with_faults(
+            &mut s1,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+        );
+        let mut s2 = sched();
+        let mut eng = Engine::new(
+            &mut s2,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            None,
+        );
+        while eng.step() {}
+        let stepped = eng.finish();
+        output_eq(&batch, &stepped);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        let inputs = faulted_inputs();
+        let mut s1 = sched();
+        let full = run_engine_with_faults(
+            &mut s1,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+        );
+
+        // Run to roughly one third, snapshot, serialize it durably, and
+        // resume on a freshly built scheduler.
+        let mut s2 = sched();
+        let mut eng = Engine::new(
+            &mut s2,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            None,
+        );
+        let stop = full.events_processed / 3;
+        while eng.events_processed() < stop && eng.step() {}
+        let snap = eng.snapshot();
+        drop(eng);
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap: EngineSnapshot = serde_json::from_str(&json).unwrap();
+
+        let mut s3 = sched();
+        let eng = Engine::restore(
+            &mut s3,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            &snap,
+        )
+        .expect("snapshot restores on identical inputs");
+        let resumed = eng.run();
+        output_eq(&full, &resumed);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshot() {
+        let inputs = faulted_inputs();
+        let mut s1 = sched();
+        let mut eng = Engine::new(
+            &mut s1,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            None,
+        );
+        for _ in 0..200 {
+            eng.step();
+        }
+        let snap = eng.snapshot();
+        drop(eng);
+
+        // Different fault seed → different replayed state.
+        let other_plan = FaultPlan::seeded(99)
+            .with_loss(0.3)
+            .with_outage(200.0, 260.0);
+        let mut s2 = sched();
+        let err = Engine::restore(
+            &mut s2,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &other_plan,
+            &inputs.retry,
+            &snap,
+        )
+        .err()
+        .expect("foreign snapshot must be rejected");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::FingerprintMismatch { .. } | SnapshotError::ReplayExhausted { .. }
+            ),
+            "{err}"
+        );
+
+        // Wrong version is rejected before any replay happens.
+        let stale = EngineSnapshot {
+            version: SNAPSHOT_VERSION + 1,
+            ..snap
+        };
+        let mut s3 = sched();
+        let err = Engine::restore(
+            &mut s3,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            &stale,
+        )
+        .err()
+        .expect("stale version must be rejected");
+        assert_eq!(
+            err,
+            SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: SNAPSHOT_VERSION + 1,
+            }
         );
     }
 }

@@ -46,6 +46,7 @@
 
 mod compare;
 mod engine;
+pub mod fuzz;
 mod metrics;
 pub mod oracle;
 mod replicate;
@@ -57,8 +58,10 @@ pub mod sweep;
 pub use compare::Comparison;
 pub use engine::{
     run_engine, run_engine_checked, run_engine_journaled, run_engine_with_faults,
-    run_engine_with_faults_checked, AbandonedPacket, CompletedPacket, EngineOutput,
+    run_engine_with_faults_checked, AbandonedPacket, CompletedPacket, Engine, EngineOutput,
+    EngineSnapshot, SnapshotError, SNAPSHOT_VERSION,
 };
+pub use fuzz::{conformance_kinds, CasePlan, TrainSet};
 pub use metrics::{AppReport, RunReport};
 pub use oracle::{
     audit_scheduler_ordering, OracleCounters, OracleMode, OracleOutcome, OracleViolation,
@@ -66,7 +69,9 @@ pub use oracle::{
 };
 pub use replicate::{replicate, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
-pub use runner::{GridCheckpoint, RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV};
+pub use runner::{
+    try_jobs_from_env, GridCheckpoint, RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV,
+};
 pub use scenario::{BandwidthSource, Scenario, ScenarioError, SchedulerKind, TraceBundle};
 
 // Re-exported so fault-injection experiments can be described with this

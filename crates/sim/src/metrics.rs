@@ -235,6 +235,7 @@ mod tests {
             horizon_s: 100.0,
             transmissions: Vec::new(),
             radio_params: etrain_radio::RadioParams::galaxy_s4_3g(),
+            events_processed: 0,
         }
     }
 

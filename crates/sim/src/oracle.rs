@@ -81,14 +81,31 @@ pub enum OracleMode {
 }
 
 impl OracleMode {
+    /// Strict `ETRAIN_ORACLE` reader: `Ok(Off)` when unset or empty, the
+    /// parsed mode otherwise, and `Err` (with the parse reason) for an
+    /// unrecognized value. Binaries call this so `ETRAIN_ORACLE=stric`
+    /// fails fast instead of silently auditing nothing.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var(ORACLE_ENV) {
+            Err(_) => Ok(OracleMode::Off),
+            Ok(raw) if raw.trim().is_empty() => Ok(OracleMode::Off),
+            Ok(raw) => raw.parse(),
+        }
+    }
+
     /// Reads the process-wide default from `ETRAIN_ORACLE`
     /// (`off`/`record`/`strict`, case-insensitive); anything else — or an
-    /// unset variable — is `Off`.
+    /// unset variable — is `Off`. An unparseable value warns once on
+    /// stderr rather than being swallowed silently (library contexts
+    /// cannot fail fast; binaries use [`OracleMode::try_from_env`]).
     pub fn from_env() -> Self {
-        std::env::var(ORACLE_ENV)
-            .ok()
-            .and_then(|raw| raw.trim().to_ascii_lowercase().parse().ok())
-            .unwrap_or(OracleMode::Off)
+        OracleMode::try_from_env().unwrap_or_else(|reason| {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: ignoring {reason}; oracle stays off");
+            });
+            OracleMode::Off
+        })
     }
 
     /// Whether this mode audits at all.

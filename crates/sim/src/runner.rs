@@ -99,13 +99,26 @@ pub enum RunError {
         /// The panic payload, stringified.
         payload: String,
     },
+    /// A resume checkpoint does not belong to this grid: its job count or
+    /// shape fingerprint disagrees with the grid it was handed to.
+    /// Nothing has run when this is returned — the caller kept a stale or
+    /// foreign checkpoint file.
+    CheckpointMismatch {
+        /// The grid's own value (job count or fingerprint), rendered.
+        expected: String,
+        /// The checkpoint's value, rendered.
+        found: String,
+    },
 }
 
 impl RunError {
-    /// Index of the failing job in the grid.
+    /// Index of the failing job in the grid (`usize::MAX` for errors that
+    /// concern the whole grid rather than one job, like a rejected resume
+    /// checkpoint).
     pub fn index(&self) -> usize {
         match self {
             RunError::Scenario { index, .. } | RunError::Panicked { index, .. } => *index,
+            RunError::CheckpointMismatch { .. } => usize::MAX,
         }
     }
 
@@ -113,6 +126,7 @@ impl RunError {
     pub fn label(&self) -> &str {
         match self {
             RunError::Scenario { label, .. } | RunError::Panicked { label, .. } => label,
+            RunError::CheckpointMismatch { .. } => "resume checkpoint",
         }
     }
 }
@@ -130,6 +144,10 @@ impl std::fmt::Display for RunError {
                 label,
                 payload,
             } => write!(f, "grid job #{index} ({label}) panicked: {payload}"),
+            RunError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "resume checkpoint is from a different grid: expected {expected}, found {found}"
+            ),
         }
     }
 }
@@ -138,7 +156,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Scenario { error, .. } => Some(error),
-            RunError::Panicked { .. } => None,
+            RunError::Panicked { .. } | RunError::CheckpointMismatch { .. } => None,
         }
     }
 }
@@ -184,6 +202,13 @@ pub struct GridCheckpoint {
     fingerprint: u64,
     /// One slot per grid job; `Some` holds the completed report.
     slots: Vec<Option<RunReport>>,
+    /// Mid-run engine snapshots for jobs that were *in flight* when the
+    /// checkpoint was persisted (see [`crate::EngineSnapshot`]): a durable
+    /// partial lets a resumed job fast-forward by replay instead of
+    /// starting over. `None` in checkpoints written before this field
+    /// existed (an `Option` deserializes from an absent field), and an
+    /// entry is cleared once its job's report lands.
+    partials: Option<Vec<Option<crate::engine::EngineSnapshot>>>,
 }
 
 impl GridCheckpoint {
@@ -225,6 +250,38 @@ impl GridCheckpoint {
     /// `None` while any job is still pending.
     pub fn into_reports(self) -> Option<Vec<RunReport>> {
         self.slots.into_iter().collect()
+    }
+
+    /// Records a durable mid-run engine snapshot for job `index`, so a
+    /// crash between full-job completions can resume that job from the
+    /// snapshot instead of from scratch. Overwrites any earlier partial
+    /// for the same job; completion clears it.
+    pub fn record_partial(&mut self, index: usize, snapshot: crate::engine::EngineSnapshot) {
+        if index >= self.slots.len() {
+            return;
+        }
+        self.ensure_partials()[index] = Some(snapshot);
+    }
+
+    /// The last recorded mid-run snapshot for job `index`, if one exists
+    /// and the job has not completed since.
+    pub fn partial(&self, index: usize) -> Option<&crate::engine::EngineSnapshot> {
+        self.partials
+            .as_ref()
+            .and_then(|partials| partials.get(index))
+            .and_then(Option::as_ref)
+    }
+
+    /// Sizes `partials` to match `slots` (checkpoints deserialized from
+    /// older versions carry none at all).
+    fn ensure_partials(&mut self) -> &mut Vec<Option<crate::engine::EngineSnapshot>> {
+        let partials = self
+            .partials
+            .get_or_insert_with(|| vec![None; self.slots.len()]);
+        if partials.len() != self.slots.len() {
+            partials.resize(self.slots.len(), None);
+        }
+        partials
     }
 }
 
@@ -567,33 +624,40 @@ impl RunGrid {
     /// validation or panicked are reported in the returned error list and
     /// retried on resume.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `resume_from` was taken from a different grid (length or
+    /// Returns [`RunError::CheckpointMismatch`] — without running any job
+    /// — if `resume_from` was taken from a different grid (length or
     /// [`RunGrid::fingerprint`] mismatch).
     pub fn run_with_checkpoints<F: FnMut(&GridCheckpoint)>(
         &self,
         resume_from: Option<GridCheckpoint>,
         checkpoint_every: usize,
         mut persist: F,
-    ) -> (GridCheckpoint, Vec<RunError>) {
+    ) -> Result<(GridCheckpoint, Vec<RunError>), RunError> {
         let fingerprint = self.fingerprint();
         let mut checkpoint = match resume_from {
             Some(cp) => {
-                assert_eq!(
-                    cp.slots.len(),
-                    self.specs.len(),
-                    "checkpoint is from a grid with a different job count"
-                );
-                assert_eq!(
-                    cp.fingerprint, fingerprint,
-                    "checkpoint is from a different grid (fingerprint mismatch)"
-                );
+                if cp.slots.len() != self.specs.len() {
+                    return Err(RunError::CheckpointMismatch {
+                        expected: format!("{} jobs", self.specs.len()),
+                        found: format!("{} jobs", cp.slots.len()),
+                    });
+                }
+                if cp.fingerprint != fingerprint {
+                    return Err(RunError::CheckpointMismatch {
+                        expected: format!("fingerprint {fingerprint:#018x}"),
+                        found: format!("fingerprint {:#018x}", cp.fingerprint),
+                    });
+                }
+                let mut cp = cp;
+                cp.ensure_partials();
                 cp
             }
             None => GridCheckpoint {
                 fingerprint,
                 slots: (0..self.specs.len()).map(|_| None).collect(),
+                partials: Some((0..self.specs.len()).map(|_| None).collect()),
             },
         };
         let todo: Vec<usize> = checkpoint
@@ -613,6 +677,9 @@ impl RunGrid {
             |index, outcome| match outcome {
                 Ok(report) => {
                     checkpoint.slots[index] = Some(report);
+                    if let Some(partials) = checkpoint.partials.as_mut() {
+                        partials[index] = None;
+                    }
                     fresh += 1;
                     if fresh.is_multiple_of(every) {
                         persist(&checkpoint);
@@ -625,7 +692,7 @@ impl RunGrid {
         );
         errors.sort_by_key(RunError::index);
         persist(&checkpoint);
-        (checkpoint, errors)
+        Ok((checkpoint, errors))
     }
 
     /// Shared execution path: runs `run` on the jobs at `todo`, invoking
@@ -753,11 +820,43 @@ fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Parses an `ETRAIN_JOBS` value; `None`/unparseable/zero mean "not set".
+/// Parses an `ETRAIN_JOBS` value strictly: `Ok(None)` when unset or empty,
+/// `Ok(Some(n))` for a positive integer, and `Err` (with a human-readable
+/// reason) for anything else — including `0`, which would silently mean
+/// "not set" under the old lenient reader.
+pub fn try_jobs_from_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let raw = match value {
+        None => return Ok(None),
+        Some(raw) => raw.trim(),
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!("{JOBS_ENV}={raw:?}: worker count must be >= 1")),
+        Ok(jobs) => Ok(Some(jobs)),
+        Err(_) => Err(format!(
+            "{JOBS_ENV}={raw:?}: expected a positive integer worker count"
+        )),
+    }
+}
+
+/// Lenient `ETRAIN_JOBS` reader for library paths: unparseable values fall
+/// back to "not set", but — unlike the old silent fallback — the first bad
+/// value warns once on stderr so a typo like `ETRAIN_JOBS=fuor` doesn't
+/// quietly run on every core. Binaries that want to fail fast call
+/// [`try_jobs_from_env`] instead.
 fn jobs_from_env(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|&jobs| jobs >= 1)
+    match try_jobs_from_env(value) {
+        Ok(jobs) => jobs,
+        Err(reason) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: ignoring {reason}");
+            });
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -895,7 +994,7 @@ mod tests {
             assert!(err.to_string().contains("panicked"), "jobs={jobs}");
 
             // The pool survived: both healthy jobs still completed.
-            let (checkpoint, errors) = grid.run_with_checkpoints(None, 1, |_| {});
+            let (checkpoint, errors) = grid.run_with_checkpoints(None, 1, |_| {}).unwrap();
             assert_eq!(checkpoint.completed_indices(), vec![0, 2], "jobs={jobs}");
             assert_eq!(errors.len(), 1, "jobs={jobs}");
             assert!(matches!(
@@ -915,18 +1014,22 @@ mod tests {
 
         // Take a mid-flight snapshot (as a crash would leave on disk)...
         let mut snapshot: Option<GridCheckpoint> = None;
-        let (full, errors) = theta_grid(2).run_with_checkpoints(None, 1, |cp| {
-            if snapshot.is_none() && !cp.is_complete() {
-                snapshot = Some(cp.clone());
-            }
-        });
+        let (full, errors) = theta_grid(2)
+            .run_with_checkpoints(None, 1, |cp| {
+                if snapshot.is_none() && !cp.is_complete() {
+                    snapshot = Some(cp.clone());
+                }
+            })
+            .unwrap();
         assert!(errors.is_empty());
         assert!(full.is_complete());
 
         // ... and resume from it on an identically shaped grid.
         let snapshot = snapshot.expect("mid-flight checkpoint captured");
         assert!(snapshot.completed() < snapshot.len());
-        let (resumed, errors) = theta_grid(2).run_with_checkpoints(Some(snapshot), 8, |_| {});
+        let (resumed, errors) = theta_grid(2)
+            .run_with_checkpoints(Some(snapshot), 8, |_| {})
+            .unwrap();
         assert!(errors.is_empty());
         assert_eq!(resumed, full);
         assert_eq!(resumed.into_reports().expect("complete"), uninterrupted);
@@ -935,17 +1038,17 @@ mod tests {
     #[test]
     fn persist_fires_every_n_and_at_end() {
         let mut completions = Vec::new();
-        let (checkpoint, errors) =
-            theta_grid(1).run_with_checkpoints(None, 2, |cp| completions.push(cp.completed()));
+        let (checkpoint, errors) = theta_grid(1)
+            .run_with_checkpoints(None, 2, |cp| completions.push(cp.completed()))
+            .unwrap();
         assert!(errors.is_empty());
         assert!(checkpoint.is_complete());
         assert_eq!(completions, vec![2, 4, 4], "every 2 jobs, plus final");
     }
 
     #[test]
-    #[should_panic(expected = "fingerprint mismatch")]
     fn resuming_with_foreign_checkpoint_is_rejected() {
-        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {});
+        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {}).unwrap();
         let other = RunGrid::from_specs(
             (0..4u64)
                 .map(|i| {
@@ -956,24 +1059,92 @@ mod tests {
                 })
                 .collect(),
         );
-        let _ = other.run_with_checkpoints(Some(checkpoint), 8, |_| {});
+        let err = other
+            .run_with_checkpoints(Some(checkpoint), 8, |_| {})
+            .unwrap_err();
+        assert!(matches!(err, RunError::CheckpointMismatch { .. }));
+        assert_eq!(err.index(), usize::MAX);
+        assert_eq!(err.label(), "resume checkpoint");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "different job count")]
     fn resuming_with_wrong_length_checkpoint_is_rejected() {
-        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {});
+        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {}).unwrap();
         let shorter = RunGrid::from_specs(theta_grid(1).specs()[..2].to_vec());
-        let _ = shorter.run_with_checkpoints(Some(checkpoint), 8, |_| {});
+        let err = shorter
+            .run_with_checkpoints(Some(checkpoint), 8, |_| {})
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RunError::CheckpointMismatch { expected, found }
+                    if expected == "2 jobs" && found == "4 jobs"
+            ),
+            "{err}"
+        );
     }
 
     #[test]
     fn checkpoint_round_trips_through_json() {
-        let (checkpoint, errors) = theta_grid(2).run_with_checkpoints(None, 4, |_| {});
+        let (checkpoint, errors) = theta_grid(2).run_with_checkpoints(None, 4, |_| {}).unwrap();
         assert!(errors.is_empty());
         let json = serde_json::to_string(&checkpoint).expect("serializes");
         let back: GridCheckpoint = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back, checkpoint);
+    }
+
+    #[test]
+    fn checkpoint_without_partials_field_still_deserializes() {
+        // Checkpoints persisted before the crash-consistency work carry no
+        // `partials` key; they must load and resume cleanly.
+        let (checkpoint, _) = theta_grid(1).run_with_checkpoints(None, 8, |_| {}).unwrap();
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        // `partials` is the struct's last field, so cutting from its key to
+        // the closing brace yields the pre-field wire format exactly.
+        let cut = json.rfind(",\"partials\"").expect("field serialized last");
+        let stripped = format!("{}}}", &json[..cut]);
+        let back: GridCheckpoint = serde_json::from_str(&stripped).expect("legacy format loads");
+        assert!(back.partials.is_none());
+        let (resumed, errors) = theta_grid(1)
+            .run_with_checkpoints(Some(back), 8, |_| {})
+            .unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(resumed.slots, checkpoint.slots);
+    }
+
+    #[test]
+    fn partial_snapshots_attach_and_clear_on_completion() {
+        let mut snapshot: Option<GridCheckpoint> = None;
+        theta_grid(1)
+            .run_with_checkpoints(None, 1, |cp| {
+                if snapshot.is_none() {
+                    snapshot = Some(cp.clone());
+                }
+            })
+            .unwrap();
+        let mut cp = snapshot.expect("persist fired");
+        let pending = cp
+            .completed_indices()
+            .last()
+            .map_or(0, |&i| (i + 1) % cp.len());
+        let partial = crate::engine::EngineSnapshot {
+            version: crate::engine::SNAPSHOT_VERSION,
+            taken_at_s: 12.0,
+            events_processed: 34,
+            slots_run: 5,
+            journal_events: 0,
+            fingerprint: 0xfeed,
+        };
+        cp.record_partial(pending, partial);
+        cp.record_partial(usize::MAX, partial); // out of range: ignored
+        assert_eq!(cp.partial(pending), Some(&partial));
+        let (done, errors) = theta_grid(1)
+            .run_with_checkpoints(Some(cp), 8, |_| {})
+            .unwrap();
+        assert!(errors.is_empty());
+        // The job completed on resume, so its partial was cleared.
+        assert_eq!(done.partial(pending), None);
     }
 
     #[test]
@@ -990,6 +1161,18 @@ mod tests {
         assert_eq!(jobs_from_env(Some("0")), None);
         assert_eq!(jobs_from_env(Some("4")), Some(4));
         assert_eq!(jobs_from_env(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn strict_jobs_parsing_rejects_what_the_lenient_reader_swallows() {
+        assert_eq!(try_jobs_from_env(None), Ok(None));
+        assert_eq!(try_jobs_from_env(Some("  ")), Ok(None));
+        assert_eq!(try_jobs_from_env(Some("4")), Ok(Some(4)));
+        let zero = try_jobs_from_env(Some("0")).unwrap_err();
+        assert!(zero.contains(">= 1"), "{zero}");
+        let junk = try_jobs_from_env(Some("fuor")).unwrap_err();
+        assert!(junk.contains("positive integer"), "{junk}");
+        assert!(junk.contains(JOBS_ENV), "{junk}");
     }
 
     #[test]

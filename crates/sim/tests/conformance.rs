@@ -9,69 +9,19 @@
 
 use etrain_sim::oracle::{self, OracleMode, OracleViolation};
 use etrain_sim::{
-    audit_scheduler_ordering, EngineOutput, FaultPlan, RunGrid, Scenario, SchedulerKind,
+    audit_scheduler_ordering, conformance_kinds, CasePlan, EngineOutput, FaultPlan, RunGrid,
+    Scenario,
 };
 use etrain_trace::faults::hash_unit;
-use etrain_trace::heartbeats::{Heartbeat, TrainAppSpec};
+use etrain_trace::heartbeats::Heartbeat;
 use etrain_trace::packets::Packet;
 use etrain_trace::{CargoAppId, TrainAppId};
 
-/// All compared algorithms, with the knob values the paper's comparison
-/// figures use, plus the guarded (degradation-ladder) eTrain variant.
-fn kinds() -> Vec<SchedulerKind> {
-    vec![
-        SchedulerKind::Baseline,
-        SchedulerKind::ETrain {
-            theta: 0.2,
-            k: None,
-        },
-        SchedulerKind::PerEs { omega: 0.2 },
-        SchedulerKind::ETime { v_bytes: 30_000.0 },
-        SchedulerKind::Guarded {
-            theta: 0.2,
-            k: None,
-            health: etrain_sched::HealthConfig::default(),
-            admission: etrain_sched::AdmissionConfig::unbounded(),
-        },
-    ]
-}
-
-/// Deterministic scenario generator: every knob a pure function of the
-/// seed, so a failing seed reproduces exactly.
+/// Deterministic scenario generator, shared with the chaos campaign: every
+/// knob a pure function of the seed (see [`CasePlan::from_seed`]), so a
+/// failing seed reproduces exactly.
 fn random_scenario(seed: u64, with_faults: bool) -> Scenario {
-    let u = |salt: u64| hash_unit(seed, salt, 0xc04f);
-    let horizon_s = 600 + (u(1) * 1200.0) as u64;
-    let lambda = 0.01 + u(2) * 0.12;
-    let trains = match (u(3) * 3.0) as usize {
-        0 => vec![],
-        1 => vec![TrainAppSpec::wechat()],
-        _ => TrainAppSpec::paper_trio(),
-    };
-    let mut scenario = Scenario::paper_default()
-        .oracle(OracleMode::Off)
-        .duration_secs(horizon_s)
-        .seed(seed)
-        .lambda(lambda)
-        .trains(trains);
-    if u(9) < 0.4 {
-        scenario = scenario.bandwidth(etrain_sim::BandwidthSource::Constant(
-            200_000.0 + u(10) * 600_000.0,
-        ));
-    }
-    if with_faults {
-        let h = horizon_s as f64;
-        let mut plan = FaultPlan::seeded(seed ^ 0xfa11)
-            .with_loss(0.05 + u(4) * 0.25)
-            .with_heartbeat_drops(u(5) * 0.2);
-        if u(6) < 0.5 {
-            plan = plan.with_outage(h * 0.3, h * 0.3 + 30.0 + u(7) * 60.0);
-        }
-        if u(8) < 0.3 {
-            plan = plan.with_train_death(h * 0.6, h * 0.7);
-        }
-        scenario = scenario.faults(plan);
-    }
-    scenario
+    CasePlan::from_seed(seed, with_faults).scenario()
 }
 
 /// Runs one random scenario through every scheduler twice — serial and
@@ -79,14 +29,14 @@ fn random_scenario(seed: u64, with_faults: bool) -> Scenario {
 /// identical reports.
 fn assert_strict_and_deterministic(seed: u64, with_faults: bool) {
     let base = random_scenario(seed, with_faults);
-    let serial = RunGrid::over_schedulers(&base, &kinds())
+    let serial = RunGrid::over_schedulers(&base, &conformance_kinds())
         .oracle(OracleMode::Strict)
         .jobs(1)
         .try_run()
         .unwrap_or_else(|e| {
             panic!("strict oracle failed (seed {seed}, faults {with_faults}): {e}")
         });
-    let parallel = RunGrid::over_schedulers(&base, &kinds())
+    let parallel = RunGrid::over_schedulers(&base, &conformance_kinds())
         .oracle(OracleMode::Strict)
         .jobs(4)
         .try_run()
