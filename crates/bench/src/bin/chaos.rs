@@ -26,7 +26,7 @@
 use etrain_chaos::{
     campaign_cases, run_campaign, run_kill_resume, shrink, ChaosCase, Corruption, ReproCase,
 };
-use etrain_sim::{CasePlan, SchedulerKind};
+use etrain_sim::{CasePlan, EngineKind, SchedulerKind};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).map(|i| {
@@ -104,6 +104,14 @@ fn main() {
             let case = ChaosCase {
                 plan: plan.clone(),
                 kind: SchedulerKind::Baseline,
+                // Follow the campaign's parity convention so nightly
+                // self-tests exercise both kernels as the start seed
+                // advances.
+                engine: if plan.seed % 2 == 0 {
+                    EngineKind::Slot
+                } else {
+                    EngineKind::Event
+                },
                 corruption: Some(corruption),
             };
             match shrink(&case) {

@@ -1,0 +1,6 @@
+//! Reproduction binary for experiment `engine_speedup` — slot vs event
+//! kernel wall-clock comparison. Pass `--quick` for a fast smoke run.
+
+fn main() {
+    etrain_bench::run_binary("engine_speedup");
+}

@@ -19,7 +19,7 @@
 
 use crate::ExperimentResult;
 use etrain_chaos::{campaign_cases, run_campaign, run_kill_resume, shrink, ChaosCase, Corruption};
-use etrain_sim::{CasePlan, SchedulerKind, Table};
+use etrain_sim::{CasePlan, EngineKind, SchedulerKind, Table};
 
 /// Runs the chaos experiment.
 pub fn run(quick: bool) -> ExperimentResult {
@@ -50,6 +50,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         let case = ChaosCase {
             plan: plan.clone(),
             kind: SchedulerKind::Baseline,
+            engine: EngineKind::Slot,
             corruption: Some(corruption),
         };
         match shrink(&case) {

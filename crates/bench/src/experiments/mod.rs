@@ -9,6 +9,7 @@ pub mod ablate_prediction;
 pub mod ablate_radio;
 pub mod capture_study;
 pub mod chaos;
+pub mod engine_speedup;
 pub mod explain;
 pub mod ext_day;
 pub mod ext_grid;

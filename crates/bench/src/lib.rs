@@ -269,6 +269,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Robustness: chaos campaign, oracle self-test with shrinking, kill/resume",
             run: experiments::chaos::run,
         },
+        Experiment {
+            name: "engine_speedup",
+            description: "Infrastructure: slot vs event kernel wall-clock on a sparse standby run",
+            run: experiments::engine_speedup::run,
+        },
     ]
 }
 
@@ -306,16 +311,20 @@ pub struct ReproRun {
 }
 
 /// Validates every `ETRAIN_*` environment knob a bench binary honors
-/// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_JOBS`), exiting with status 2
-/// and one message per bad knob. Binaries call this first: a typo like
-/// `ETRAIN_ORACLE=stric` must abort the run, not silently audit nothing
-/// (library contexts keep the lenient warn-once fallback instead).
+/// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_ENGINE`, `ETRAIN_JOBS`),
+/// exiting with status 2 and one message per bad knob. Binaries call this
+/// first: a typo like `ETRAIN_ORACLE=stric` must abort the run, not
+/// silently audit nothing (library contexts keep the lenient warn-once
+/// fallback instead).
 pub fn validate_env_knobs() {
     let mut problems = Vec::new();
     if let Err(reason) = etrain_sim::OracleMode::try_from_env() {
         problems.push(reason);
     }
     if let Err(reason) = etrain_obs::ObsMode::try_from_env() {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_sim::EngineKind::try_from_env() {
         problems.push(reason);
     }
     let jobs_raw = std::env::var(etrain_sim::JOBS_ENV).ok();

@@ -32,6 +32,10 @@ fn current_snapshot() -> Vec<GoldenExperiment> {
     let registry = registry();
     run_experiments(&registry, true, etrain_bench::default_jobs())
         .into_iter()
+        // engine_speedup's headlines are wall-clock measurements and vary
+        // by machine; its determinism gate (slot and event kernels must
+        // produce identical reports) is asserted inside the experiment.
+        .filter(|run| run.record.name != "engine_speedup")
         .map(|run| GoldenExperiment {
             name: run.record.name,
             headlines: run.record.headlines,

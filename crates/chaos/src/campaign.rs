@@ -40,8 +40,9 @@ impl CampaignReport {
 }
 
 /// Builds the campaign's case list: `count` consecutive seeds starting at
-/// `start_seed`, faults on odd seeds, scheduler rotated per seed. `quick`
-/// caps each horizon at 600 s so wide sweeps stay cheap.
+/// `start_seed`, faults on odd seeds, scheduler rotated per seed, engine
+/// kernel alternating by seed parity. `quick` caps each horizon at 600 s
+/// so wide sweeps stay cheap.
 pub fn campaign_cases(start_seed: u64, count: u64, quick: bool) -> Vec<ChaosCase> {
     (start_seed..start_seed.saturating_add(count))
         .map(|seed| {
@@ -66,7 +67,10 @@ pub fn run_campaign(cases: &[ChaosCase], jobs: usize) -> CampaignReport {
     let mut specs = Vec::with_capacity(cases.len());
     for (index, case) in cases.iter().enumerate() {
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            case.plan.scenario().scheduler(case.kind)
+            case.plan
+                .scenario()
+                .scheduler(case.kind)
+                .engine(case.engine)
         }));
         match built {
             Ok(scenario) => {

@@ -7,7 +7,7 @@
 //! scenario that refuses to validate, or a health-ladder anomaly.
 
 use etrain_sim::oracle::{self, OracleViolation};
-use etrain_sim::{CasePlan, EngineOutput, FaultPlan, SchedulerKind};
+use etrain_sim::{CasePlan, EngineKind, EngineOutput, FaultPlan, SchedulerKind};
 use serde::{Deserialize, Serialize};
 
 /// A deliberate post-run corruption of the engine output, used to prove
@@ -30,11 +30,14 @@ pub enum Corruption {
     PhantomRetry,
     /// Report one more heartbeat than the run transmitted.
     InflateHeartbeatCount,
+    /// Swap the first two transmissions out of time order (an event
+    /// kernel that retired slot events in the wrong sequence).
+    SwapTransmissions,
 }
 
 impl Corruption {
     /// Every corruption, for the self-test sweep.
-    pub fn all() -> [Corruption; 7] {
+    pub fn all() -> [Corruption; 8] {
         [
             Corruption::TamperTailEnergy,
             Corruption::TruncateTransmission,
@@ -43,6 +46,7 @@ impl Corruption {
             Corruption::DuplicateTransmission,
             Corruption::PhantomRetry,
             Corruption::InflateHeartbeatCount,
+            Corruption::SwapTransmissions,
         ]
     }
 
@@ -86,6 +90,13 @@ impl Corruption {
             }
             Corruption::InflateHeartbeatCount => {
                 output.heartbeats_sent += 1;
+                true
+            }
+            Corruption::SwapTransmissions => {
+                if output.transmissions.len() < 2 {
+                    return false;
+                }
+                output.transmissions.swap(0, 1);
                 true
             }
         }
@@ -189,13 +200,17 @@ impl std::fmt::Display for CaseFailure {
     }
 }
 
-/// One chaos case: a plan, a scheduler, and an optional corruption.
+/// One chaos case: a plan, a scheduler, an engine kernel, and an
+/// optional corruption.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosCase {
     /// The serializable scenario description.
     pub plan: CasePlan,
     /// The scheduler under test.
     pub kind: SchedulerKind,
+    /// The engine kernel the case runs under (repro artifacts that
+    /// predate the event kernel parse as [`EngineKind::Slot`]).
+    pub engine: EngineKind,
     /// A post-run corruption, for oracle self-tests; `None` for the
     /// campaign's real sweep.
     pub corruption: Option<Corruption>,
@@ -204,12 +219,18 @@ pub struct ChaosCase {
 impl ChaosCase {
     /// The campaign's case for `seed`: the conformance generator's plan
     /// (faults on odd seeds), the scheduler rotated through the
-    /// conformance kinds, no corruption.
+    /// conformance kinds, the kernel alternating by seed parity, no
+    /// corruption.
     pub fn from_seed(seed: u64) -> ChaosCase {
         let kinds = etrain_sim::conformance_kinds();
         ChaosCase {
             plan: CasePlan::from_seed(seed, seed % 2 == 1),
             kind: kinds[(seed % kinds.len() as u64) as usize],
+            engine: if seed % 2 == 0 {
+                EngineKind::Slot
+            } else {
+                EngineKind::Event
+            },
             corruption: None,
         }
     }
@@ -230,7 +251,10 @@ impl ChaosCase {
         // Scenario construction itself asserts on degenerate knobs (a NaN
         // arrival rate, say), so even building the run must be isolated.
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.plan.scenario().scheduler(self.kind)
+            self.plan
+                .scenario()
+                .scheduler(self.kind)
+                .engine(self.engine)
         }));
         let scenario = match built {
             Ok(scenario) => scenario,
@@ -332,12 +356,54 @@ mod tests {
     }
 
     #[test]
+    fn campaign_cases_alternate_kernels_by_seed_parity() {
+        assert_eq!(ChaosCase::from_seed(0).engine, EngineKind::Slot);
+        assert_eq!(ChaosCase::from_seed(1).engine, EngineKind::Event);
+        assert_eq!(ChaosCase::from_seed(2).engine, EngineKind::Slot);
+    }
+
+    #[test]
+    fn event_ordering_corruption_is_caught_under_the_event_kernel() {
+        let mut base = ChaosCase::from_seed(6);
+        base.plan.faults = None;
+        base.kind = SchedulerKind::Baseline;
+        base.engine = EngineKind::Event;
+        assert_eq!(base.run(), None, "uncorrupted reference must be clean");
+        let case = ChaosCase {
+            corruption: Some(Corruption::SwapTransmissions),
+            ..base
+        };
+        let failure = case
+            .run()
+            .expect("swapped transmissions escaped the oracle");
+        match failure {
+            CaseFailure::OracleViolations { kinds, .. } => {
+                assert!(
+                    kinds.iter().any(|k| k == "OverlappingTransmissions"),
+                    "unexpected violations: {kinds:?}"
+                );
+            }
+            other => panic!("expected oracle violations, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn cases_round_trip_through_json() {
         let mut case = ChaosCase::from_seed(11);
         case.corruption = Some(Corruption::DropCompletion);
         let json = serde_json::to_string(&case).unwrap();
         let back: ChaosCase = serde_json::from_str(&json).unwrap();
         assert_eq!(case, back);
+    }
+
+    #[test]
+    fn legacy_case_json_defaults_to_the_slot_kernel() {
+        let case = ChaosCase::from_seed(4);
+        let json = serde_json::to_string(&case).unwrap();
+        let legacy = json.replace("\"engine\":\"slot\",", "");
+        assert_ne!(json, legacy, "the engine field should have been present");
+        let back: ChaosCase = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, case);
     }
 
     #[test]

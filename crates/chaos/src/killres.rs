@@ -14,7 +14,7 @@
 //! [`Scenario::try_run_interrupted_on`]: etrain_sim::Scenario::try_run_interrupted_on
 
 use etrain_obs::{Journal, ObsMode};
-use etrain_sim::{conformance_kinds, CasePlan};
+use etrain_sim::{conformance_kinds, CasePlan, EngineKind};
 use etrain_trace::faults::hash_unit;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,19 @@ pub fn run_kill_resume(seeds: &[u64], trials_per_seed: usize) -> KillResumeRepor
     for &seed in seeds {
         let plan = CasePlan::from_seed(seed, seed % 2 == 1);
         let kind = kinds[(seed % kinds.len() as u64) as usize];
-        let scenario = plan.scenario().scheduler(kind).obs(ObsMode::Ring);
+        // Alternate kernels by seed parity (the campaign's convention) so
+        // crash-consistency trials cover the event kernel's batched
+        // snapshot boundaries too.
+        let engine = if seed % 2 == 0 {
+            EngineKind::Slot
+        } else {
+            EngineKind::Event
+        };
+        let scenario = plan
+            .scenario()
+            .scheduler(kind)
+            .engine(engine)
+            .obs(ObsMode::Ring);
         let traces = scenario.generate_traces();
         let (base_report, base_output, base_journal) = scenario
             .try_run_journaled_on(&traces)

@@ -262,7 +262,7 @@ fn ddmin<T: Clone>(items: Vec<T>, mut still_fails: impl FnMut(&[T]) -> bool) -> 
 mod tests {
     use super::*;
     use crate::case::Corruption;
-    use etrain_sim::{CasePlan, SchedulerKind};
+    use etrain_sim::{CasePlan, EngineKind, SchedulerKind};
 
     #[test]
     fn ddmin_minimizes_against_a_known_predicate() {
@@ -289,6 +289,7 @@ mod tests {
             let case = ChaosCase {
                 plan: plan.clone(),
                 kind: SchedulerKind::Baseline,
+                engine: EngineKind::Slot,
                 corruption: Some(corruption),
             };
             let repro = shrink(&case)

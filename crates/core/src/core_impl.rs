@@ -675,6 +675,22 @@ impl ETrainCore {
         }
     }
 
+    /// Whether a [`ETrainCore::tick`] at `now_s` could possibly produce a
+    /// decision or mutate state — the quiescence probe behind timer-driven
+    /// slot delivery. When this returns `false` the tick would be a pure
+    /// no-op: nothing is stashed, the scheduler holds no packets (so no
+    /// cost breach, deadline override, or watchdog flush can release
+    /// anything), no retry backoff has come due, and train liveness has
+    /// not flipped since the last slot. A driver may then skip the tick
+    /// entirely instead of polling every slot, exactly as the simulator's
+    /// event kernel retires quiescent slot events in batches.
+    pub fn has_due_work(&self, now_s: f64) -> bool {
+        !self.stashed_decisions.is_empty()
+            || self.scheduler.pending() > 0
+            || self.backoffs.iter().any(|b| b.resume_at_s <= now_s)
+            || self.trains_alive(now_s) != self.was_alive
+    }
+
     /// Whether the scheduler currently considers any train app alive.
     pub fn trains_alive(&self, now_s: f64) -> bool {
         self.trains.iter().enumerate().any(|(idx, record)| {
@@ -1464,6 +1480,43 @@ mod tests {
             .records()
             .iter()
             .any(|r| matches!(r.event, Event::ForcedFlush { packet_id: 0, .. })));
+    }
+
+    #[test]
+    fn has_due_work_tracks_every_wakeup_source() {
+        let (mut core, train, cargo) = core();
+        core.on_heartbeat(train, 0.0).unwrap();
+        assert!(
+            !core.has_due_work(1.0),
+            "an empty core has nothing due next slot"
+        );
+
+        // A queued packet makes slots non-quiescent until it is decided.
+        let id = core
+            .submit(cargo, TransmitRequest::upload(1_000), 10.0)
+            .unwrap()
+            .id()
+            .unwrap();
+        assert!(core.has_due_work(11.0));
+        core.on_heartbeat(train, 270.0).unwrap();
+        assert!(!core.has_due_work(271.0), "decided requests leave no work");
+
+        // A retry backoff is due work only once its resume time passes.
+        let verdict = core.report_result(id, TxResult::Failed, 271.0).unwrap();
+        let RetryVerdict::RetryScheduled { resume_at_s } = verdict else {
+            panic!("expected a retry, got {verdict:?}");
+        };
+        assert!(!core.has_due_work(271.1));
+        assert!(core.has_due_work(resume_at_s + 0.1));
+        core.tick(resume_at_s + 0.1).unwrap();
+
+        // A liveness flip (the train dying) must not be skipped: the
+        // watchdog flush and the health transition happen inside a tick.
+        let decisions = core.on_heartbeat(train, 540.0).unwrap();
+        assert_eq!(decisions.len(), 1, "the retried request rides the train");
+        core.on_heartbeat(train, 810.0).unwrap();
+        assert!(!core.has_due_work(811.0));
+        assert!(core.has_due_work(5_000.0), "train death flips liveness");
     }
 
     #[test]

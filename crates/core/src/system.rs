@@ -130,7 +130,16 @@ impl ETrainSystem {
                     let now = thread_shared.now_s();
                     let decisions = {
                         let mut core = thread_shared.core.lock();
-                        core.tick(now).unwrap_or_default()
+                        // Timer-driven delivery: a slot that provably
+                        // cannot release or record anything is skipped
+                        // outright — the live counterpart of the
+                        // simulator's event kernel retiring quiescent
+                        // slots in batches.
+                        if core.has_due_work(now) {
+                            core.tick(now).unwrap_or_default()
+                        } else {
+                            Vec::new()
+                        }
                     };
                     thread_shared.publish_all(decisions);
                 }

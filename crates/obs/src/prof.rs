@@ -25,9 +25,11 @@ pub enum Phase {
     SchedulerArrival,
     /// `Scheduler::on_tx_failure` calls (retry re-queueing).
     SchedulerRetry,
+    /// Event-kernel batch skips over quiescent slot boundaries.
+    EngineSkip,
 }
 
-const PHASE_COUNT: usize = 4;
+const PHASE_COUNT: usize = 5;
 
 impl Phase {
     fn index(self) -> usize {
@@ -36,6 +38,7 @@ impl Phase {
             Phase::SchedulerSlot => 1,
             Phase::SchedulerArrival => 2,
             Phase::SchedulerRetry => 3,
+            Phase::EngineSkip => 4,
         }
     }
 
@@ -46,6 +49,7 @@ impl Phase {
             Phase::SchedulerSlot => "scheduler.on_slot",
             Phase::SchedulerArrival => "scheduler.on_arrival",
             Phase::SchedulerRetry => "scheduler.on_tx_failure",
+            Phase::EngineSkip => "engine.batch_skip",
         }
     }
 }
@@ -55,6 +59,7 @@ const ALL_PHASES: [Phase; PHASE_COUNT] = [
     Phase::SchedulerSlot,
     Phase::SchedulerArrival,
     Phase::SchedulerRetry,
+    Phase::EngineSkip,
 ];
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -63,8 +68,10 @@ static CALLS: [AtomicU64; PHASE_COUNT] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 static NANOS: [AtomicU64; PHASE_COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -167,6 +174,7 @@ pub fn flame_summary() -> String {
         Phase::SchedulerSlot,
         Phase::SchedulerArrival,
         Phase::SchedulerRetry,
+        Phase::EngineSkip,
     ] {
         line(&mut out, "  ", stats[phase.index()]);
     }

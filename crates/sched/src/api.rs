@@ -105,6 +105,23 @@ pub trait Scheduler: std::fmt::Debug + Send {
         1.0
     }
 
+    /// Whether a slot call with `heartbeat_departing = false` and the
+    /// given `trains_alive` would be a **complete no-op** right now: no
+    /// packets released, no internal state changed, no observability
+    /// events buffered — for *any* `now_s` and bandwidth estimate. The
+    /// event kernel uses this certificate to skip inert slot boundaries
+    /// in bulk; a scheduler that over-claims quiescence breaks the
+    /// slot/event differential guarantee, so the default is the always
+    /// safe `false` (never skip).
+    ///
+    /// Implementations must only consult state that slot calls could
+    /// change: if `slot_quiescent` returns `true`, it must keep returning
+    /// `true` (for the same `trains_alive`) until an arrival, retry, or
+    /// heartbeat-flagged slot intervenes.
+    fn slot_quiescent(&self, _trains_alive: bool) -> bool {
+        false
+    }
+
     /// Alarm feedback: an invariant monitor (the simulation oracle, or an
     /// external health check) observed a violation at `now_s`. Resilient
     /// schedulers demote themselves; the default ignores the alarm, which

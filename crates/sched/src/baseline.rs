@@ -42,6 +42,12 @@ impl Scheduler for BaselineScheduler {
         Vec::new()
     }
 
+    fn slot_quiescent(&self, _trains_alive: bool) -> bool {
+        // Slots never release or mutate anything here: all scheduling
+        // happens on arrival.
+        true
+    }
+
     fn pending(&self) -> usize {
         0
     }

@@ -328,6 +328,15 @@ impl Scheduler for ETrainScheduler {
         self.config.slot_s
     }
 
+    fn slot_quiescent(&self, trains_alive: bool) -> bool {
+        // With nothing queued, a heartbeat-free slot selects nothing (for
+        // any Θ, including Θ = 0: the greedy select over empty queues is
+        // empty) and the decision recorder skips `queued == 0` deferrals.
+        // The liveness latch must already match the slot's value, or
+        // `on_slot` would flip it — a real state change.
+        self.queues.is_empty() && self.trains_dead != trains_alive
+    }
+
     fn set_obs_enabled(&mut self, enabled: bool) {
         self.obs_enabled = enabled;
         if !enabled {

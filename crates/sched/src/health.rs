@@ -553,6 +553,15 @@ impl Scheduler for GuardedScheduler {
         self.inner.slot_s()
     }
 
+    fn slot_quiescent(&self, trains_alive: bool) -> bool {
+        // A dead-trains slot outside Fallback triggers the watchdog
+        // demotion (a recorded transition), so it is never inert; the
+        // clean-heartbeat recovery branch only fires on heartbeat slots,
+        // which the event kernel never skips.
+        (trains_alive || self.state == HealthState::Fallback)
+            && self.inner.slot_quiescent(trains_alive)
+    }
+
     fn pending(&self) -> usize {
         self.inner.pending()
     }

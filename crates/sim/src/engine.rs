@@ -25,8 +25,20 @@
 //! captures a versioned, fingerprinted mid-run checkpoint at any step
 //! boundary, and [`Engine::restore`] rebuilds the engine at that point by
 //! deterministic replay (verifying the fingerprint). The batch entry
-//! points ([`run_engine`] and friends) are thin wrappers that construct an
-//! engine and drive it to the horizon.
+//! points ([`run_engine`] and friends) are thin wrappers over
+//! [`run_engine_configured`] that construct an engine and drive it to the
+//! horizon.
+//!
+//! Two kernels ([`EngineKind`]) can drive the machine. The reference
+//! *slot* kernel visits every slot boundary; the *event* kernel consumes
+//! maximal runs of provably inert boundaries in a single step, advancing
+//! simulated time in jumps across standby stretches. The skip is gated on
+//! the scheduler's quiescence certificate
+//! ([`Scheduler::slot_quiescent`](etrain_sched::Scheduler::slot_quiescent))
+//! plus per-boundary checks that nothing observable lands on the skipped
+//! slot, so the two kernels produce bit-for-bit identical outputs,
+//! journals, and oracle ledgers — the differential property the
+//! conformance suite enforces before the slot path can ever be retired.
 
 use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +56,110 @@ use crate::oracle::{OracleMode, OracleOutcome, OracleViolation};
 
 /// Salt decorrelating retry-jitter draws from the fault plan's loss coins.
 const JITTER_SALT: u64 = 0x6a69_7474_6572_5f75;
+
+/// Environment variable that selects the simulation kernel for binaries
+/// and tests that do not set one programmatically (mirrors
+/// `ETRAIN_ORACLE` and `ETRAIN_OBS`).
+pub const ENGINE_ENV: &str = "ETRAIN_ENGINE";
+
+/// Which kernel advances simulated time inside [`Engine`].
+///
+/// Both kinds are the *same* state machine over the same event taxonomy;
+/// the event kernel merely consumes maximal runs of provably inert slot
+/// boundaries in one [`Engine::step`] (see
+/// [`Scheduler::slot_quiescent`]), bumping the per-slot counters exactly
+/// as the slot kernel would. Outputs, journals and oracle ledgers are
+/// bit-for-bit identical across kinds; only wall-clock time differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Process every slot boundary individually (the reference kernel).
+    #[default]
+    Slot,
+    /// Batch-skip quiescent slot boundaries (the fast kernel).
+    Event,
+}
+
+// Serialized as the same lowercase spelling the `ETRAIN_ENGINE` knob and
+// `Display` use, so snapshots and configs read naturally.
+impl Serialize for EngineKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for EngineKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::FromValueError> {
+        let raw = value
+            .as_str()
+            .ok_or_else(|| serde::FromValueError::expected("string", value))?;
+        raw.parse().map_err(serde::FromValueError::new)
+    }
+
+    /// A missing `engine` field means the artifact predates the event
+    /// kernel, which makes it a slot-kernel run.
+    fn absent() -> Option<Self> {
+        Some(EngineKind::Slot)
+    }
+}
+
+impl EngineKind {
+    /// Strict [`ENGINE_ENV`] reader: `Ok(Slot)` when unset or empty, the
+    /// parsed kind otherwise, and `Err` (with the parse reason) for an
+    /// unrecognized value. Binaries call this so a typo like
+    /// `ETRAIN_ENGINE=evnt` fails fast instead of silently running the
+    /// slot kernel.
+    ///
+    /// # Errors
+    ///
+    /// The parse reason when the variable holds an unknown kind.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var(ENGINE_ENV) {
+            Err(_) => Ok(EngineKind::Slot),
+            Ok(raw) if raw.trim().is_empty() => Ok(EngineKind::Slot),
+            Ok(raw) => raw.parse(),
+        }
+    }
+
+    /// Reads the kind from the [`ENGINE_ENV`] environment variable.
+    ///
+    /// Unset, empty, or unparseable values fall back to
+    /// [`EngineKind::Slot`] so that stray environment state can never
+    /// change results — but an unparseable value warns once on stderr
+    /// rather than being swallowed silently (library contexts cannot fail
+    /// fast; binaries use [`EngineKind::try_from_env`]).
+    pub fn from_env() -> Self {
+        EngineKind::try_from_env().unwrap_or_else(|reason| {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: ignoring {reason}; using the slot kernel");
+            });
+            EngineKind::Slot
+        })
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "slot" | "0" | "false" | "off" => Ok(EngineKind::Slot),
+            "event" | "1" | "true" | "on" => Ok(EngineKind::Event),
+            other => Err(format!(
+                "unknown {ENGINE_ENV} kernel {other:?} (expected slot or event)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Slot => write!(f, "slot"),
+            EngineKind::Event => write!(f, "event"),
+        }
+    }
+}
 
 /// A cargo packet that completed transmission, with its full timing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +241,9 @@ pub struct EngineOutput {
     /// Discrete events the engine processed to produce this output — the
     /// coordinate [`EngineSnapshot`]s and the kill/resume harness use.
     pub events_processed: u64,
+    /// Slot boundaries the run stepped through (kernel-neutral name: the
+    /// event kernel retires many per step, but counts each one).
+    pub steps_run: u64,
 }
 
 impl EngineOutput {
@@ -192,7 +311,7 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// to the same event count on freshly built inputs and verifies the
 /// fingerprint, which catches divergent inputs and nondeterminism between
 /// the snapshotting process and the resuming one.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineSnapshot {
     /// Snapshot format version ([`SNAPSHOT_VERSION`] at write time).
     pub version: u32,
@@ -200,13 +319,66 @@ pub struct EngineSnapshot {
     pub taken_at_s: f64,
     /// Events the engine had processed when the snapshot was taken.
     pub events_processed: u64,
-    /// Slot boundaries the engine had run.
-    pub slots_run: u64,
+    /// Slot boundaries the engine had run (accepted under the historic
+    /// `slots_run` name when deserializing older snapshots).
+    pub steps_run: u64,
     /// Records in the attached journal at snapshot time (0 when
     /// unjournaled) — the durable journal prefix a resume merges with.
     pub journal_events: usize,
+    /// The kernel that took the snapshot. Replay must use the same kind:
+    /// the event kernel retires whole slot batches per step, so only a
+    /// same-kind replay lands exactly on `events_processed`. Older
+    /// snapshots (which predate the field) default to
+    /// [`EngineKind::Slot`].
+    pub engine: EngineKind,
     /// FNV-1a fingerprint of the engine's observable mutable state.
     pub fingerprint: u64,
+}
+
+// Hand-written (not derived) so older snapshots keep parsing: `steps_run`
+// falls back to the historic `slots_run` key, and a missing `engine`
+// defaults to the slot kernel.
+impl Serialize for EngineSnapshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("taken_at_s".to_string(), self.taken_at_s.to_value()),
+            (
+                "events_processed".to_string(),
+                self.events_processed.to_value(),
+            ),
+            ("steps_run".to_string(), self.steps_run.to_value()),
+            ("journal_events".to_string(), self.journal_events.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+            ("fingerprint".to_string(), self.fingerprint.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EngineSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::FromValueError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::FromValueError::expected("object", value))?;
+        let lookup = |name: &str| entries.iter().find(|(key, _)| key == name).map(|(_, v)| v);
+        let steps_run = match lookup("steps_run").or_else(|| lookup("slots_run")) {
+            Some(v) => u64::from_value(v)?,
+            None => return Err(serde::FromValueError::missing_field("steps_run")),
+        };
+        let engine = match lookup("engine") {
+            Some(v) => EngineKind::from_value(v)?,
+            None => EngineKind::Slot,
+        };
+        Ok(EngineSnapshot {
+            version: serde::__field(entries, "version")?,
+            taken_at_s: serde::__field(entries, "taken_at_s")?,
+            events_processed: serde::__field(entries, "events_processed")?,
+            steps_run,
+            journal_events: serde::__field(entries, "journal_events")?,
+            engine,
+            fingerprint: serde::__field(entries, "fingerprint")?,
+        })
+    }
 }
 
 /// Why [`Engine::restore`] refused a snapshot.
@@ -308,6 +480,7 @@ pub struct Engine<'a> {
     journal: Option<&'a mut Journal>,
     _span: prof::Span,
 
+    kind: EngineKind,
     radio: Radio,
     slot_s: f64,
     txq: VecDeque<TxItem>,
@@ -330,7 +503,7 @@ pub struct Engine<'a> {
     alarms: Vec<f64>,
     alarm_idx: usize,
     events_processed: u64,
-    slots_run: u64,
+    steps_run: u64,
     last_event_s: f64,
 }
 
@@ -398,6 +571,7 @@ impl<'a> Engine<'a> {
             retry,
             journal,
             _span: span,
+            kind: EngineKind::Slot,
             radio,
             slot_s,
             txq: VecDeque::new(),
@@ -416,9 +590,23 @@ impl<'a> Engine<'a> {
             alarms,
             alarm_idx: 0,
             events_processed: 0,
-            slots_run: 0,
+            steps_run: 0,
             last_event_s: 0.0,
         }
+    }
+
+    /// Selects the kernel that advances simulated time (the default is
+    /// [`EngineKind::Slot`]). Call before the first [`Engine::step`]:
+    /// switching kernels mid-run would shift the step boundaries
+    /// snapshots are addressed by.
+    pub fn with_kind(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The kernel this engine runs under.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
     }
 
     /// Events processed so far.
@@ -427,8 +615,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Slot boundaries run so far.
-    pub fn slots_run(&self) -> u64 {
-        self.slots_run
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
     }
 
     /// Simulated time of the last processed event, in seconds (0 before
@@ -502,6 +690,87 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Event-kernel fast path: retires a maximal run of *inert* slot
+    /// boundaries starting at `t` in one step, advancing every per-event
+    /// counter exactly as the slot kernel would. Returns whether at least
+    /// one slot was retired; `false` means the slot at `t` must be
+    /// processed by the normal path (which always makes progress, so the
+    /// two paths cannot livelock).
+    ///
+    /// A slot is inert when the scheduler certifies quiescence
+    /// ([`Scheduler::slot_quiescent`]) *and* nothing observable touches
+    /// it: no heartbeat departs within it (so `heartbeat_departing` is
+    /// false and no heartbeat event precedes it), no alarm is due, no
+    /// arrival, retry or transmission completion lands at or before it,
+    /// and the train-liveness flag matches the value the certificate was
+    /// issued for. Quiescent slots release nothing and buffer no obs
+    /// events, so skipping them changes neither the output, the journal,
+    /// nor the state fingerprint. The certificate holds across the whole
+    /// batch because the skipped slots are, by definition, no-ops: only
+    /// an arrival, retry, or heartbeat-flagged slot can invalidate it,
+    /// and each of those ends the batch.
+    fn batch_skip_slots(&mut self, t: f64) -> bool {
+        if self.alarm_idx < self.alarms.len() && self.alarms[self.alarm_idx] <= t {
+            return false;
+        }
+        let trains_alive = self.hb_idx < self.heartbeats.len() && !self.plan.trains_dead_at(t);
+        if !self.scheduler.slot_quiescent(trains_alive) {
+            return false;
+        }
+        let _span = prof::Span::enter(prof::Phase::EngineSkip);
+        // None of these can change while slots are skipped (the batch
+        // processes no event that could touch them), so every stop
+        // condition of the form `blocker <= s` collapses into one
+        // precomputed exclusive bound and the loop body stays minimal:
+        //   - TxComplete outranks the slot at equal time, and any earlier
+        //     completion must run first (`end <= s` blocks);
+        //   - arrivals, retries and oracle alarms at or before the slot
+        //     block it (conservative at equality for the alarm/arrival
+        //     tie-breaks: processing that slot normally is identical);
+        //   - a liveness flip would be a real state change for the
+        //     scheduler, and the certificate only covers the issued
+        //     `trains_alive` value, so the batch must stop at the next
+        //     death-window boundary (where `trains_dead_at` can change).
+        let mut stop = f64::INFINITY;
+        let mut bound = |b: Option<f64>| {
+            if let Some(b) = b {
+                stop = stop.min(b);
+            }
+        };
+        bound(self.in_flight.map(|(_, _, end)| end));
+        bound(self.packets.get(self.arrival_idx).map(|p| p.arrival_s));
+        bound(self.retryq.iter().map(|(due, _)| *due).reduce(f64::min));
+        bound(self.alarms.get(self.alarm_idx).copied());
+        if self.hb_idx < self.heartbeats.len() {
+            bound(self.plan.next_train_death_boundary(t));
+        }
+        let next_heartbeat = self.heartbeats.get(self.hb_idx).map(|hb| hb.time_s);
+        let mut s = t;
+        let mut skipped = 0u64;
+        loop {
+            let blocked = s > self.horizon_s
+                || s >= stop
+                // A heartbeat inside [s, s + slot) flags the slot; one
+                // before s is an event that precedes it. Kept in exact
+                // `hb < s + slot` form — folding it into `stop` would
+                // need an `hb - slot` subtraction whose rounding could
+                // disagree with the slot kernel's own comparison.
+                || next_heartbeat.is_some_and(|hb| hb < s + self.slot_s);
+            if blocked {
+                break;
+            }
+            // Accumulate the boundary by repeated addition — bit-exact
+            // with the slot kernel's own float accumulation.
+            self.next_slot_s += self.slot_s;
+            self.last_event_s = s;
+            skipped += 1;
+            s = self.next_slot_s;
+        }
+        self.steps_run += skipped;
+        self.events_processed += skipped;
+        skipped > 0
+    }
+
     /// Processes exactly one event; returns `false` — consuming nothing —
     /// once no event at or before the horizon remains.
     pub fn step(&mut self) -> bool {
@@ -566,6 +835,12 @@ impl<'a> Engine<'a> {
                 }
             }
             PRIO_SLOT => {
+                if self.kind == EngineKind::Event && self.batch_skip_slots(t) {
+                    // The batch already advanced every per-event counter
+                    // for each retired slot, and quiescent slots cannot
+                    // have queued work for the transmission starter below.
+                    return true;
+                }
                 while self.alarm_idx < self.alarms.len() && self.alarms[self.alarm_idx] <= t {
                     self.scheduler.on_oracle_violation(t);
                     self.alarm_idx += 1;
@@ -600,7 +875,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 self.next_slot_s += self.slot_s;
-                self.slots_run += 1;
+                self.steps_run += 1;
             }
             PRIO_HEARTBEAT => {
                 let hb = self.heartbeats[self.hb_idx];
@@ -810,6 +1085,7 @@ impl<'a> Engine<'a> {
             transmissions: std::mem::take(&mut self.transmissions),
             radio_params: self.radio_params.clone(),
             events_processed: self.events_processed,
+            steps_run: self.steps_run,
         }
     }
 
@@ -829,8 +1105,9 @@ impl<'a> Engine<'a> {
             version: SNAPSHOT_VERSION,
             taken_at_s: self.last_event_s,
             events_processed: self.events_processed,
-            slots_run: self.slots_run,
+            steps_run: self.steps_run,
             journal_events: self.journal_events(),
+            engine: self.kind,
             fingerprint: self.fingerprint(),
         }
     }
@@ -841,9 +1118,16 @@ impl<'a> Engine<'a> {
     fn fingerprint(&self) -> u64 {
         let mut f = Fnv::new();
         f.write_u64(self.events_processed);
-        f.write_u64(self.slots_run);
+        f.write_u64(self.steps_run);
         f.write_f64(self.last_event_s);
         f.write_f64(self.next_slot_s);
+        // The kernel kind participates in the replay coordinate system
+        // (batch boundaries differ across kinds), but only non-default
+        // kinds are tagged so every pre-existing slot-kernel fingerprint
+        // stays valid.
+        if self.kind != EngineKind::Slot {
+            f.write_u64(self.kind as u64);
+        }
         f.write_u64(self.arrival_idx as u64);
         f.write_u64(self.hb_idx as u64);
         f.write_u64(self.alarm_idx as u64);
@@ -933,7 +1217,10 @@ impl<'a> Engine<'a> {
     /// replay over freshly built inputs: steps a new engine (unjournaled)
     /// to the snapshot's `events_processed`, then verifies the state
     /// fingerprint. The scheduler must be freshly built from the same
-    /// configuration the snapshotting run used.
+    /// configuration the snapshotting run used. Replay runs under the
+    /// snapshot's own kernel kind, so event-kernel batch boundaries are
+    /// reproduced exactly and the replay lands on — never overshoots —
+    /// the recorded event count.
     ///
     /// # Errors
     ///
@@ -974,7 +1261,8 @@ impl<'a> Engine<'a> {
             plan,
             retry,
             None,
-        );
+        )
+        .with_kind(snapshot.engine);
         while engine.events_processed < snapshot.events_processed {
             if !engine.step() {
                 return Err(SnapshotError::ReplayExhausted {
@@ -994,12 +1282,82 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Everything that varies between the `run_engine*` entry points: fault
+/// injection, retry policy, journaling, oracle auditing, and the kernel
+/// kind. Each thin wrapper fills in its defaults and delegates to
+/// [`run_engine_configured`].
+#[derive(Debug)]
+pub struct EngineOpts<'a> {
+    /// The fault plan ([`FaultPlan::none`] for clean runs).
+    pub plan: &'a FaultPlan,
+    /// Retry policy applied to failed transfers.
+    pub retry: &'a RetryPolicy,
+    /// Optional structured-event journal.
+    pub journal: Option<&'a mut Journal>,
+    /// Oracle audit applied to the finished output.
+    pub oracle: OracleMode,
+    /// The kernel that advances simulated time.
+    pub engine: EngineKind,
+}
+
+/// The single configurable entry point behind every `run_engine*`
+/// wrapper: builds an [`Engine`] with the requested kernel, drives it to
+/// the horizon, and applies the requested oracle audit to the output.
+///
+/// # Errors
+///
+/// In [`OracleMode::Strict`], the first [`OracleViolation`] the audit
+/// finds. The other modes never fail.
+///
+/// # Panics
+///
+/// Panics as [`Engine::new`] does on invalid inputs.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_engine_configured(
+    scheduler: &mut dyn Scheduler,
+    packets: &[Packet],
+    heartbeats: &[Heartbeat],
+    bandwidth: &BandwidthTrace,
+    radio_params: &RadioParams,
+    horizon_s: f64,
+    opts: EngineOpts<'_>,
+) -> Result<(EngineOutput, Option<OracleOutcome>), OracleViolation> {
+    let output = Engine::new(
+        scheduler,
+        packets,
+        heartbeats,
+        bandwidth,
+        radio_params,
+        horizon_s,
+        opts.plan,
+        opts.retry,
+        opts.journal,
+    )
+    .with_kind(opts.engine)
+    .run();
+    if !opts.oracle.is_enabled() {
+        return Ok((output, None));
+    }
+    let mut outcome = crate::oracle::audit_engine(&output, packets, heartbeats, opts.plan);
+    outcome.mode = opts.oracle;
+    crate::oracle::record_outcome(&outcome);
+    if opts.oracle == OracleMode::Strict {
+        if let Some(first) = outcome.violations.first() {
+            return Err(first.clone());
+        }
+    }
+    Ok((output, Some(outcome)))
+}
+
 /// Runs one simulation.
 ///
 /// `packets` and `heartbeats` must be sorted by time (the generators in
 /// `etrain-trace` produce sorted traces). The run covers `[0, horizon_s]`;
 /// tail energy accrued after the last transmission is truncated at the
 /// horizon, exactly like a power-monitor capture that stops sampling.
+///
+/// The kernel comes from the [`ENGINE_ENV`] environment variable (slot
+/// when unset); both kinds produce identical results.
 ///
 /// # Panics
 ///
@@ -1102,18 +1460,23 @@ pub fn run_engine_journaled(
     retry: &RetryPolicy,
     journal: Option<&mut Journal>,
 ) -> EngineOutput {
-    Engine::new(
+    let (output, _) = run_engine_configured(
         scheduler,
         packets,
         heartbeats,
         bandwidth,
         radio_params,
         horizon_s,
-        plan,
-        retry,
-        journal,
+        EngineOpts {
+            plan,
+            retry,
+            journal,
+            oracle: OracleMode::Off,
+            engine: EngineKind::from_env(),
+        },
     )
-    .run()
+    .expect("the oracle is off, so the audit cannot fail");
+    output
 }
 
 /// [`run_engine`] under a simulation-oracle mode.
@@ -1169,28 +1532,21 @@ pub fn run_engine_with_faults_checked(
     retry: &RetryPolicy,
     mode: OracleMode,
 ) -> Result<(EngineOutput, Option<OracleOutcome>), OracleViolation> {
-    let output = run_engine_with_faults(
+    run_engine_configured(
         scheduler,
         packets,
         heartbeats,
         bandwidth,
         radio_params,
         horizon_s,
-        plan,
-        retry,
-    );
-    if !mode.is_enabled() {
-        return Ok((output, None));
-    }
-    let mut outcome = crate::oracle::audit_engine(&output, packets, heartbeats, plan);
-    outcome.mode = mode;
-    crate::oracle::record_outcome(&outcome);
-    if mode == OracleMode::Strict {
-        if let Some(first) = outcome.violations.first() {
-            return Err(first.clone());
-        }
-    }
-    Ok((output, Some(outcome)))
+        EngineOpts {
+            plan,
+            retry,
+            journal: None,
+            oracle: mode,
+            engine: EngineKind::from_env(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1622,6 +1978,7 @@ mod tests {
         assert_eq!(a.busy_time_s.to_bits(), b.busy_time_s.to_bits());
         assert_eq!(a.promotions, b.promotions);
         assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.steps_run, b.steps_run);
         assert_eq!(a.transmissions.len(), b.transmissions.len());
     }
 
@@ -1782,5 +2139,150 @@ mod tests {
                 found: SNAPSHOT_VERSION + 1,
             }
         );
+    }
+
+    // ---- event kernel ----
+
+    #[test]
+    fn engine_kind_parses_all_spellings() {
+        assert_eq!("slot".parse::<EngineKind>().unwrap(), EngineKind::Slot);
+        assert_eq!("Event".parse::<EngineKind>().unwrap(), EngineKind::Event);
+        assert_eq!(" EVENT ".parse::<EngineKind>().unwrap(), EngineKind::Event);
+        assert_eq!("off".parse::<EngineKind>().unwrap(), EngineKind::Slot);
+        assert_eq!("on".parse::<EngineKind>().unwrap(), EngineKind::Event);
+        assert!("slots".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn engine_kind_default_is_slot() {
+        assert_eq!(EngineKind::default(), EngineKind::Slot);
+    }
+
+    #[test]
+    fn engine_kind_display_round_trips() {
+        for kind in [EngineKind::Slot, EngineKind::Event] {
+            assert_eq!(kind.to_string().parse::<EngineKind>().unwrap(), kind);
+        }
+    }
+
+    fn run_with_kind(inputs: &Inputs, kind: EngineKind) -> EngineOutput {
+        let mut s = sched();
+        Engine::new(
+            &mut s,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            None,
+        )
+        .with_kind(kind)
+        .run()
+    }
+
+    #[test]
+    fn event_kernel_matches_slot_kernel_on_faulted_inputs() {
+        let inputs = faulted_inputs();
+        let slot = run_with_kind(&inputs, EngineKind::Slot);
+        let event = run_with_kind(&inputs, EngineKind::Event);
+        output_eq(&slot, &event);
+    }
+
+    #[test]
+    fn event_kernel_batches_quiescent_slots_into_fewer_steps() {
+        // A sparse standby run: three packets in an hour leave long
+        // quiescent stretches the event kernel must retire in bulk.
+        let packets = mk_packets(&[10.0, 1000.0, 2500.0]);
+        let heartbeats = synthesize(&[TrainAppSpec::qq()], 3600.0, 1);
+        let bandwidth = BandwidthTrace::constant(500_000.0);
+        let radio = RadioParams::galaxy_s4_3g();
+        let plan = FaultPlan::none();
+        let retry = RetryPolicy::default();
+
+        let calls = |kind: EngineKind| {
+            let mut s = BaselineScheduler::new(profiles());
+            let mut eng = Engine::new(
+                &mut s,
+                &packets,
+                &heartbeats,
+                &bandwidth,
+                &radio,
+                3600.0,
+                &plan,
+                &retry,
+                None,
+            )
+            .with_kind(kind);
+            let mut steps = 0u64;
+            while eng.step() {
+                steps += 1;
+            }
+            (steps, eng.finish())
+        };
+        let (slot_calls, slot_out) = calls(EngineKind::Slot);
+        let (event_calls, event_out) = calls(EngineKind::Event);
+        output_eq(&slot_out, &event_out);
+        assert_eq!(slot_calls, slot_out.events_processed);
+        assert!(
+            event_calls * 10 < slot_calls,
+            "event kernel made {event_calls} step calls vs {slot_calls} — batching is broken"
+        );
+    }
+
+    #[test]
+    fn event_kernel_snapshot_restores_bit_for_bit() {
+        let inputs = faulted_inputs();
+        let full = run_with_kind(&inputs, EngineKind::Event);
+
+        let mut s1 = sched();
+        let mut eng = Engine::new(
+            &mut s1,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            None,
+        )
+        .with_kind(EngineKind::Event);
+        let stop = full.events_processed / 3;
+        while eng.events_processed() < stop && eng.step() {}
+        let snap = eng.snapshot();
+        drop(eng);
+        assert_eq!(snap.engine, EngineKind::Event);
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap: EngineSnapshot = serde_json::from_str(&json).unwrap();
+
+        let mut s2 = sched();
+        let eng = Engine::restore(
+            &mut s2,
+            &inputs.packets,
+            &inputs.heartbeats,
+            &inputs.bandwidth,
+            &inputs.radio,
+            inputs.horizon_s,
+            &inputs.plan,
+            &inputs.retry,
+            &snap,
+        )
+        .expect("event-kernel snapshot restores on identical inputs");
+        assert_eq!(eng.kind(), EngineKind::Event);
+        let resumed = eng.run();
+        output_eq(&full, &resumed);
+    }
+
+    #[test]
+    fn legacy_snapshot_json_defaults_to_slot_kernel() {
+        // Pre-event-kernel snapshots used the `slots_run` field name and
+        // had no `engine` field; both must still deserialize.
+        let json = r#"{"version":1,"taken_at_s":4.5,"events_processed":12,
+                       "slots_run":4,"journal_events":0,"fingerprint":99}"#;
+        let snap: EngineSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(snap.steps_run, 4);
+        assert_eq!(snap.engine, EngineKind::Slot);
     }
 }

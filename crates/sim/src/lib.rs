@@ -57,9 +57,10 @@ pub mod sweep;
 
 pub use compare::Comparison;
 pub use engine::{
-    run_engine, run_engine_checked, run_engine_journaled, run_engine_with_faults,
-    run_engine_with_faults_checked, AbandonedPacket, CompletedPacket, Engine, EngineOutput,
-    EngineSnapshot, SnapshotError, SNAPSHOT_VERSION,
+    run_engine, run_engine_checked, run_engine_configured, run_engine_journaled,
+    run_engine_with_faults, run_engine_with_faults_checked, AbandonedPacket, CompletedPacket,
+    Engine, EngineKind, EngineOpts, EngineOutput, EngineSnapshot, SnapshotError, ENGINE_ENV,
+    SNAPSHOT_VERSION,
 };
 pub use fuzz::{conformance_kinds, CasePlan, TrainSet};
 pub use metrics::{AppReport, RunReport};

@@ -437,6 +437,15 @@ impl RunGrid {
         self
     }
 
+    /// Builder: sets the simulation kernel on every job in the grid (see
+    /// [`Scenario::engine`]). Apply after all specs are pushed.
+    pub fn engine(mut self, kind: crate::engine::EngineKind) -> Self {
+        for spec in &mut self.specs {
+            spec.scenario = spec.scenario.clone().engine(kind);
+        }
+        self
+    }
+
     /// Number of jobs in the grid.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -1132,8 +1141,9 @@ mod tests {
             version: crate::engine::SNAPSHOT_VERSION,
             taken_at_s: 12.0,
             events_processed: 34,
-            slots_run: 5,
+            steps_run: 5,
             journal_events: 0,
+            engine: crate::engine::EngineKind::Slot,
             fingerprint: 0xfeed,
         };
         cp.record_partial(pending, partial);

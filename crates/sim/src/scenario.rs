@@ -16,7 +16,7 @@ use etrain_trace::heartbeats::{synthesize, Heartbeat, TrainAppSpec};
 use etrain_trace::packets::{CargoWorkload, Packet};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{Engine, EngineOutput, EngineSnapshot};
+use crate::engine::{Engine, EngineKind, EngineOutput, EngineSnapshot};
 use crate::metrics::RunReport;
 use crate::oracle::{self, OracleMode, OracleViolation};
 
@@ -303,6 +303,7 @@ pub struct Scenario {
     retry: RetryPolicy,
     oracle: OracleMode,
     obs: ObsMode,
+    engine: EngineKind,
 }
 
 impl Scenario {
@@ -326,6 +327,7 @@ impl Scenario {
             retry: RetryPolicy::default(),
             oracle: OracleMode::from_env(),
             obs: ObsMode::from_env(),
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -466,6 +468,23 @@ impl Scenario {
     /// The observability mode this scenario runs under.
     pub fn obs_mode(&self) -> ObsMode {
         self.obs
+    }
+
+    /// Sets the simulation kernel for this scenario's runs.
+    /// [`Scenario::paper_default`] starts from the `ETRAIN_ENGINE`
+    /// environment variable ([`EngineKind::from_env`], default `Slot`);
+    /// this builder overrides it. Both kernels produce bit-for-bit
+    /// identical reports, journals and oracle ledgers; the event kernel
+    /// merely skips quiescent slot boundaries in bulk, so sparse standby
+    /// scenarios run much faster.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// The simulation kernel this scenario runs under.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// The scheduler this scenario runs.
@@ -685,6 +704,7 @@ impl Scenario {
             &self.retry,
             journal.as_mut(),
         )
+        .with_kind(self.engine)
         .run();
         self.finish_journaled(scheduler.name(), output, journal, traces)
     }
@@ -742,7 +762,8 @@ impl Scenario {
             &self.faults,
             &self.retry,
             journal.as_mut(),
-        );
+        )
+        .with_kind(self.engine);
         let mut durable: Option<String> = None;
         let mut last_snapshot_slot = 0u64;
         let mut finished = false;
@@ -751,9 +772,13 @@ impl Scenario {
                 finished = true;
                 break;
             }
-            let slots = engine.slots_run();
-            if slots > last_snapshot_slot && slots.is_multiple_of(snapshot_every_slots) {
-                last_snapshot_slot = slots;
+            // Snapshot whenever the step counter crosses a cadence
+            // multiple. The slot kernel lands on every multiple exactly;
+            // the event kernel can jump past several in one batched step,
+            // which still counts as one crossing — one snapshot.
+            let steps = engine.steps_run();
+            if steps / snapshot_every_slots > last_snapshot_slot / snapshot_every_slots {
+                last_snapshot_slot = steps;
                 // Serializing here is what makes the snapshot durable:
                 // the resume below only ever sees the JSON.
                 durable = Some(
@@ -816,6 +841,7 @@ impl Scenario {
                     &self.retry,
                     suffix.as_mut(),
                 )
+                .with_kind(self.engine)
                 .run()
             }
         };

@@ -9,8 +9,8 @@
 
 use etrain_sim::oracle::{self, OracleMode, OracleViolation};
 use etrain_sim::{
-    audit_scheduler_ordering, conformance_kinds, CasePlan, EngineOutput, FaultPlan, RunGrid,
-    Scenario,
+    audit_scheduler_ordering, conformance_kinds, CasePlan, EngineKind, EngineOutput, FaultPlan,
+    Journal, ObsMode, RunGrid, Scenario,
 };
 use etrain_trace::faults::hash_unit;
 use etrain_trace::heartbeats::Heartbeat;
@@ -76,6 +76,79 @@ fn conformance_full_strict_and_deterministic() {
     for seed in 0..25 {
         assert_strict_and_deterministic(seed, false);
         assert_strict_and_deterministic(seed, true);
+    }
+}
+
+/// Runs one generated workload under both engine kernels — same traces,
+/// same scheduler, `Strict` oracle, ring journal — and demands
+/// bit-for-bit identical reports and journals. This is the event kernel's
+/// conformance contract: batched slot retirement is an optimization the
+/// outputs must not be able to see.
+fn assert_kernels_interchangeable(seed: u64, with_faults: bool) {
+    let base = random_scenario(seed, with_faults)
+        .oracle(OracleMode::Strict)
+        .obs(ObsMode::Ring);
+    for kind in conformance_kinds() {
+        let scenario = base.clone().scheduler(kind);
+        let traces = scenario.generate_traces();
+        let run = |engine: EngineKind| {
+            scenario
+                .clone()
+                .engine(engine)
+                .try_run_journaled_on(&traces)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{engine} kernel failed strict run \
+                         (seed {seed}, faults {with_faults}, scheduler {kind:?}): {e}"
+                    )
+                })
+        };
+        let (slot_report, _, slot_journal) = run(EngineKind::Slot);
+        let (event_report, _, event_journal) = run(EngineKind::Event);
+
+        assert_eq!(
+            slot_report, event_report,
+            "kernels diverged (seed {seed}, faults {with_faults}, scheduler {kind:?})"
+        );
+        // Belt and suspenders: byte-identical serialized artifacts, the
+        // form checkpoints and BENCH_repro.json actually persist.
+        assert_eq!(
+            serde_json::to_string(&slot_report).expect("report serializes"),
+            serde_json::to_string(&event_report).expect("report serializes"),
+            "serialized reports diverged (seed {seed}, faults {with_faults}, scheduler {kind:?})"
+        );
+        assert_eq!(
+            slot_journal.as_ref().map(Journal::to_jsonl),
+            event_journal.as_ref().map(Journal::to_jsonl),
+            "journals diverged (seed {seed}, faults {with_faults}, scheduler {kind:?})"
+        );
+        let outcome = slot_report
+            .oracle
+            .as_ref()
+            .expect("strict mode attaches outcome");
+        assert!(outcome.is_clean(), "oracle violations under seed {seed}");
+    }
+}
+
+/// Quick differential tier: 6 seeds × {fault-free, faulty} × 5 schedulers
+/// × 2 kernels = 120 journaled strict runs in the default test pass.
+#[test]
+fn conformance_quick_kernels_interchangeable() {
+    for seed in 0..6 {
+        assert_kernels_interchangeable(seed, false);
+        assert_kernels_interchangeable(seed, true);
+    }
+}
+
+/// Exhaustive differential tier for the CI conformance job: 25 seeds ×
+/// {fault-free, faulty} × 5 schedulers × 2 kernels = 500 journaled
+/// strict runs.
+#[test]
+#[ignore = "exhaustive sweep; run with `cargo test -- --ignored` (CI conformance job)"]
+fn conformance_full_kernels_interchangeable() {
+    for seed in 0..25 {
+        assert_kernels_interchangeable(seed, false);
+        assert_kernels_interchangeable(seed, true);
     }
 }
 

@@ -248,6 +248,21 @@ impl FaultPlan {
         self.train_deaths.iter().any(|w| w.contains(t))
     }
 
+    /// The next time strictly after `t` at which
+    /// [`FaultPlan::trains_dead_at`] can change value: the earliest
+    /// death-window start or end past `t` (windows are half-open, so
+    /// those are the only candidates). `None` means liveness is constant
+    /// from `t` onward. Lets callers that poll liveness on a fine grid —
+    /// the event kernel's quiescent-slot batching — hoist the per-sample
+    /// window scan out of their hot loop.
+    pub fn next_train_death_boundary(&self, t: f64) -> Option<f64> {
+        self.train_deaths
+            .iter()
+            .flat_map(|w| [w.start_s, w.end_s])
+            .filter(|&b| b > t)
+            .reduce(f64::min)
+    }
+
     /// Whether the channel is in an outage at time `t`.
     pub fn in_outage(&self, t: f64) -> bool {
         self.outages.iter().any(|w| w.contains(t))
@@ -338,6 +353,33 @@ mod tests {
         }
         assert!(!plan.trains_dead_at(12.5));
         assert!(!plan.in_outage(12.5));
+    }
+
+    #[test]
+    fn next_train_death_boundary_walks_every_liveness_edge() {
+        let plan = FaultPlan::none()
+            .with_train_death(100.0, 200.0)
+            .with_train_death(150.0, 400.0);
+        // Boundaries are window starts and ends, strictly after `t`.
+        assert_eq!(plan.next_train_death_boundary(0.0), Some(100.0));
+        assert_eq!(plan.next_train_death_boundary(100.0), Some(150.0));
+        assert_eq!(plan.next_train_death_boundary(150.0), Some(200.0));
+        assert_eq!(plan.next_train_death_boundary(200.0), Some(400.0));
+        assert_eq!(plan.next_train_death_boundary(400.0), None);
+        assert_eq!(FaultPlan::none().next_train_death_boundary(0.0), None);
+        // Liveness is constant on every open interval between
+        // consecutive boundaries — the property the event kernel's
+        // batching leans on.
+        let mut t = 0.0;
+        while let Some(next) = plan.next_train_death_boundary(t) {
+            let mid = (t + next) / 2.0;
+            assert_eq!(
+                plan.trains_dead_at(t),
+                plan.trains_dead_at(mid),
+                "liveness changed inside ({t}, {next})"
+            );
+            t = next;
+        }
     }
 
     #[test]
