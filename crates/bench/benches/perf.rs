@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for the hot paths of the reproduction:
-//! the tail-energy model, Algorithm 1's greedy selection, the cycle
+//! the tail-energy model, Algorithm 1's greedy selection, the cached vs
+//! reference decision/timeline paths of the hot-path campaign, the cycle
 //! detector, and a full end-to-end simulation slice.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use etrain_hb::CycleDetector;
-use etrain_radio::{analytic_extra_energy_j, tail_energy_j, RadioParams, Transmission};
+use etrain_radio::{
+    analytic_extra_energy_j, tail_energy_j, RadioParams, Timeline, TimelinePool, Transmission,
+};
 use etrain_sched::{AppProfile, ETrainConfig, ETrainScheduler, Scheduler, SlotContext};
 use etrain_sim::{Scenario, SchedulerKind};
 use etrain_trace::packets::Packet;
@@ -70,6 +73,73 @@ fn bench_greedy_selection(c: &mut Criterion) {
             )
         });
     }
+}
+
+/// The hot-path campaign's criterion coverage: steady-state slot
+/// decisions on the cached path vs the retained from-scratch reference
+/// (`set_reference_decisions`), and pooled/batched timeline
+/// rebuild-and-sample cycles vs fresh construction with per-sample
+/// binary-search lookups. The equivalence of the compared paths is
+/// asserted elsewhere (`hotpath_speedup` experiment, equivalence suite);
+/// here only the wall-clock trend is tracked.
+fn bench_hot_paths(c: &mut Criterion) {
+    let breach_ctx = SlotContext {
+        now_s: 700.0,
+        heartbeat_departing: false,
+        predicted_bandwidth_bps: 450_000.0,
+        trains_alive: true,
+    };
+    for reference in [false, true] {
+        let label = if reference { "reference" } else { "cached" };
+        c.bench_function(&format!("sched/steady_slot_256pending_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sched = loaded_scheduler(256);
+                    sched.set_reference_decisions(reference);
+                    // Size the scratch before timing: steady state, not
+                    // first-call growth.
+                    let released = sched.on_slot(&breach_ctx);
+                    for p in released {
+                        sched.on_tx_failure(p, 699.0).expect("re-admission");
+                    }
+                    sched
+                },
+                |mut sched| sched.on_slot(&breach_ctx),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let params = RadioParams::galaxy_s4_3g();
+    let txs: Vec<Transmission> = (0..500)
+        .map(|i| Transmission::new(i as f64 * 40.0, 0.5))
+        .collect();
+    let horizon_s = 500.0 * 40.0 + 60.0;
+    let dt_s = 0.5;
+    c.bench_function("radio/timeline_cycle_500tx_reference", |b| {
+        b.iter(|| {
+            let timeline =
+                Timeline::from_transmissions(&params, std::hint::black_box(&txs), horizon_s);
+            let n = (horizon_s / dt_s).ceil() as usize;
+            let mut samples = Vec::with_capacity(n);
+            for i in 0..n {
+                let t = i as f64 * dt_s;
+                samples.push(timeline.state_at(t).power_mw(timeline.params()));
+            }
+            samples.len()
+        })
+    });
+    c.bench_function("radio/timeline_cycle_500tx_pooled", |b| {
+        let mut pool = TimelinePool::new();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let timeline = pool.build(&params, std::hint::black_box(&txs), horizon_s);
+            timeline.sample_into(dt_s, &mut buf);
+            let n = buf.len();
+            pool.recycle(timeline);
+            n
+        })
+    });
 }
 
 fn bench_cycle_detector(c: &mut Criterion) {
@@ -143,6 +213,7 @@ criterion_group!(
     benches,
     bench_tail_energy,
     bench_greedy_selection,
+    bench_hot_paths,
     bench_cycle_detector,
     bench_sweep_runner,
     bench_end_to_end

@@ -1,0 +1,7 @@
+//! Hot-path speedup: the cached steady-state decision and pooled
+//! timeline paths vs the retained from-scratch reference recompute. See
+//! `experiments::hotpath_speedup`.
+
+fn main() {
+    etrain_bench::run_binary("hotpath_speedup");
+}

@@ -8,7 +8,12 @@
 //! - `--jobs N` — worker count (default: `ETRAIN_JOBS` env, then the
 //!   machine's available parallelism);
 //! - `--json PATH` — where to write the report (default
-//!   `BENCH_repro.json`); `--no-json` skips it.
+//!   `BENCH_repro.json`); `--no-json` skips it;
+//! - `--trajectory-label LABEL` — labels this invocation's point in the
+//!   report's `trajectory` array (default `quick`/`full`). The prior
+//!   report at the `--json` path, if any, contributes its accumulated
+//!   trajectory, so the committed report carries the suite's wall-clock
+//!   history across PRs.
 //!
 //! Every simulated run is audited by the simulation oracle: unless the
 //! `ETRAIN_ORACLE` environment variable is already set, the suite runs in
@@ -60,6 +65,15 @@ fn main() {
                 .to_owned()
         })
         .unwrap_or_else(|| "BENCH_repro.json".to_owned());
+    let trajectory_label = args
+        .iter()
+        .position(|a| a == "--trajectory-label")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--trajectory-label needs a value")
+                .to_owned()
+        })
+        .unwrap_or_else(|| if quick { "quick" } else { "full" }.to_owned());
 
     let registry = etrain_bench::registry();
     eprintln!(
@@ -103,8 +117,22 @@ fn main() {
     );
 
     if !no_json {
-        std::fs::write(&json_path, etrain_bench::repro_report_json(&runs))
-            .expect("writing the JSON report");
+        // The prior report's trajectory (if any) is carried forward and
+        // this invocation's point appended, so the committed report
+        // accumulates the suite's wall-clock history.
+        let mut trajectory = std::fs::read_to_string(&json_path)
+            .map(|prior| etrain_bench::load_prior_trajectory(&prior))
+            .unwrap_or_default();
+        trajectory.push(etrain_bench::trajectory_point(
+            &runs,
+            &trajectory_label,
+            quick,
+        ));
+        std::fs::write(
+            &json_path,
+            etrain_bench::repro_report_json(&runs, trajectory),
+        )
+        .expect("writing the JSON report");
         eprintln!("# wrote {json_path}");
     }
     if obs_mode.is_enabled() {

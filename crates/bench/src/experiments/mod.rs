@@ -28,6 +28,7 @@ pub mod fig7a;
 pub mod fig7b;
 pub mod fig8a;
 pub mod fig8b;
+pub mod hotpath_speedup;
 pub mod offline_gap;
 pub mod table1;
 

@@ -274,6 +274,12 @@ pub fn registry() -> Vec<Experiment> {
             description: "Infrastructure: slot vs event kernel wall-clock on a sparse standby run",
             run: experiments::engine_speedup::run,
         },
+        Experiment {
+            name: "hotpath_speedup",
+            description:
+                "Infrastructure: cached hot decision/timeline paths vs the reference recompute",
+            run: experiments::hotpath_speedup::run,
+        },
     ]
 }
 
@@ -311,11 +317,11 @@ pub struct ReproRun {
 }
 
 /// Validates every `ETRAIN_*` environment knob a bench binary honors
-/// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_ENGINE`, `ETRAIN_JOBS`),
-/// exiting with status 2 and one message per bad knob. Binaries call this
-/// first: a typo like `ETRAIN_ORACLE=stric` must abort the run, not
-/// silently audit nothing (library contexts keep the lenient warn-once
-/// fallback instead).
+/// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_ENGINE`, `ETRAIN_JOBS`,
+/// `ETRAIN_REFERENCE_COST`), exiting with status 2 and one message per
+/// bad knob. Binaries call this first: a typo like `ETRAIN_ORACLE=stric`
+/// must abort the run, not silently audit nothing (library contexts keep
+/// the lenient warn-once fallback instead).
 pub fn validate_env_knobs() {
     let mut problems = Vec::new();
     if let Err(reason) = etrain_sim::OracleMode::try_from_env() {
@@ -325,6 +331,9 @@ pub fn validate_env_knobs() {
         problems.push(reason);
     }
     if let Err(reason) = etrain_sim::EngineKind::try_from_env() {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_sched::try_reference_cost_from_env() {
         problems.push(reason);
     }
     let jobs_raw = std::env::var(etrain_sim::JOBS_ENV).ok();
@@ -473,8 +482,139 @@ pub fn obs_summary() -> ObsSummary {
     }
 }
 
-/// The body of `BENCH_repro.json`: the oracle and observability tallies
-/// plus one record per experiment in registry order.
+/// The wall-clock of one experiment inside a [`TrajectoryPoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentWall {
+    /// The experiment name.
+    pub name: String,
+    /// Wall-clock seconds the experiment took on its worker.
+    pub wall_s: f64,
+}
+
+/// One point of the performance trajectory: the wall-clock profile of one
+/// whole `repro_all` invocation. `BENCH_repro.json` accumulates these
+/// across PRs, so the suite's throughput history is part of the committed
+/// reproduction log (the `hotpath_speedup` experiment explains *why* a
+/// point moved; the trajectory records *that* it moved).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Free-form label for the invocation (`--trajectory-label`, default
+    /// the suite mode).
+    pub label: String,
+    /// Whether the invocation ran in quick mode.
+    pub quick: bool,
+    /// Sum of per-experiment wall-clock seconds (serial time, independent
+    /// of the worker count).
+    pub total_wall_s: f64,
+    /// Per-experiment wall-clock, in registry order.
+    pub experiments: Vec<ExperimentWall>,
+}
+
+/// Distills the finished runs of one invocation into a trajectory point.
+pub fn trajectory_point(runs: &[ReproRun], label: &str, quick: bool) -> TrajectoryPoint {
+    let experiments: Vec<ExperimentWall> = runs
+        .iter()
+        .map(|r| ExperimentWall {
+            name: r.record.name.clone(),
+            wall_s: r.record.wall_s,
+        })
+        .collect();
+    TrajectoryPoint {
+        label: label.to_owned(),
+        quick,
+        total_wall_s: experiments.iter().map(|e| e.wall_s).sum(),
+        experiments,
+    }
+}
+
+/// Leniently extracts the `trajectory` array from a previous
+/// `BENCH_repro.json`, so each invocation appends to the committed
+/// history. Reports written before the trajectory existed, missing files
+/// and malformed JSON all yield an empty history rather than an error —
+/// losing the trajectory must never block a reproduction run.
+pub fn load_prior_trajectory(json: &str) -> Vec<TrajectoryPoint> {
+    #[derive(Deserialize)]
+    struct Prior {
+        trajectory: Option<Vec<TrajectoryPoint>>,
+    }
+    serde_json::from_str::<Prior>(json)
+        .ok()
+        .and_then(|p| p.trajectory)
+        .unwrap_or_default()
+}
+
+/// Leniently extracts `(name, wall_s)` pairs from the `experiments`
+/// array of a `BENCH_repro.json` body (the `perf_gate` binary compares
+/// two of these). Malformed input yields an empty list.
+pub fn load_experiment_walls(json: &str) -> Vec<ExperimentWall> {
+    #[derive(Deserialize)]
+    struct Prior {
+        experiments: Option<Vec<ExperimentWall>>,
+    }
+    serde_json::from_str::<Prior>(json)
+        .ok()
+        .and_then(|p| p.experiments)
+        .unwrap_or_default()
+}
+
+/// One wall-clock regression found by [`perf_regressions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRegression {
+    /// The experiment name, or `"(total)"` for the suite-wide sum.
+    pub name: String,
+    /// Baseline wall-clock seconds (floored; see [`perf_regressions`]).
+    pub baseline_s: f64,
+    /// Current wall-clock seconds.
+    pub current_s: f64,
+}
+
+/// Compares per-experiment wall-clocks (matched by name) and the matched
+/// totals, reporting every current time exceeding `factor ×` its
+/// baseline. Baselines are floored at `floor_s` first, so sub-floor
+/// experiments never trip the gate on scheduler noise. Experiments
+/// present on only one side are skipped entirely — including from the
+/// totals — so a legitimately grown registry never reads as a
+/// regression.
+pub fn perf_regressions(
+    baseline: &[ExperimentWall],
+    current: &[ExperimentWall],
+    factor: f64,
+    floor_s: f64,
+) -> Vec<PerfRegression> {
+    let mut regressions = Vec::new();
+    let mut base_total = 0.0f64;
+    let mut cur_total = 0.0f64;
+    let mut matched = 0usize;
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        matched += 1;
+        base_total += base.wall_s;
+        cur_total += cur.wall_s;
+        let floored = base.wall_s.max(floor_s);
+        if cur.wall_s > factor * floored {
+            regressions.push(PerfRegression {
+                name: cur.name.clone(),
+                baseline_s: floored,
+                current_s: cur.wall_s,
+            });
+        }
+    }
+    let floored_total = base_total.max(floor_s);
+    if matched > 0 && cur_total > factor * floored_total {
+        regressions.push(PerfRegression {
+            name: "(total)".to_owned(),
+            baseline_s: floored_total,
+            current_s: cur_total,
+        });
+    }
+    regressions
+}
+
+/// The body of `BENCH_repro.json`: the oracle and observability tallies,
+/// one record per experiment in registry order, and the accumulated
+/// performance trajectory.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ReproReport {
     /// Simulation-oracle mode and tallies for the whole suite.
@@ -483,20 +623,26 @@ pub struct ReproReport {
     pub obs: ObsSummary,
     /// Per-experiment records.
     pub experiments: Vec<ReproRecord>,
+    /// Wall-clock history across invocations, oldest first; the last
+    /// point describes this report's own run.
+    pub trajectory: Vec<TrajectoryPoint>,
 }
 
 /// Serializes the records of finished runs — plus the current oracle
-/// tallies — as the pretty-printed JSON body of `BENCH_repro.json`.
+/// tallies and the accumulated `trajectory` (the caller appends this
+/// run's own [`trajectory_point`] before passing it in) — as the
+/// pretty-printed JSON body of `BENCH_repro.json`.
 ///
 /// # Panics
 ///
 /// Panics if serialization fails (the record types are plain data, so it
 /// cannot).
-pub fn repro_report_json(runs: &[ReproRun]) -> String {
+pub fn repro_report_json(runs: &[ReproRun], trajectory: Vec<TrajectoryPoint>) -> String {
     let report = ReproReport {
         oracle: oracle_summary(),
         obs: obs_summary(),
         experiments: runs.iter().map(|r| r.record.clone()).collect(),
+        trajectory,
     };
     serde_json::to_string_pretty(&report).expect("plain-data records serialize")
 }
@@ -630,7 +776,8 @@ mod tests {
     fn json_report_carries_names_and_headlines() {
         let cheap = [find("fig6").expect("registered")];
         let runs = run_experiments(&cheap, true, 1);
-        let json = repro_report_json(&runs);
+        let point = trajectory_point(&runs, "test", true);
+        let json = repro_report_json(&runs, vec![point]);
         assert!(json.contains("\"fig6\""));
         assert!(json.contains("wall_s"));
         assert!(json.contains("f3_at_3x_deadline"));
@@ -639,10 +786,93 @@ mod tests {
         assert!(json.contains("\"violations\""));
         assert!(json.contains("\"obs\""));
         assert!(json.contains("\"events_recorded\""));
+        // ... and ends with the perf trajectory.
+        assert!(json.contains("\"trajectory\""));
+        assert!(json.contains("\"total_wall_s\""));
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_accumulates() {
+        let cheap = [find("fig6").expect("registered")];
+        let runs = run_experiments(&cheap, true, 1);
+        let first = trajectory_point(&runs, "pr-7", true);
+        assert_eq!(first.experiments.len(), 1);
+        assert_eq!(first.experiments[0].name, "fig6");
+        assert!((first.total_wall_s - first.experiments[0].wall_s).abs() < 1e-12);
+
+        // A later invocation loads the prior report and appends itself.
+        let json = repro_report_json(&runs, vec![first.clone()]);
+        let mut history = load_prior_trajectory(&json);
+        assert_eq!(history, vec![first.clone()]);
+        history.push(trajectory_point(&runs, "pr-8", true));
+        let json2 = repro_report_json(&runs, history);
+        assert_eq!(load_prior_trajectory(&json2).len(), 2);
+    }
+
+    #[test]
+    fn prior_trajectory_loading_is_lenient() {
+        // Pre-trajectory reports, junk, and empty input all yield an
+        // empty history instead of failing the run.
+        assert!(load_prior_trajectory("{\"oracle\": {}, \"experiments\": []}").is_empty());
+        assert!(load_prior_trajectory("not json at all").is_empty());
+        assert!(load_prior_trajectory("").is_empty());
+        assert!(load_prior_trajectory("{\"trajectory\": null}").is_empty());
     }
 
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    fn wall(name: &str, wall_s: f64) -> ExperimentWall {
+        ExperimentWall {
+            name: name.to_owned(),
+            wall_s,
+        }
+    }
+
+    #[test]
+    fn perf_regressions_flag_only_real_slowdowns() {
+        let baseline = [wall("a", 10.0), wall("b", 1.0), wall("tiny", 0.001)];
+        // `a` held steady, `b` regressed 3x, `tiny` blew up 90x but stays
+        // under the floor, `new` has no baseline and is skipped — and the
+        // matched total (13.09 s vs 11.001 s) stays within the factor, so
+        // only `b` is flagged.
+        let current = [
+            wall("a", 10.0),
+            wall("b", 3.0),
+            wall("tiny", 0.09),
+            wall("new", 50.0),
+        ];
+        let found = perf_regressions(&baseline, &current, 2.0, 0.05);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "b");
+        assert_eq!(found[0].baseline_s, 1.0);
+        assert_eq!(found[0].current_s, 3.0);
+    }
+
+    #[test]
+    fn perf_regressions_compare_suite_totals() {
+        let baseline = [wall("a", 1.0), wall("b", 1.0)];
+        // Each experiment stays within 2x, but the total regresses past it
+        // (1.9 + 1.9 = 3.8 <= 4.0 is fine; 2.5 + 1.9 = 4.4 > 4.0 trips).
+        let ok = perf_regressions(&baseline, &[wall("a", 1.9), wall("b", 1.9)], 2.0, 0.05);
+        assert!(ok.is_empty());
+        let bad = perf_regressions(&baseline, &[wall("a", 2.5), wall("b", 1.9)], 2.1, 0.05);
+        assert_eq!(bad.len(), 2, "per-experiment a plus the total");
+        assert_eq!(bad[1].name, "(total)");
+    }
+
+    #[test]
+    fn perf_regressions_handle_empty_baseline() {
+        assert!(perf_regressions(&[], &[wall("a", 99.0)], 2.0, 0.05).is_empty());
+    }
+
+    #[test]
+    fn experiment_walls_load_leniently() {
+        let json = r#"{"experiments": [{"name": "fig2", "wall_s": 0.25, "tables": 1}]}"#;
+        assert_eq!(load_experiment_walls(json), vec![wall("fig2", 0.25)]);
+        assert!(load_experiment_walls("junk").is_empty());
+        assert!(load_experiment_walls("{}").is_empty());
     }
 }

@@ -32,10 +32,16 @@ fn current_snapshot() -> Vec<GoldenExperiment> {
     let registry = registry();
     run_experiments(&registry, true, etrain_bench::default_jobs())
         .into_iter()
-        // engine_speedup's headlines are wall-clock measurements and vary
-        // by machine; its determinism gate (slot and event kernels must
-        // produce identical reports) is asserted inside the experiment.
-        .filter(|run| run.record.name != "engine_speedup")
+        // engine_speedup's and hotpath_speedup's headlines are wall-clock
+        // measurements and vary by machine; their determinism gates (the
+        // compared paths must produce bit-identical outputs) are asserted
+        // inside the experiments themselves.
+        .filter(|run| {
+            !matches!(
+                run.record.name.as_str(),
+                "engine_speedup" | "hotpath_speedup"
+            )
+        })
         .map(|run| GoldenExperiment {
             name: run.record.name,
             headlines: run.record.headlines,

@@ -85,20 +85,45 @@ pub fn analytic_extra_energy_j(
 /// Exported so audit code (the simulation oracle) can recompute the busy
 /// structure independently of [`crate::Timeline`]'s segment construction.
 pub fn merge_busy_periods(transmissions: &[Transmission], horizon_s: f64) -> Vec<(f64, f64)> {
-    let mut intervals: Vec<(f64, f64)> = transmissions
-        .iter()
-        .map(|t| (t.start_s, (t.start_s + t.duration_s).min(horizon_s)))
-        .filter(|&(s, e)| e > s && s < horizon_s)
-        .collect();
-    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
-    for (start, end) in intervals {
-        match merged.last_mut() {
-            Some(last) if start <= last.1 => last.1 = last.1.max(end),
-            _ => merged.push((start, end)),
+    let mut out = Vec::new();
+    merge_busy_periods_into(transmissions, horizon_s, &mut out);
+    out
+}
+
+/// [`merge_busy_periods`] into a caller-owned buffer, so repeated
+/// rebuilds (timeline pooling, the oracle's per-run audits) reuse the
+/// allocation. The result is bit-for-bit identical to
+/// [`merge_busy_periods`]: same clip/filter, same `total_cmp` sort, and
+/// the in-place compaction applies the same `start <= last.1` /
+/// `last.1.max(end)` merge rule as the two-buffer construction.
+pub fn merge_busy_periods_into(
+    transmissions: &[Transmission],
+    horizon_s: f64,
+    out: &mut Vec<(f64, f64)>,
+) {
+    out.clear();
+    out.extend(
+        transmissions
+            .iter()
+            .map(|t| (t.start_s, (t.start_s + t.duration_s).min(horizon_s)))
+            .filter(|&(s, e)| e > s && s < horizon_s),
+    );
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // In-place merge: `write` trails the scan and compacts overlapping
+    // intervals; `write - 1` is always the last merged interval, exactly
+    // like `merged.last_mut()` in the reference formulation.
+    let mut write = 0usize;
+    for read in 0..out.len() {
+        let (start, end) = out[read];
+        if write > 0 && start <= out[write - 1].1 {
+            let last = &mut out[write - 1];
+            last.1 = last.1.max(end);
+        } else {
+            out[write] = (start, end);
+            write += 1;
         }
     }
-    merged
+    out.truncate(write);
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::RadioError;
 use crate::params::RadioParams;
 use crate::power::PowerTrace;
-use crate::tail::{analytic_extra_energy_j, merge_busy_periods};
+use crate::tail::{analytic_extra_energy_j, merge_busy_periods, merge_busy_periods_into};
 
 /// RRC power state of the cellular interface (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -149,58 +149,11 @@ impl Timeline {
     ) -> Self {
         let busy = merge_busy_periods(transmissions, horizon_s);
         let mut segments = Vec::new();
-        let mut cursor = 0.0;
-        let dd = params.delta_dch_s();
-        let df = params.delta_fach_s();
-
-        let push = |segments: &mut Vec<StateSegment>, start: f64, end: f64, state| {
-            if end > start {
-                segments.push(StateSegment {
-                    start_s: start,
-                    end_s: end,
-                    state,
-                });
-            }
-        };
-
-        for (idx, &(start, end)) in busy.iter().enumerate() {
-            push(&mut segments, cursor, start, RrcState::Idle);
-            // Busy period itself is DCH.
-            push(&mut segments, start, end, RrcState::Dch);
-            let next_start = busy
-                .get(idx + 1)
-                .map_or(horizon_s, |&(next_start, _)| next_start);
-            let dch_tail_end = (end + dd).min(next_start).min(horizon_s);
-            push(&mut segments, end, dch_tail_end, RrcState::Dch);
-            let fach_end = (end + dd + df).min(next_start).min(horizon_s);
-            push(&mut segments, dch_tail_end, fach_end, RrcState::Fach);
-            push(
-                &mut segments,
-                fach_end,
-                next_start.min(horizon_s),
-                RrcState::Idle,
-            );
-            cursor = next_start;
-        }
-        push(&mut segments, cursor, horizon_s, RrcState::Idle);
-
-        // Merge adjacent segments with the same state (busy + DCH tail).
-        let mut merged: Vec<StateSegment> = Vec::with_capacity(segments.len());
-        for seg in segments {
-            match merged.last_mut() {
-                Some(last)
-                    if last.state == seg.state && (last.end_s - seg.start_s).abs() < 1e-12 =>
-                {
-                    last.end_s = seg.end_s;
-                }
-                _ => merged.push(seg),
-            }
-        }
-
+        build_segments_into(params, &busy, horizon_s, &mut segments);
         Timeline {
             params: params.clone(),
             horizon_s,
-            segments: merged,
+            segments,
         }
     }
 
@@ -252,6 +205,37 @@ impl Timeline {
             .sum()
     }
 
+    /// Time spent in every state — `[Idle, Fach, Dch]` — in one pass over
+    /// the segments: the batched counterpart of three
+    /// [`Timeline::time_in_state_s`] calls. Bit-for-bit identical, because
+    /// each state's durations accumulate in the same segment order as the
+    /// per-state filter.
+    pub fn time_in_states_s(&self) -> [f64; 3] {
+        let mut totals = [0.0f64; 3];
+        for seg in &self.segments {
+            let slot = match seg.state {
+                RrcState::Idle => 0,
+                RrcState::Fach => 1,
+                RrcState::Dch => 2,
+            };
+            totals[slot] += seg.duration_s();
+        }
+        totals
+    }
+
+    /// Mean extra power above idle across the horizon, in milliwatts:
+    /// `extra_energy_j · 1000 / horizon_s`. NaN-guarded like
+    /// `RunReport::tail_fraction`: a degenerate (zero or non-finite)
+    /// horizon or a non-finite integral reports 0 instead of NaN/∞.
+    pub fn mean_extra_power_mw(&self) -> f64 {
+        let extra_j = self.extra_energy_j();
+        if self.horizon_s.is_finite() && self.horizon_s > 0.0 && extra_j.is_finite() {
+            extra_j * 1000.0 / self.horizon_s
+        } else {
+            0.0
+        }
+    }
+
     /// Samples the absolute device power every `dt_s` seconds, producing the
     /// software analogue of a power-monitor capture.
     ///
@@ -259,12 +243,61 @@ impl Timeline {
     ///
     /// Panics if `dt_s` is not strictly positive.
     pub fn sample(&self, dt_s: f64) -> PowerTrace {
-        assert!(dt_s > 0.0, "sampling interval must be positive");
-        let n = (self.horizon_s / dt_s).ceil() as usize;
-        let samples = (0..n)
-            .map(|i| self.state_at(i as f64 * dt_s).power_mw(&self.params))
-            .collect();
+        let mut samples = Vec::new();
+        self.sample_into(dt_s, &mut samples);
         PowerTrace::new(dt_s, samples)
+    }
+
+    /// [`Timeline::sample`] into a caller-owned buffer (cleared first), so
+    /// repeated sampling reuses the allocation. One linear walk over the
+    /// segments — O(segments + samples) instead of the per-sample binary
+    /// search's O(samples · log segments) — and bit-for-bit identical to
+    /// per-sample [`Timeline::state_at`] lookups: the walk advances on the
+    /// same `end_s <= t` boundary predicate, clamps to the final segment,
+    /// and evaluates each probe at the same `i as f64 * dt_s` instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn sample_into(&self, dt_s: f64, samples_mw: &mut Vec<f64>) {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        samples_mw.clear();
+        let n = (self.horizon_s / dt_s).ceil() as usize;
+        samples_mw.reserve(n);
+        let params = &self.params;
+        let segs = self.segments.as_slice();
+        let mut idx = 0usize;
+        // `power_mw` is a pure function of `(state, params)`, so memoizing
+        // it per segment (instead of recomputing per sample) emits the
+        // exact same f64 for every sample. `next_end` keeps the advance
+        // predicate in a register: it equals `segs[idx].end_s` while a
+        // later segment exists and `∞` on the final (clamping) segment, so
+        // `next_end <= t` is exactly the walk's
+        // `idx + 1 < len && segs[idx].end_s <= t` gate.
+        let mut current_mw = segs
+            .first()
+            .map_or(RrcState::Idle, |s| s.state)
+            .power_mw(params);
+        let mut next_end = if segs.len() > 1 {
+            segs[0].end_s
+        } else {
+            f64::INFINITY
+        };
+        samples_mw.extend((0..n).map(|i| {
+            let t = i as f64 * dt_s;
+            if next_end <= t {
+                while idx + 1 < segs.len() && segs[idx].end_s <= t {
+                    idx += 1;
+                }
+                current_mw = segs[idx].state.power_mw(params);
+                next_end = if idx + 1 < segs.len() {
+                    segs[idx].end_s
+                } else {
+                    f64::INFINITY
+                };
+            }
+            current_mw
+        }));
     }
 
     /// Audits this timeline against the transmissions it claims to describe.
@@ -293,6 +326,130 @@ impl Timeline {
             }
         }
         Ok(checks)
+    }
+}
+
+/// Appends one segment, skipping empty spans and merging into the
+/// previous segment when the state matches across an (effectively) shared
+/// boundary. Merging *during* construction produces exactly the list the
+/// old two-phase build-then-merge produced: the same non-empty segment
+/// sequence is folded left-to-right under the same
+/// `state == state && |last.end − start| < 1e-12` rule.
+fn push_segment(segments: &mut Vec<StateSegment>, start: f64, end: f64, state: RrcState) {
+    if end <= start {
+        return;
+    }
+    if let Some(last) = segments.last_mut() {
+        if last.state == state && (last.end_s - start).abs() < 1e-12 {
+            last.end_s = end;
+            return;
+        }
+    }
+    segments.push(StateSegment {
+        start_s: start,
+        end_s: end,
+        state,
+    });
+}
+
+/// Builds the merged segment list for pre-merged busy periods into a
+/// caller-owned buffer (cleared first). Shared by
+/// [`Timeline::from_transmissions`] and [`TimelinePool::build`], so the
+/// pooled and fresh constructions are the same code path.
+fn build_segments_into(
+    params: &RadioParams,
+    busy: &[(f64, f64)],
+    horizon_s: f64,
+    segments: &mut Vec<StateSegment>,
+) {
+    segments.clear();
+    let mut cursor = 0.0;
+    let dd = params.delta_dch_s();
+    let df = params.delta_fach_s();
+    for (idx, &(start, end)) in busy.iter().enumerate() {
+        push_segment(segments, cursor, start, RrcState::Idle);
+        // Busy period itself is DCH.
+        push_segment(segments, start, end, RrcState::Dch);
+        let next_start = busy
+            .get(idx + 1)
+            .map_or(horizon_s, |&(next_start, _)| next_start);
+        let dch_tail_end = (end + dd).min(next_start).min(horizon_s);
+        push_segment(segments, end, dch_tail_end, RrcState::Dch);
+        let fach_end = (end + dd + df).min(next_start).min(horizon_s);
+        push_segment(segments, dch_tail_end, fach_end, RrcState::Fach);
+        push_segment(
+            segments,
+            fach_end,
+            next_start.min(horizon_s),
+            RrcState::Idle,
+        );
+        cursor = next_start;
+    }
+    push_segment(segments, cursor, horizon_s, RrcState::Idle);
+}
+
+/// Reusable buffers for building [`Timeline`]s without per-build
+/// allocations: the busy-period scratch and the segment storage persist
+/// across builds, so a loop that constructs many timelines (benchmark
+/// reps, per-run audits) allocates only while the buffers still grow.
+///
+/// [`TimelinePool::build`] is bit-for-bit equal to
+/// [`Timeline::from_transmissions`] — both run the same
+/// merge/segment-construction code over reused storage. Hand a finished
+/// timeline back with [`TimelinePool::recycle`] to keep its segment
+/// capacity.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_radio::{RadioParams, Timeline, TimelinePool, Transmission};
+///
+/// let p = RadioParams::galaxy_s4_3g();
+/// let txs = [Transmission::new(10.0, 2.0)];
+/// let mut pool = TimelinePool::new();
+/// let pooled = pool.build(&p, &txs, 60.0);
+/// assert_eq!(pooled, Timeline::from_transmissions(&p, &txs, 60.0));
+/// pool.recycle(pooled); // segment storage returns to the pool
+/// ```
+#[derive(Debug, Default)]
+pub struct TimelinePool {
+    busy: Vec<(f64, f64)>,
+    segments: Vec<StateSegment>,
+}
+
+impl TimelinePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        TimelinePool::default()
+    }
+
+    /// Builds a timeline over `[0, horizon_s]`, reusing the pool's
+    /// buffers. Identical output to [`Timeline::from_transmissions`].
+    pub fn build(
+        &mut self,
+        params: &RadioParams,
+        transmissions: &[Transmission],
+        horizon_s: f64,
+    ) -> Timeline {
+        merge_busy_periods_into(transmissions, horizon_s, &mut self.busy);
+        let mut segments = std::mem::take(&mut self.segments);
+        build_segments_into(params, &self.busy, horizon_s, &mut segments);
+        Timeline {
+            params: params.clone(),
+            horizon_s,
+            segments,
+        }
+    }
+
+    /// Takes a timeline's segment storage back for the next build. Only
+    /// the larger buffer is kept, so repeated build/recycle cycles settle
+    /// on the high-water-mark capacity.
+    pub fn recycle(&mut self, timeline: Timeline) {
+        let mut segments = timeline.segments;
+        if segments.capacity() > self.segments.capacity() {
+            segments.clear();
+            self.segments = segments;
+        }
     }
 }
 
@@ -665,6 +822,78 @@ mod tests {
             trace.energy_j(),
             exact
         );
+    }
+
+    #[test]
+    fn empty_segment_power_integral_is_zero_not_nan() {
+        // A zero-length horizon yields a timeline with *no* segments: every
+        // integral must be 0 and every ratio NaN-guarded, never NaN/∞.
+        let tl = Timeline::from_transmissions(&params(), &[], 0.0);
+        assert!(tl.segments().is_empty());
+        assert_eq!(tl.extra_energy_j(), 0.0);
+        assert_eq!(tl.total_energy_j(), 0.0);
+        assert_eq!(tl.mean_extra_power_mw(), 0.0, "guarded against 0/0");
+        assert_eq!(tl.time_in_states_s(), [0.0; 3]);
+        let trace = tl.sample(0.1);
+        assert!(trace.is_empty());
+        assert_eq!(trace.energy_j(), 0.0);
+        assert_eq!(tl.state_at(0.0), RrcState::Idle);
+    }
+
+    #[test]
+    fn mean_extra_power_matches_integral() {
+        let tl = Timeline::from_transmissions(&params(), &[Transmission::new(10.0, 2.0)], 100.0);
+        let expected = tl.extra_energy_j() * 1000.0 / 100.0;
+        assert!((tl.mean_extra_power_mw() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_state_times_match_per_state_sums() {
+        let tl = Timeline::from_transmissions(
+            &params(),
+            &[Transmission::new(5.0, 1.0), Transmission::new(30.0, 0.5)],
+            120.0,
+        );
+        let [idle, fach, dch] = tl.time_in_states_s();
+        assert_eq!(idle, tl.time_in_state_s(RrcState::Idle));
+        assert_eq!(fach, tl.time_in_state_s(RrcState::Fach));
+        assert_eq!(dch, tl.time_in_state_s(RrcState::Dch));
+    }
+
+    #[test]
+    fn pooled_build_equals_fresh_and_reuses_storage() {
+        let p = params();
+        let mut pool = TimelinePool::new();
+        let schedules: [&[Transmission]; 3] = [
+            &[],
+            &[Transmission::new(3.0, 0.4), Transmission::new(9.0, 1.0)],
+            &[Transmission::new(0.0, 0.2), Transmission::new(0.2, 0.3)], // adjacent merge
+        ];
+        for txs in schedules {
+            let fresh = Timeline::from_transmissions(&p, txs, 200.0);
+            let pooled = pool.build(&p, txs, 200.0);
+            assert_eq!(pooled, fresh);
+            pool.recycle(pooled);
+        }
+        // After recycling, the pool's buffer capacity persists.
+        assert!(pool.segments.capacity() > 0);
+    }
+
+    #[test]
+    fn sample_into_matches_state_at_lookups() {
+        let tl = Timeline::from_transmissions(
+            &params(),
+            &[Transmission::new(7.0, 1.3), Transmission::new(40.0, 0.7)],
+            200.0,
+        );
+        let mut buf = vec![999.0; 4]; // pre-dirtied: must be cleared
+        tl.sample_into(0.7, &mut buf);
+        let n = (200.0f64 / 0.7).ceil() as usize;
+        assert_eq!(buf.len(), n);
+        for (i, &got) in buf.iter().enumerate() {
+            let want = tl.state_at(i as f64 * 0.7).power_mw(tl.params());
+            assert_eq!(got.to_bits(), want.to_bits(), "sample {i}");
+        }
     }
 
     #[test]

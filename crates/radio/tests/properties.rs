@@ -3,7 +3,8 @@
 //! three independent implementations of the same physics and must agree.
 
 use etrain_radio::{
-    analytic_extra_energy_j, tail_energy_j, Radio, RadioParams, RrcState, Timeline, Transmission,
+    analytic_extra_energy_j, merge_busy_periods, merge_busy_periods_into, tail_energy_j, Radio,
+    RadioParams, RrcState, Timeline, TimelinePool, Transmission,
 };
 use proptest::prelude::*;
 
@@ -205,6 +206,72 @@ proptest! {
         let timeline = Timeline::from_transmissions(&params, &txs, 4000.0);
         let audit = timeline.audit(&txs);
         prop_assert!(audit.is_ok(), "audit rejected a valid timeline: {:?}", audit);
+    }
+
+    /// Building into a reused pool is indistinguishable from fresh
+    /// construction: segments, state times, audit verdicts, energy
+    /// integrals and merged busy periods all match bit-for-bit across a
+    /// sequence of schedules sharing one pool — including schedules that
+    /// exercise the zero-length-segment (horizon-clipped, zero-gap) and
+    /// adjacent-merge (back-to-back busy periods) edge cases.
+    #[test]
+    fn pooled_timeline_equals_fresh_construction(
+        params in arb_params(),
+        schedules in prop::collection::vec(arb_transmissions(), 1..5),
+        horizon in 1.0f64..4000.0,
+    ) {
+        let mut pool = TimelinePool::new();
+        let mut busy_buf = Vec::new();
+        for mut txs in schedules {
+            // Force the edge cases into every schedule: a transmission
+            // clipped to zero length at the horizon, one entirely past it,
+            // and a back-to-back pair whose tail segments must merge.
+            txs.push(Transmission::new(horizon, 5.0));
+            txs.push(Transmission::new(horizon + 1.0, 1.0));
+            txs.push(Transmission::new(0.25, 0.25));
+            txs.push(Transmission::new(0.5, 0.25));
+
+            let fresh = Timeline::from_transmissions(&params, &txs, horizon);
+            let pooled = pool.build(&params, &txs, horizon);
+            prop_assert_eq!(&pooled, &fresh);
+            prop_assert_eq!(pooled.segments(), fresh.segments());
+            for state in [RrcState::Idle, RrcState::Fach, RrcState::Dch] {
+                prop_assert_eq!(
+                    pooled.time_in_state_s(state).to_bits(),
+                    fresh.time_in_state_s(state).to_bits()
+                );
+            }
+            prop_assert_eq!(pooled.time_in_states_s(), fresh.time_in_states_s());
+            prop_assert_eq!(
+                pooled.extra_energy_j().to_bits(),
+                fresh.extra_energy_j().to_bits()
+            );
+            prop_assert_eq!(pooled.audit(&txs), fresh.audit(&txs));
+
+            merge_busy_periods_into(&txs, horizon, &mut busy_buf);
+            prop_assert_eq!(&busy_buf, &merge_busy_periods(&txs, horizon));
+
+            pool.recycle(pooled);
+        }
+    }
+
+    /// The linear-walk batch sampler agrees bit-for-bit with per-sample
+    /// state lookups.
+    #[test]
+    fn sample_into_matches_per_sample_lookup(
+        params in arb_params(),
+        txs in arb_transmissions(),
+        dt in 0.05f64..10.0,
+    ) {
+        let timeline = Timeline::from_transmissions(&params, &txs, 500.0);
+        let mut buf = Vec::new();
+        timeline.sample_into(dt, &mut buf);
+        let trace = timeline.sample(dt);
+        prop_assert_eq!(&buf, trace.samples_mw());
+        for (i, &got) in buf.iter().enumerate() {
+            let want = timeline.state_at(i as f64 * dt).power_mw(timeline.params());
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 
     /// state_at is consistent with the segment list.

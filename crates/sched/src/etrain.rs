@@ -24,6 +24,55 @@ use serde::{Deserialize, Serialize};
 use crate::api::{Scheduler, SchedulerError, SlotContext};
 use crate::queue::{AppProfile, WaitingQueues};
 
+/// Environment variable selecting the retained from-scratch reference
+/// decision path (`ETRAIN_REFERENCE_COST=1`): every scenario-built
+/// scheduler then recomputes the Lyapunov/cost terms from scratch each
+/// slot instead of using the cached hot path. The escape hatch for the
+/// equivalence harness (DESIGN.md §17); both paths are bit-for-bit
+/// interchangeable.
+pub const REFERENCE_COST_ENV: &str = "ETRAIN_REFERENCE_COST";
+
+fn parse_reference_cost(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "reference" => Ok(true),
+        "0" | "false" | "off" | "cached" => Ok(false),
+        other => Err(format!(
+            "unrecognized {REFERENCE_COST_ENV} value {other:?} \
+             (expected 1/true/on/reference or 0/false/off/cached)"
+        )),
+    }
+}
+
+/// Strict read of [`REFERENCE_COST_ENV`]: unset or empty means the cached
+/// path, anything else must parse. Binaries fail fast on the `Err`.
+///
+/// # Errors
+///
+/// Returns a description of the unrecognized value.
+pub fn try_reference_cost_from_env() -> Result<bool, String> {
+    match std::env::var(REFERENCE_COST_ENV) {
+        Err(_) => Ok(false),
+        Ok(raw) if raw.trim().is_empty() => Ok(false),
+        Ok(raw) => parse_reference_cost(&raw),
+    }
+}
+
+/// Lenient read of [`REFERENCE_COST_ENV`] for library contexts: an
+/// unrecognized value warns once on stderr and falls back to the cached
+/// path.
+pub fn reference_cost_from_env() -> bool {
+    match try_reference_cost_from_env() {
+        Ok(reference) => reference,
+        Err(message) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: {message}; using the cached decision path");
+            });
+            false
+        }
+    }
+}
+
 /// Configuration of [`ETrainScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ETrainConfig {
@@ -88,6 +137,41 @@ pub struct ETrainScheduler {
     obs_enabled: bool,
     /// Buffered `(time_s, event)` pairs awaiting a driver drain.
     obs_events: Vec<(f64, etrain_obs::Event)>,
+    /// When `true`, `on_slot` takes the retained from-scratch reference
+    /// decision path instead of the cached one (the equivalence harness
+    /// and the `hotpath_speedup` denominator; see [`REFERENCE_COST_ENV`]).
+    reference_decisions: bool,
+    /// Persistent scratch buffers for the cached greedy selection,
+    /// reused across slots so steady-state decisions allocate nothing.
+    scratch: SelectScratch,
+}
+
+/// Reusable selection-round storage. The cached values are valid for one
+/// `select` call only (ϕ depends on `now_s`); the *capacity* is what
+/// persists across slots.
+#[derive(Debug, Default)]
+struct SelectScratch {
+    /// `P̄_i(t)` per app, rebuilt each round in the same per-queue
+    /// accumulation order as `WaitingQueues::speculative_backlog`.
+    p_bar: Vec<f64>,
+    /// `Σ_{q ∈ Q*_i} ϕ_q(t)` per app, grown as packets are selected.
+    selected_sum: Vec<f64>,
+    /// `ϕ_u(t)` per candidate in candidate order — app ascending, queue
+    /// position ascending — exactly the reference scan order. Kept as a
+    /// bare lane (struct-of-arrays) so the greedy round streams 8-byte
+    /// floats instead of a wide tuple stride.
+    phi: Vec<f64>,
+    /// One-past-the-end candidate index per app: app `i`'s candidates are
+    /// `phi[app_end[i-1]..app_end[i]]` (from 0 for app 0). Replaces a
+    /// per-candidate app lane and lets each greedy round hoist
+    /// `P̄_i − Σϕ` out of the inner scan.
+    app_end: Vec<usize>,
+    /// Parallel to `phi`: the candidate's packet id (enough to remove it
+    /// from the live queue on selection — the full `Packet` stays there).
+    id: Vec<u64>,
+    /// Parallel to `phi`: whether the packet was already selected (the
+    /// reference path removes it from the live queue instead).
+    taken: Vec<bool>,
 }
 
 impl ETrainScheduler {
@@ -104,6 +188,8 @@ impl ETrainScheduler {
             trains_dead: false,
             obs_enabled: false,
             obs_events: Vec::new(),
+            reference_decisions: false,
+            scratch: SelectScratch::default(),
         }
     }
 
@@ -161,6 +247,12 @@ impl ETrainScheduler {
         self.queues.profiles()
     }
 
+    /// Whether the retained from-scratch reference decision path is
+    /// active (see [`REFERENCE_COST_ENV`]).
+    pub fn reference_decisions(&self) -> bool {
+        self.reference_decisions
+    }
+
     /// Packets currently deferred for one app.
     pub fn pending_for(&self, app: CargoAppId) -> usize {
         if app.index() < self.queues.app_count() {
@@ -216,8 +308,105 @@ impl ETrainScheduler {
     }
 
     /// Greedy drift-maximizing selection of up to `budget` packets
-    /// (paper Eq. 9).
+    /// (paper Eq. 9) — the cached hot path.
+    ///
+    /// Bit-for-bit identical to [`ETrainScheduler::select_reference`]:
+    /// `ϕ_u(t)` is a pure function of `(profile, arrival, now, slot)`, so
+    /// snapshotting every candidate's ϕ once (in the reference scan order)
+    /// and marking selections with a flag reproduces the reference's
+    /// per-round recompute exactly — same candidate order, same gain
+    /// arithmetic, same `>`-only tie-break, same `selected_sum` updates —
+    /// at O(n + k·n) comparisons instead of O(k·n) ϕ evaluations, with
+    /// zero allocations beyond the returned `Vec`.
     fn select(&mut self, now_s: f64, budget: Option<usize>) -> Vec<Packet> {
+        let slot = self.config.slot_s;
+        // With an unbounded budget every queued packet is selected — the
+        // greedy order is irrelevant, so short-circuit (k = ∞ fast path).
+        if budget.is_none() {
+            return self.queues.drain_all();
+        }
+        let budget = budget.expect("bounded budget checked above");
+        if self.queues.is_empty() {
+            return Vec::new();
+        }
+
+        let app_count = self.queues.app_count();
+        let scratch = &mut self.scratch;
+        scratch.p_bar.clear();
+        scratch.selected_sum.clear();
+        scratch.phi.clear();
+        scratch.app_end.clear();
+        scratch.id.clear();
+        scratch.taken.clear();
+        // P̄_i(t) is fixed for the whole selection round; accumulate it in
+        // the same per-queue order as `speculative_backlog` while the
+        // candidate snapshot is taken.
+        for i in 0..app_count {
+            let app = CargoAppId(i);
+            let mut backlog = 0.0f64;
+            for packet in self.queues.app_queue(app) {
+                let phi = self.queues.speculative_cost(packet, now_s, slot);
+                backlog += phi;
+                scratch.phi.push(phi);
+                scratch.id.push(packet.id);
+            }
+            scratch.p_bar.push(backlog);
+            scratch.selected_sum.push(0.0);
+            scratch.app_end.push(scratch.phi.len());
+        }
+        scratch.taken.resize(scratch.phi.len(), false);
+
+        let candidates = scratch.phi.len();
+        let mut selected: Vec<Packet> = Vec::with_capacity(budget.min(candidates));
+        while selected.len() < budget && selected.len() < candidates {
+            // Find (i, u) maximizing the marginal drift gain, scanning
+            // candidates in the same order as the reference's live-queue
+            // rescan (app ascending, queue position ascending).
+            // `P̄_i − Σ_{q∈Q*_i} ϕ_q` is constant within a round, so it is
+            // hoisted per app instead of re-read per candidate.
+            let mut best: Option<(f64, usize)> = None;
+            let mut start = 0usize;
+            for i in 0..app_count {
+                let end = scratch.app_end[i];
+                let unselected = scratch.p_bar[i] - scratch.selected_sum[i];
+                let lanes = scratch.phi[start..end]
+                    .iter()
+                    .zip(&scratch.taken[start..end]);
+                for (offset, (&phi, &taken)) in lanes.enumerate() {
+                    if taken {
+                        continue;
+                    }
+                    let gain = unselected * phi - phi * phi / 2.0;
+                    let better = match &best {
+                        None => true,
+                        Some((best_gain, _)) => gain > *best_gain,
+                    };
+                    if better {
+                        best = Some((gain, start + offset));
+                    }
+                }
+                start = end;
+            }
+            let Some((_, idx)) = best else { break };
+            let app_i = scratch.app_end.partition_point(|&end| end <= idx);
+            let phi = scratch.phi[idx];
+            scratch.taken[idx] = true;
+            scratch.selected_sum[app_i] += phi;
+            let removed = self
+                .queues
+                .remove(CargoAppId(app_i), scratch.id[idx])
+                .expect("selected packet is pending");
+            selected.push(removed);
+        }
+        selected
+    }
+
+    /// The retained from-scratch greedy selection (the pre-campaign code
+    /// path): `P̄_i` rebuilt into fresh `Vec`s every call and `ϕ_u`
+    /// recomputed on every greedy round. Kept verbatim as the equivalence
+    /// oracle for [`ETrainScheduler::select`] and the `hotpath_speedup`
+    /// denominator.
+    fn select_reference(&mut self, now_s: f64, budget: Option<usize>) -> Vec<Packet> {
         let slot = self.config.slot_s;
         // With an unbounded budget every queued packet is selected — the
         // greedy order is irrelevant, so short-circuit (k = ∞ fast path).
@@ -262,32 +451,19 @@ impl ETrainScheduler {
         }
         selected
     }
-}
 
-impl Scheduler for ETrainScheduler {
-    fn name(&self) -> &'static str {
-        "eTrain"
-    }
-
-    fn on_arrival(&mut self, packet: Packet, _now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
-        // While the scheduler is stopped (all trains dead) arrivals are
-        // released immediately rather than parked until the next slot.
-        if self.trains_dead {
-            // Still validate the app id against the registered profiles.
-            self.queues.push(packet)?;
-            return Ok(self.queues.drain_all());
-        }
-        self.queues.push(packet)?;
-        Ok(Vec::new())
-    }
-
-    fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet> {
+    /// The retained from-scratch slot decision (the pre-campaign code
+    /// path): O(n) queue recounts, an unconditional full `P(t)` sum, and
+    /// [`ETrainScheduler::select_reference`]. Dispatched to when
+    /// [`ETrainScheduler::set_reference_decisions`] (or
+    /// [`REFERENCE_COST_ENV`]) selects the reference path.
+    fn on_slot_reference(&mut self, ctx: &SlotContext) -> Vec<Packet> {
         // Paper Sec. V-3: with no train app alive, stop deferring so cargo
         // apps never wait indefinitely. The latch clears as soon as a slot
         // observes a live train again (restart recovery).
         self.trains_dead = !ctx.trains_alive;
-        let queued = self.queues.len();
-        let queued_bytes = self.queues.total_bytes();
+        let queued = self.queues.recount_len();
+        let queued_bytes = self.queues.recount_bytes();
         if !ctx.trains_alive {
             let released = self.queues.drain_all();
             self.record_decision(
@@ -311,10 +487,99 @@ impl Scheduler for ETrainScheduler {
         } else {
             Some(1)
         };
-        let released = self.select(ctx.now_s, budget);
+        let released = self.select_reference(ctx.now_s, budget);
         self.record_decision(
             ctx.now_s,
             total,
+            ctx.heartbeat_departing,
+            queued,
+            queued_bytes,
+            budget,
+            released.len(),
+        );
+        released
+    }
+}
+
+impl Scheduler for ETrainScheduler {
+    fn name(&self) -> &'static str {
+        "eTrain"
+    }
+
+    fn on_arrival(&mut self, packet: Packet, _now_s: f64) -> Result<Vec<Packet>, SchedulerError> {
+        // While the scheduler is stopped (all trains dead) arrivals are
+        // released immediately rather than parked until the next slot.
+        if self.trains_dead {
+            // Still validate the app id against the registered profiles.
+            self.queues.push(packet)?;
+            return Ok(self.queues.drain_all());
+        }
+        self.queues.push(packet)?;
+        Ok(Vec::new())
+    }
+
+    fn on_slot(&mut self, ctx: &SlotContext) -> Vec<Packet> {
+        if self.reference_decisions {
+            return self.on_slot_reference(ctx);
+        }
+        // Paper Sec. V-3: with no train app alive, stop deferring so cargo
+        // apps never wait indefinitely. The latch clears as soon as a slot
+        // observes a live train again (restart recovery).
+        self.trains_dead = !ctx.trains_alive;
+        // O(1) cached counters (integer-exact, so identical to the
+        // reference recounts).
+        let queued = self.queues.len();
+        let queued_bytes = self.queues.total_bytes();
+        if !ctx.trains_alive {
+            let released = self.queues.drain_all();
+            self.record_decision(
+                ctx.now_s,
+                0.0,
+                ctx.heartbeat_departing,
+                queued,
+                queued_bytes,
+                None,
+                released.len(),
+            );
+            return released;
+        }
+        // The journal event carries the exact `P(t)`, so the full sum is
+        // only owed when events are on; otherwise the Θ gate needs just a
+        // boolean, and `total_cost_breaches` answers it with a bit-exact
+        // partial-sum early exit.
+        let total = if self.obs_enabled {
+            Some(self.queues.total_cost(ctx.now_s))
+        } else {
+            None
+        };
+        let deferral = !ctx.heartbeat_departing
+            && match total {
+                Some(total) => total < self.config.theta,
+                None => !self
+                    .queues
+                    .total_cost_breaches(ctx.now_s, self.config.theta),
+            };
+        if deferral {
+            self.record_decision(
+                ctx.now_s,
+                total.unwrap_or(0.0),
+                false,
+                queued,
+                queued_bytes,
+                Some(0),
+                0,
+            );
+            return Vec::new();
+        }
+        let budget = if ctx.heartbeat_departing {
+            self.config.k
+        } else {
+            Some(1)
+        };
+        let released = self.select(ctx.now_s, budget);
+        self.record_decision(
+            ctx.now_s,
+            total.unwrap_or(0.0),
             ctx.heartbeat_departing,
             queued,
             queued_bytes,
@@ -342,6 +607,10 @@ impl Scheduler for ETrainScheduler {
         if !enabled {
             self.obs_events.clear();
         }
+    }
+
+    fn set_reference_decisions(&mut self, reference: bool) {
+        self.reference_decisions = reference;
     }
 
     fn take_obs_events(&mut self) -> Vec<(f64, etrain_obs::Event)> {
@@ -525,6 +794,50 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_rejected() {
         let _ = scheduler(0.1, Some(0));
+    }
+
+    #[test]
+    fn reference_cost_spellings_parse() {
+        for on in ["1", "true", "ON", " reference "] {
+            assert_eq!(parse_reference_cost(on), Ok(true), "{on:?}");
+        }
+        for off in ["0", "false", "OFF", "cached"] {
+            assert_eq!(parse_reference_cost(off), Ok(false), "{off:?}");
+        }
+        assert!(parse_reference_cost("sometimes").is_err());
+    }
+
+    #[test]
+    fn reference_and_cached_paths_release_identically() {
+        // A mixed drive — bounded k, heartbeats, Θ breaches, obs on —
+        // must produce identical releases, identical queues, and
+        // identical journal events on both decision paths.
+        let mut cached = scheduler(0.4, Some(3));
+        let mut reference = scheduler(0.4, Some(3));
+        reference.set_reference_decisions(true);
+        assert!(reference.reference_decisions());
+        cached.set_obs_enabled(true);
+        reference.set_obs_enabled(true);
+        for i in 0..40u64 {
+            let p = packet(i, (i % 3) as usize, i as f64 * 1.7);
+            cached.on_arrival(p, p.arrival_s).unwrap();
+            reference.on_arrival(p, p.arrival_s).unwrap();
+        }
+        for slot in 0..240u64 {
+            let heartbeat = slot % 31 == 0;
+            let c = cached.on_slot(&ctx(slot as f64, heartbeat));
+            let r = reference.on_slot(&ctx(slot as f64, heartbeat));
+            assert_eq!(c, r, "slot {slot} diverged");
+        }
+        assert_eq!(cached.pending(), reference.pending());
+        assert_eq!(cached.pending_bytes(), reference.pending_bytes());
+        let ce = cached.take_obs_events();
+        let re = reference.take_obs_events();
+        assert_eq!(ce.len(), re.len());
+        for ((ct, cev), (rt, rev)) in ce.iter().zip(&re) {
+            assert_eq!(ct, rt);
+            assert_eq!(format!("{cev:?}"), format!("{rev:?}"));
+        }
     }
 
     #[test]

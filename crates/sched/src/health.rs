@@ -536,6 +536,10 @@ impl Scheduler for GuardedScheduler {
         }
     }
 
+    fn set_reference_decisions(&mut self, reference: bool) {
+        self.inner.set_reference_decisions(reference);
+    }
+
     fn take_obs_events(&mut self) -> Vec<(f64, etrain_obs::Event)> {
         // Catch any inner events not yet folded in (e.g. when the driver
         // drains between calls), then hand over the causally ordered

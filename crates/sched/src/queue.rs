@@ -62,6 +62,12 @@ impl AppProfile {
 pub struct WaitingQueues {
     profiles: Vec<AppProfile>,
     queues: Vec<VecDeque<Packet>>,
+    /// Cached Σ_i |Q_i|, maintained on every mutation so the per-slot
+    /// `len`/`is_empty` probes (engine fingerprints, quiescence
+    /// certificates) are O(1) instead of O(apps).
+    cached_len: usize,
+    /// Cached Σ queued bytes, maintained alongside [`WaitingQueues::cached_len`].
+    cached_bytes: u64,
 }
 
 impl WaitingQueues {
@@ -69,7 +75,12 @@ impl WaitingQueues {
     /// `Q_i`.
     pub fn new(profiles: Vec<AppProfile>) -> Self {
         let queues = profiles.iter().map(|_| VecDeque::new()).collect();
-        WaitingQueues { profiles, queues }
+        WaitingQueues {
+            profiles,
+            queues,
+            cached_len: 0,
+            cached_bytes: 0,
+        }
     }
 
     /// The registered app profiles.
@@ -95,21 +106,36 @@ impl WaitingQueues {
             .get_mut(idx)
             .ok_or(SchedulerError::UnknownApp { app: packet.app })?;
         queue.push_back(packet);
+        self.cached_len += 1;
+        self.cached_bytes += packet.size_bytes;
         Ok(())
     }
 
-    /// Total queued packets across all apps.
+    /// Total queued packets across all apps (O(1): cached counter).
     pub fn len(&self) -> usize {
+        self.cached_len
+    }
+
+    /// Whether all queues are empty (O(1): cached counter).
+    pub fn is_empty(&self) -> bool {
+        self.cached_len == 0
+    }
+
+    /// Total queued bytes across all apps (O(1): cached counter).
+    pub fn total_bytes(&self) -> u64 {
+        self.cached_bytes
+    }
+
+    /// Recounts the queued packets from scratch, ignoring the cached
+    /// counter. Retained as the from-scratch reference for the cached
+    /// `len` (equivalence tests, `ETRAIN_REFERENCE_COST=1` decision path).
+    pub fn recount_len(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
 
-    /// Whether all queues are empty.
-    pub fn is_empty(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
-    }
-
-    /// Total queued bytes across all apps.
-    pub fn total_bytes(&self) -> u64 {
+    /// Recounts the queued bytes from scratch, ignoring the cached
+    /// counter (see [`WaitingQueues::recount_len`]).
+    pub fn recount_bytes(&self) -> u64 {
         self.queues
             .iter()
             .flat_map(|q| q.iter())
@@ -147,6 +173,37 @@ impl WaitingQueues {
             .sum()
     }
 
+    /// Whether `P(t) ≥ theta`, with a partial-sum early exit.
+    ///
+    /// Exactly `!(self.total_cost(now_s) < theta)`, bit-for-bit: the
+    /// partial sums follow the same nested per-app accumulation order as
+    /// [`WaitingQueues::total_cost`], delay costs are non-negative so the
+    /// float prefix sums are monotone non-decreasing (rounding is
+    /// monotone), and every comparison is the negation of the reference
+    /// `< theta` test — a prefix crossing Θ certifies the full sum does
+    /// too, and an uninterrupted scan reproduces the reference total.
+    // The negated `<` is the contract: the Θ gate defers only while
+    // `cost < theta`, so a NaN on either side must read as a breach —
+    // `>=` would silently flip that.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn total_cost_breaches(&self, now_s: f64, theta: f64) -> bool {
+        let mut total = 0.0f64;
+        for (profile, queue) in self.profiles.iter().zip(&self.queues) {
+            let mut app_sum = 0.0f64;
+            for p in queue {
+                app_sum += profile.cost.cost(now_s - p.arrival_s);
+                if !(total + app_sum < theta) {
+                    return true;
+                }
+            }
+            total += app_sum;
+            if !(total < theta) {
+                return true;
+            }
+        }
+        !(total < theta)
+    }
+
     /// The speculative cost of a pending packet: its cost one slot from now
     /// if it is *not* selected, `φ_u(t + slot − t_a(u))` (paper's
     /// `ϕ_u(t)` with a configurable slot length).
@@ -169,13 +226,20 @@ impl WaitingQueues {
     pub fn remove(&mut self, app: CargoAppId, packet_id: u64) -> Option<Packet> {
         let queue = self.queues.get_mut(app.index())?;
         let pos = queue.iter().position(|p| p.id == packet_id)?;
-        queue.remove(pos)
+        let removed = queue.remove(pos);
+        if let Some(packet) = &removed {
+            self.cached_len -= 1;
+            self.cached_bytes -= packet.size_bytes;
+        }
+        removed
     }
 
     /// Drains every pending packet, in arrival order across apps.
     pub fn drain_all(&mut self) -> Vec<Packet> {
         let mut out: Vec<Packet> = self.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
         out.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        self.cached_len = 0;
+        self.cached_bytes = 0;
         out
     }
 
@@ -250,7 +314,10 @@ impl WaitingQueues {
             while idx < queue.len() {
                 let p = queue[idx];
                 if now_s + slot_s - p.arrival_s >= deadline {
-                    out.push(queue.remove(idx).expect("index in bounds"));
+                    let removed = queue.remove(idx).expect("index in bounds");
+                    self.cached_len -= 1;
+                    self.cached_bytes -= removed.size_bytes;
+                    out.push(removed);
                 } else {
                     idx += 1;
                 }
@@ -386,6 +453,40 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.evict_lowest_value(20.0).unwrap().id, 0);
         assert!(q.evict_lowest_value(20.0).is_none());
+    }
+
+    #[test]
+    fn cached_counters_match_recount_across_mutations() {
+        let mut q = queues();
+        let check = |q: &WaitingQueues| {
+            assert_eq!(q.len(), q.recount_len());
+            assert_eq!(q.total_bytes(), q.recount_bytes());
+            assert_eq!(q.is_empty(), q.recount_len() == 0);
+        };
+        for i in 0..30u64 {
+            q.push(packet(i, (i % 3) as usize, i as f64 * 0.7, 100 + i))
+                .unwrap();
+            check(&q);
+        }
+        // Every mutation path must keep the counters in sync.
+        q.remove(CargoAppId(1), 1).unwrap();
+        check(&q);
+        assert!(q.remove(CargoAppId(1), 999).is_none());
+        check(&q);
+        q.pop_oldest().unwrap();
+        check(&q);
+        q.pop_oldest_in(CargoAppId(2)).unwrap();
+        check(&q);
+        q.evict_lowest_value(40.0).unwrap();
+        check(&q);
+        q.evict_lowest_value_in(CargoAppId(0), 40.0).unwrap();
+        check(&q);
+        let critical = q.drain_deadline_critical(35.0, 1.0);
+        assert!(!critical.is_empty());
+        check(&q);
+        q.drain_all();
+        check(&q);
+        assert!(q.is_empty());
     }
 
     #[test]

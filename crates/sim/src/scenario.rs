@@ -304,6 +304,7 @@ pub struct Scenario {
     oracle: OracleMode,
     obs: ObsMode,
     engine: EngineKind,
+    reference_cost: bool,
 }
 
 impl Scenario {
@@ -328,6 +329,7 @@ impl Scenario {
             oracle: OracleMode::from_env(),
             obs: ObsMode::from_env(),
             engine: EngineKind::from_env(),
+            reference_cost: etrain_sched::reference_cost_from_env(),
         }
     }
 
@@ -485,6 +487,25 @@ impl Scenario {
     /// The simulation kernel this scenario runs under.
     pub fn engine_kind(&self) -> EngineKind {
         self.engine
+    }
+
+    /// Makes the eTrain scheduler use its retained reference decision path
+    /// (full per-slot cost recomputation, allocation-per-decision) instead
+    /// of the cached hot path. [`Scenario::paper_default`] starts from the
+    /// `ETRAIN_REFERENCE_COST` environment variable
+    /// ([`etrain_sched::reference_cost_from_env`], default off); this
+    /// builder overrides it. Both paths are bit-for-bit equivalent — the
+    /// reference path exists as an escape hatch and as the ground truth the
+    /// equivalence test suite compares the hot path against.
+    pub fn reference_cost(mut self, reference: bool) -> Self {
+        self.reference_cost = reference;
+        self
+    }
+
+    /// Whether this scenario's schedulers run their reference decision
+    /// path.
+    pub fn reference_cost_enabled(&self) -> bool {
+        self.reference_cost
     }
 
     /// The scheduler this scenario runs.
@@ -688,6 +709,7 @@ impl Scenario {
     ) -> Result<(RunReport, EngineOutput, Option<Journal>), ScenarioError> {
         self.validate()?;
         let mut scheduler = self.scheduler.build(self.profiles.clone());
+        scheduler.set_reference_decisions(self.reference_cost);
         let mut journal = if self.obs.is_enabled() {
             Some(Journal::new())
         } else {
@@ -747,6 +769,7 @@ impl Scenario {
         // Phase 1: the run that gets killed. Durable state is the last
         // cadence-aligned snapshot plus the journal as of that snapshot.
         let mut scheduler = self.scheduler.build(self.profiles.clone());
+        scheduler.set_reference_decisions(self.reference_cost);
         let mut journal = if self.obs.is_enabled() {
             Some(Journal::new())
         } else {
@@ -797,6 +820,7 @@ impl Scenario {
         // Phase 2: resume in a "new process" — a freshly built scheduler
         // and engine, fed only the durable snapshot and journal prefix.
         let mut resumed_scheduler = self.scheduler.build(self.profiles.clone());
+        resumed_scheduler.set_reference_decisions(self.reference_cost);
         let mut suffix = self.obs.is_enabled().then(Journal::new);
         let output = match durable {
             Some(snapshot_json) => {
@@ -964,12 +988,14 @@ fn collect_metrics(
         }
     }
     let idle_mw = radio.idle_mw();
-    reg.energy_idle_j
-        .set(idle_mw * timeline.time_in_state_s(RrcState::Idle) / 1000.0);
+    // One batched pass over the segments; bit-identical to three
+    // per-state `time_in_state_s` scans.
+    let [idle_s, fach_s, dch_s] = timeline.time_in_states_s();
+    reg.energy_idle_j.set(idle_mw * idle_s / 1000.0);
     reg.energy_fach_j
-        .set((idle_mw + radio.fach_extra_mw()) * timeline.time_in_state_s(RrcState::Fach) / 1000.0);
+        .set((idle_mw + radio.fach_extra_mw()) * fach_s / 1000.0);
     reg.energy_dch_j
-        .set((idle_mw + radio.dch_extra_mw()) * timeline.time_in_state_s(RrcState::Dch) / 1000.0);
+        .set((idle_mw + radio.dch_extra_mw()) * dch_s / 1000.0);
     reg.snapshot()
 }
 
