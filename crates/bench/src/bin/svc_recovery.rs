@@ -1,0 +1,8 @@
+//! Infrastructure: durable-service crash recovery — in-process
+//! drop/reopen trials, the WAL corruption self-test, and (when the
+//! daemon binary is built) process-level SIGKILL supervision. See
+//! `experiments::svc_recovery`.
+
+fn main() {
+    etrain_bench::run_binary("svc_recovery");
+}

@@ -30,6 +30,7 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod hotpath_speedup;
 pub mod offline_gap;
+pub mod svc_recovery;
 pub mod table1;
 
 use etrain_sim::Scenario;

@@ -270,6 +270,12 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::chaos::run,
         },
         Experiment {
+            name: "svc_recovery",
+            description:
+                "Infrastructure: durable daemon crash recovery (WAL replay, corruption, SIGKILL)",
+            run: experiments::svc_recovery::run,
+        },
+        Experiment {
             name: "engine_speedup",
             description: "Infrastructure: slot vs event kernel wall-clock on a sparse standby run",
             run: experiments::engine_speedup::run,
@@ -318,7 +324,8 @@ pub struct ReproRun {
 
 /// Validates every `ETRAIN_*` environment knob a bench binary honors
 /// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_ENGINE`, `ETRAIN_JOBS`,
-/// `ETRAIN_REFERENCE_COST`), exiting with status 2 and one message per
+/// `ETRAIN_REFERENCE_COST`, `ETRAIN_WAL`, `ETRAIN_SVC_ADDR`,
+/// `ETRAIN_WAL_FAULT`), exiting with status 2 and one message per
 /// bad knob. Binaries call this first: a typo like `ETRAIN_ORACLE=stric`
 /// must abort the run, not silently audit nothing (library contexts keep
 /// the lenient warn-once fallback instead).
@@ -338,6 +345,15 @@ pub fn validate_env_knobs() {
     }
     let jobs_raw = std::env::var(etrain_sim::JOBS_ENV).ok();
     if let Err(reason) = etrain_sim::try_jobs_from_env(jobs_raw.as_deref()) {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_svc::try_wal_dir_from_env() {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_svc::try_addr_from_env() {
+        problems.push(reason);
+    }
+    if let Err(reason) = etrain_svc::WalFault::try_from_env() {
         problems.push(reason);
     }
     if !problems.is_empty() {

@@ -58,6 +58,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod bus;
+mod command;
 mod core_impl;
 mod error;
 mod meter;
@@ -65,6 +66,7 @@ mod request;
 mod system;
 
 pub use bus::Bus;
+pub use command::{CommandOutcome, CoreCommand};
 pub use core_impl::{CoreConfig, CoreStats, ETrainCore};
 pub use error::CoreError;
 pub use meter::EnergyMeter;

@@ -34,12 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 mod event;
 mod metrics;
 mod mode;
 pub mod prof;
 mod recorder;
 
+pub use durable::{
+    crc32, decode_event_records, scan_segment, AppendFault, DurableRecorder, FrameWriter,
+    SegmentScan, TailStatus, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WAL_MAGIC,
+};
 pub use event::{Event, EventRecord, Journal};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use mode::{ObsMode, OBS_ENV};

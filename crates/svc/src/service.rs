@@ -1,0 +1,415 @@
+//! The durable service: write-ahead journal in front of the replayable
+//! state.
+//!
+//! Ordering discipline (the whole point of the crate):
+//!
+//! 1. **Dedup check** — an idempotent submission whose `client_id` is
+//!    already in the table is answered from it, with no append and no
+//!    state change.
+//! 2. **Append** — the command is framed, checksummed, and (by default)
+//!    fsynced *before* it takes effect.
+//! 3. **Apply** — the command mutates the [`ServiceState`].
+//!
+//! A crash between 2 and 3 is harmless: replay applies the journaled
+//! command, so the recovered daemon is *ahead* of what the client heard,
+//! never behind — and the idempotent submit path lets the client resend
+//! safely to find out what happened. A crash *during* 2 leaves a torn
+//! tail that recovery truncates; the command never happened, matching
+//! the client's timeout.
+
+use std::path::PathBuf;
+
+use etrain_core::CoreConfig;
+use etrain_trace::CargoAppId;
+
+use crate::error::SvcError;
+use crate::state::{ServiceState, SvcCommand, SvcHealthConfig, SvcOutcome};
+use crate::wal::{
+    read_checkpoint, recover, write_checkpoint, Append, Checkpoint, Wal, WalConfig,
+    WalRecoveryReport,
+};
+
+/// What recovery found, repaired, and verified when opening the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySummary {
+    /// The WAL scan-and-repair report.
+    pub wal: WalRecoveryReport,
+    /// Journal records replayed into the state (including ones that
+    /// deterministically errored and therefore changed nothing).
+    pub replayed: u64,
+    /// Replayed commands that errored (deterministically, exactly as
+    /// they did pre-crash).
+    pub replay_errors: u64,
+    /// Records covered by the checkpoint that was verified, if any.
+    pub checkpoint_verified: Option<u64>,
+    /// The state fingerprint after full replay.
+    pub fingerprint: u64,
+}
+
+/// [`ServiceState`] behind a write-ahead log.
+#[derive(Debug)]
+pub struct DurableService {
+    wal: Wal,
+    wal_dir: PathBuf,
+    state: ServiceState,
+}
+
+impl DurableService {
+    /// Opens (or creates) the service at `wal.dir`: scans and repairs
+    /// the journal, replays it into a fresh state, verifies the replay
+    /// against the last clean checkpoint, and resumes appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an undecodable verified record, or a checkpoint
+    /// whose fingerprint the replay contradicts
+    /// ([`SvcError::CheckpointMismatch`] /
+    /// [`SvcError::CheckpointAhead`]).
+    pub fn open(
+        wal: WalConfig,
+        core: CoreConfig,
+        health: SvcHealthConfig,
+    ) -> Result<(Self, RecoverySummary), SvcError> {
+        std::fs::create_dir_all(&wal.dir)?;
+        let recovery = recover(&wal.dir)?;
+        let checkpoint = read_checkpoint(&wal.dir);
+        let mut state = ServiceState::new(core, health);
+        let mut replay_errors = 0u64;
+        let mut checkpoint_verified = None;
+        let total = recovery.commands.len() as u64;
+        if let Some(ckpt) = checkpoint {
+            if ckpt.records > total {
+                return Err(SvcError::CheckpointAhead {
+                    records: ckpt.records,
+                    replayed: total,
+                });
+            }
+        }
+        for (i, command) in recovery.commands.iter().enumerate() {
+            if state.apply(command).is_err() {
+                replay_errors += 1;
+            }
+            let replayed = i as u64 + 1;
+            if let Some(ckpt) = checkpoint {
+                if ckpt.records == replayed {
+                    let actual = state.fingerprint();
+                    if actual != ckpt.fingerprint {
+                        return Err(SvcError::CheckpointMismatch {
+                            records: ckpt.records,
+                            expected: ckpt.fingerprint,
+                            actual,
+                        });
+                    }
+                    checkpoint_verified = Some(ckpt.records);
+                }
+            }
+        }
+        // A checkpoint over zero records verifies against the fresh state.
+        if let Some(ckpt) = checkpoint {
+            if ckpt.records == 0 {
+                let actual = state.fingerprint();
+                if actual != ckpt.fingerprint {
+                    return Err(SvcError::CheckpointMismatch {
+                        records: 0,
+                        expected: ckpt.fingerprint,
+                        actual,
+                    });
+                }
+                checkpoint_verified = Some(0);
+            }
+        }
+        let summary = RecoverySummary {
+            wal: recovery.report.clone(),
+            replayed: total,
+            replay_errors,
+            checkpoint_verified,
+            fingerprint: state.fingerprint(),
+        };
+        let wal_dir = wal.dir.clone();
+        let wal = Wal::open(wal, &recovery)?;
+        Ok((
+            DurableService {
+                wal,
+                wal_dir,
+                state,
+            },
+            summary,
+        ))
+    }
+
+    /// Journals, then applies, one command (the write-ahead discipline
+    /// described at module level). Idempotent submissions short-circuit
+    /// on the dedup table without touching the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::FaultInjected`] when the armed fault hook fired (the
+    /// state was *not* mutated; the caller must crash), I/O failures,
+    /// and deterministic core rejections (which *are* journaled — replay
+    /// repeats them identically).
+    pub fn apply(&mut self, command: SvcCommand) -> Result<SvcOutcome, SvcError> {
+        if let SvcCommand::SubmitIdem { client_id, .. } = &command {
+            if let Some(summary) = self.state.cached_submission(client_id) {
+                return Ok(SvcOutcome::Duplicate { summary });
+            }
+        }
+        match self.wal.append(&command)? {
+            Append::Ok => {}
+            Append::FaultInjected => {
+                return Err(SvcError::FaultInjected {
+                    at_record: self.wal.records(),
+                })
+            }
+        }
+        self.state.apply(&command)
+    }
+
+    /// Convenience wrapper for the idempotent submit verb.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableService::apply`].
+    pub fn submit_idem(
+        &mut self,
+        client_id: impl Into<String>,
+        app: CargoAppId,
+        request: etrain_core::TransmitRequest,
+        now_s: f64,
+    ) -> Result<SvcOutcome, SvcError> {
+        self.apply(SvcCommand::SubmitIdem {
+            client_id: client_id.into(),
+            app,
+            request,
+            now_s,
+        })
+    }
+
+    /// Writes a clean checkpoint covering everything journaled so far:
+    /// `(records, fingerprint)` atomically replacing the previous one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, SvcError> {
+        self.wal.sync()?;
+        let checkpoint = Checkpoint {
+            records: self.wal.records(),
+            fingerprint: self.state.fingerprint(),
+        };
+        write_checkpoint(&self.wal_dir, checkpoint)?;
+        Ok(checkpoint)
+    }
+
+    /// The replayable state (read-only; mutations go through
+    /// [`DurableService::apply`]).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Journal records durably appended over the service's lifetime.
+    pub fn records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// The state fingerprint (see [`ServiceState::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.state.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FaultKind, WalFault};
+    use etrain_core::{CoreCommand, TransmitRequest};
+    use etrain_sched::{AppProfile, CostProfile};
+    use etrain_trace::TrainAppId;
+    use std::path::Path;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("etrain-svc-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fast_core() -> CoreConfig {
+        CoreConfig {
+            theta: 5.0,
+            ..CoreConfig::default()
+        }
+    }
+
+    fn open(dir: &Path) -> (DurableService, RecoverySummary) {
+        let mut cfg = WalConfig::new(dir);
+        cfg.fsync = false; // tests don't need real durability
+        DurableService::open(cfg, fast_core(), SvcHealthConfig::default()).unwrap()
+    }
+
+    fn register(svc: &mut DurableService) {
+        svc.apply(SvcCommand::Core(CoreCommand::RegisterTrain {
+            name: "WeChat".into(),
+        }))
+        .unwrap();
+        svc.apply(SvcCommand::Core(CoreCommand::RegisterCargo {
+            profile: AppProfile::new("Mail", CostProfile::mail(300.0)),
+        }))
+        .unwrap();
+    }
+
+    #[test]
+    fn crash_and_recover_is_bit_for_bit() {
+        let dir = tmp_dir("recover");
+        let (mut svc, summary) = open(&dir);
+        assert_eq!(summary.replayed, 0);
+        register(&mut svc);
+        svc.submit_idem("c-1", CargoAppId(0), TransmitRequest::upload(2_000), 1.0)
+            .unwrap();
+        svc.apply(SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(0),
+            now_s: 5.0,
+        }))
+        .unwrap();
+        let live_fp = svc.fingerprint();
+        let live_records = svc.records();
+        drop(svc); // SIGKILL stand-in
+
+        let (recovered, summary) = open(&dir);
+        assert_eq!(summary.replayed, live_records);
+        assert_eq!(summary.replay_errors, 0);
+        assert_eq!(recovered.fingerprint(), live_fp);
+        assert_eq!(summary.fingerprint, live_fp);
+    }
+
+    #[test]
+    fn checkpoint_is_verified_on_recovery() {
+        let dir = tmp_dir("ckpt");
+        let (mut svc, _) = open(&dir);
+        register(&mut svc);
+        let ckpt = svc.checkpoint().unwrap();
+        svc.apply(SvcCommand::Core(CoreCommand::Tick { now_s: 1.0 }))
+            .unwrap();
+        drop(svc);
+        let (_, summary) = open(&dir);
+        assert_eq!(summary.checkpoint_verified, Some(ckpt.records));
+        assert_eq!(summary.replayed, ckpt.records + 1);
+    }
+
+    #[test]
+    fn corrupted_history_fails_checkpoint_verification() {
+        let dir = tmp_dir("ckptbad");
+        let (mut svc, _) = open(&dir);
+        register(&mut svc);
+        svc.checkpoint().unwrap();
+        drop(svc);
+        // Forge a checkpoint claiming a different past.
+        write_checkpoint(
+            &dir,
+            Checkpoint {
+                records: 2,
+                fingerprint: 0x1234,
+            },
+        )
+        .unwrap();
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = false;
+        let err = DurableService::open(cfg, fast_core(), SvcHealthConfig::default()).unwrap_err();
+        assert!(matches!(err, SvcError::CheckpointMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_ahead_of_journal_is_rejected() {
+        let dir = tmp_dir("ckptahead");
+        let (mut svc, _) = open(&dir);
+        register(&mut svc);
+        drop(svc);
+        write_checkpoint(
+            &dir,
+            Checkpoint {
+                records: 99,
+                fingerprint: 0,
+            },
+        )
+        .unwrap();
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = false;
+        let err = DurableService::open(cfg, fast_core(), SvcHealthConfig::default()).unwrap_err();
+        assert!(matches!(err, SvcError::CheckpointAhead { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_submit_survives_crash_without_double_apply() {
+        let dir = tmp_dir("dup");
+        let (mut svc, _) = open(&dir);
+        register(&mut svc);
+        let first = svc
+            .submit_idem("key", CargoAppId(0), TransmitRequest::upload(1_000), 1.0)
+            .unwrap();
+        let SvcOutcome::Submitted { summary } = first else {
+            panic!("{first:?}")
+        };
+        let id = summary.id().unwrap();
+        drop(svc);
+        // The client never heard the answer; after restart it resends.
+        let (mut svc, _) = open(&dir);
+        let dup = svc
+            .submit_idem("key", CargoAppId(0), TransmitRequest::upload(1_000), 2.0)
+            .unwrap();
+        let SvcOutcome::Duplicate { summary } = dup else {
+            panic!("resend after recovery must hit the dedup table: {dup:?}")
+        };
+        assert_eq!(summary.id(), Some(id));
+        assert_eq!(svc.state().stats().submitted, 1, "no double apply");
+        // And the duplicate wrote nothing: a third open replays the same
+        // record count.
+        let records = svc.records();
+        drop(svc);
+        let (_, summary) = open(&dir);
+        assert_eq!(summary.replayed, records);
+    }
+
+    #[test]
+    fn fault_injection_crashes_before_apply_and_recovery_truncates() {
+        let dir = tmp_dir("fault");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = false;
+        cfg.fault = Some(WalFault {
+            at_record: 2,
+            kind: FaultKind::Torn,
+        });
+        let (mut svc, _) =
+            DurableService::open(cfg, fast_core(), SvcHealthConfig::default()).unwrap();
+        register(&mut svc);
+        let fp_before = svc.fingerprint();
+        let err = svc
+            .apply(SvcCommand::Core(CoreCommand::Tick { now_s: 1.0 }))
+            .unwrap_err();
+        assert!(matches!(err, SvcError::FaultInjected { .. }), "{err}");
+        assert_eq!(svc.fingerprint(), fp_before, "faulted append never applies");
+        drop(svc); // crash
+        let (recovered, summary) = open(&dir);
+        assert_eq!(summary.replayed, 2, "only the clean prefix replays");
+        assert!(summary.wal.truncated_bytes > 0);
+        assert_eq!(recovered.fingerprint(), fp_before);
+    }
+
+    #[test]
+    fn deterministic_errors_replay_identically() {
+        let dir = tmp_dir("errs");
+        let (mut svc, _) = open(&dir);
+        register(&mut svc);
+        // Unknown train: journaled, rejected, state unchanged.
+        let err = svc.apply(SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(7),
+            now_s: 1.0,
+        }));
+        assert!(err.is_err());
+        let fp = svc.fingerprint();
+        drop(svc);
+        let (recovered, summary) = open(&dir);
+        assert_eq!(summary.replay_errors, 1);
+        assert_eq!(recovered.fingerprint(), fp);
+    }
+}

@@ -1,0 +1,553 @@
+//! The replayable service state: deterministic core + dedup table +
+//! health rung, all a pure function of the journaled command stream.
+//!
+//! Everything the daemon must survive a crash with lives here, and every
+//! mutation enters through [`ServiceState::apply`] with a serializable
+//! [`SvcCommand`]. Recovery therefore *is* replay: feed the journal back
+//! through `apply` and the pending queues, the idempotency table, and the
+//! health ladder come back bit-for-bit — verified by
+//! [`ServiceState::fingerprint`] against the last clean checkpoint.
+
+use std::collections::HashMap;
+
+use etrain_core::{
+    Admission, CommandOutcome, CoreCommand, CoreConfig, CoreStats, ETrainCore, RequestId,
+    TransmitDecision, TransmitRequest, TxResult,
+};
+use etrain_sched::{audit_transitions, HealthState, HealthTransition, TransitionCause};
+use etrain_trace::CargoAppId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SvcError;
+
+/// One journaled mutation of the service.
+///
+/// Most traffic wraps a [`CoreCommand`] unchanged; the service adds
+/// exactly one verb of its own — idempotent submission keyed by a
+/// client-supplied id, so a client that crashed between sending and
+/// hearing the answer can safely resend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SvcCommand {
+    /// A core mutation, applied verbatim.
+    Core(CoreCommand),
+    /// An idempotent submission. The first occurrence of `client_id`
+    /// submits and caches the admission outcome; the service never
+    /// journals a duplicate (the dedup check happens *before* the
+    /// write-ahead append), so on replay each `client_id` appears at
+    /// most once.
+    SubmitIdem {
+        /// Client-chosen request key, unique per logical submission.
+        client_id: String,
+        /// The submitting cargo app.
+        app: CargoAppId,
+        /// The request metadata.
+        request: TransmitRequest,
+        /// Submission time in seconds.
+        now_s: f64,
+    },
+}
+
+impl SvcCommand {
+    /// Stable machine-readable name of the command, for logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SvcCommand::Core(c) => c.kind(),
+            SvcCommand::SubmitIdem { .. } => "submit_idem",
+        }
+    }
+}
+
+/// The cached outcome of an idempotent submission — a serializable
+/// mirror of [`Admission`], so a resend can be answered from the table
+/// without re-entering the core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionSummary {
+    /// Admitted with this id.
+    Admitted {
+        /// The issued request id.
+        id: RequestId,
+    },
+    /// Admitted; an earlier request was evicted to make room.
+    AdmittedWithEviction {
+        /// The issued request id.
+        id: RequestId,
+        /// The evicted request.
+        evicted: RequestId,
+    },
+    /// Admitted; the oldest queued request was force-flushed.
+    AdmittedWithFlush {
+        /// The issued request id.
+        id: RequestId,
+        /// The early-release decision for the flushed request.
+        flushed: TransmitDecision,
+    },
+    /// The shed policy rejected the submission outright.
+    Rejected,
+}
+
+impl AdmissionSummary {
+    fn from_admission(admission: &Admission) -> Self {
+        match admission {
+            Admission::Admitted { id } => AdmissionSummary::Admitted { id: *id },
+            Admission::AdmittedWithEviction { id, evicted } => {
+                AdmissionSummary::AdmittedWithEviction {
+                    id: *id,
+                    evicted: *evicted,
+                }
+            }
+            Admission::AdmittedWithFlush { id, flushed } => AdmissionSummary::AdmittedWithFlush {
+                id: *id,
+                flushed: *flushed,
+            },
+            Admission::Rejected => AdmissionSummary::Rejected,
+        }
+    }
+
+    /// The admitted request id, if any.
+    pub fn id(&self) -> Option<RequestId> {
+        match self {
+            AdmissionSummary::Admitted { id }
+            | AdmissionSummary::AdmittedWithEviction { id, .. }
+            | AdmissionSummary::AdmittedWithFlush { id, .. } => Some(*id),
+            AdmissionSummary::Rejected => None,
+        }
+    }
+}
+
+/// What applying one [`SvcCommand`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvcOutcome {
+    /// A wrapped core command's outcome.
+    Core(CommandOutcome),
+    /// A first-time idempotent submission.
+    Submitted {
+        /// The admission outcome, as cached in the dedup table.
+        summary: AdmissionSummary,
+    },
+    /// A duplicate idempotent submission, answered from the table with
+    /// no state change and no journal append.
+    Duplicate {
+        /// The originally cached outcome.
+        summary: AdmissionSummary,
+    },
+}
+
+/// Tuning of the service-level health rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvcHealthConfig {
+    /// Consecutive failed transmission reports that demote one rung.
+    pub failure_threshold: usize,
+    /// Consecutive heartbeats without an intervening failure that
+    /// promote one rung.
+    pub clean_heartbeats: usize,
+}
+
+impl Default for SvcHealthConfig {
+    fn default() -> Self {
+        SvcHealthConfig {
+            failure_threshold: 3,
+            clean_heartbeats: 5,
+        }
+    }
+}
+
+/// The service's replayable state.
+///
+/// The health rung here deliberately mirrors `GuardedScheduler`'s ladder
+/// (same states, same causes, same audit) but is driven purely by the
+/// command stream — failed `ReportResult`s demote, clean `Heartbeat`s
+/// promote — so that a recovered daemon lands on the same rung as the
+/// crashed one without any out-of-band signal.
+#[derive(Debug)]
+pub struct ServiceState {
+    core: ETrainCore,
+    health_cfg: SvcHealthConfig,
+    dedup: HashMap<String, AdmissionSummary>,
+    health: HealthState,
+    transitions: Vec<HealthTransition>,
+    failure_streak: usize,
+    clean_streak: usize,
+    applied: u64,
+}
+
+impl ServiceState {
+    /// A fresh state over a fresh core.
+    pub fn new(config: CoreConfig, health: SvcHealthConfig) -> Self {
+        ServiceState {
+            core: ETrainCore::new(config),
+            health_cfg: health,
+            dedup: HashMap::new(),
+            health: HealthState::Healthy,
+            transitions: Vec::new(),
+            failure_streak: 0,
+            clean_streak: 0,
+            applied: 0,
+        }
+    }
+
+    /// Applies one command. Deterministic: the same command sequence
+    /// from the same initial state always produces the same final state
+    /// — including erroring commands, which mutate (at most the core
+    /// clock) and error identically on the live path and on replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core rejections ([`SvcError::Core`]).
+    pub fn apply(&mut self, command: &SvcCommand) -> Result<SvcOutcome, SvcError> {
+        let outcome = match command {
+            SvcCommand::Core(core_cmd) => {
+                let outcome = self.core.apply(core_cmd)?;
+                self.update_health(core_cmd, &outcome);
+                SvcOutcome::Core(outcome)
+            }
+            SvcCommand::SubmitIdem {
+                client_id,
+                app,
+                request,
+                now_s,
+            } => {
+                if let Some(cached) = self.dedup.get(client_id) {
+                    // Replay safety: the journal never holds a duplicate,
+                    // but apply() stays total over arbitrary streams.
+                    return Ok(SvcOutcome::Duplicate { summary: *cached });
+                }
+                let admission = self.core.submit(*app, *request, *now_s)?;
+                let summary = AdmissionSummary::from_admission(&admission);
+                self.dedup.insert(client_id.clone(), summary);
+                SvcOutcome::Submitted { summary }
+            }
+        };
+        self.applied += 1;
+        Ok(outcome)
+    }
+
+    /// Answers an idempotent submission from the dedup table, if this
+    /// `client_id` was already applied. The durable service consults
+    /// this *before* journaling, so duplicates cost no append.
+    pub fn cached_submission(&self, client_id: &str) -> Option<AdmissionSummary> {
+        self.dedup.get(client_id).copied()
+    }
+
+    fn update_health(&mut self, command: &CoreCommand, _outcome: &CommandOutcome) {
+        match command {
+            CoreCommand::ReportResult {
+                result: TxResult::Failed,
+                now_s,
+                ..
+            } => {
+                self.clean_streak = 0;
+                self.failure_streak += 1;
+                if self.failure_streak >= self.health_cfg.failure_threshold {
+                    let failures = self.failure_streak;
+                    self.failure_streak = 0;
+                    let next = match self.health {
+                        HealthState::Healthy => Some(HealthState::Degraded),
+                        HealthState::Degraded => Some(HealthState::Fallback),
+                        HealthState::Fallback => None,
+                    };
+                    if let Some(next) = next {
+                        self.transition(
+                            *now_s,
+                            next,
+                            TransitionCause::RepeatedTxFailures { failures },
+                        );
+                    }
+                }
+            }
+            CoreCommand::ReportResult {
+                result: TxResult::Delivered,
+                ..
+            } => {
+                self.failure_streak = 0;
+            }
+            CoreCommand::Heartbeat { now_s, .. } if self.health != HealthState::Healthy => {
+                self.clean_streak += 1;
+                if self.clean_streak >= self.health_cfg.clean_heartbeats {
+                    let streak = self.clean_streak;
+                    self.clean_streak = 0;
+                    let next = match self.health {
+                        HealthState::Fallback => HealthState::Degraded,
+                        HealthState::Degraded | HealthState::Healthy => HealthState::Healthy,
+                    };
+                    self.transition(
+                        *now_s,
+                        next,
+                        TransitionCause::Recovered {
+                            clean_heartbeats: streak,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn transition(&mut self, at_s: f64, to: HealthState, cause: TransitionCause) {
+        if to == self.health {
+            return;
+        }
+        self.transitions.push(HealthTransition {
+            at_s,
+            from: self.health,
+            to,
+            cause,
+        });
+        self.health = to;
+    }
+
+    /// The current health rung.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// The recorded rung transitions, in time order. Always passes
+    /// [`audit_transitions`]; [`ServiceState::audit`] re-checks.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// Runs the structural ladder audit over the recorded transitions.
+    pub fn audit(&self) -> Vec<String> {
+        audit_transitions(&self.transitions)
+    }
+
+    /// Commands applied since construction (erroring commands excluded).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The underlying core's cumulative statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.core.stats()
+    }
+
+    /// Direct read access to the deterministic core.
+    pub fn core(&self) -> &ETrainCore {
+        &self.core
+    }
+
+    /// Number of distinct idempotency keys recorded.
+    pub fn dedup_len(&self) -> usize {
+        self.dedup.len()
+    }
+
+    /// A deterministic FNV-1a fingerprint over the *entire* recoverable
+    /// state: the core fingerprint, the dedup table (sorted by key), the
+    /// health rung with both streak counters, every recorded transition,
+    /// and the applied-command count. Two states that applied the same
+    /// command stream fingerprint identically; this is the value
+    /// checkpoints record and crash recovery verifies.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        mix(&self.core.fingerprint().to_le_bytes());
+        let mut keys: Vec<&String> = self.dedup.keys().collect();
+        keys.sort();
+        for key in keys {
+            mix(key.as_bytes());
+            let summary = &self.dedup[key];
+            match serde_json::to_string(summary) {
+                Ok(json) => mix(json.as_bytes()),
+                Err(_) => mix(b"<unserializable>"),
+            }
+        }
+        mix(self.health.to_string().as_bytes());
+        mix(&(self.failure_streak as u64).to_le_bytes());
+        mix(&(self.clean_streak as u64).to_le_bytes());
+        for t in &self.transitions {
+            mix(t.to_string().as_bytes());
+        }
+        mix(&self.applied.to_le_bytes());
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etrain_core::TransmitRequest;
+    use etrain_sched::{AppProfile, CostProfile};
+    use etrain_trace::TrainAppId;
+
+    fn fast_config() -> CoreConfig {
+        CoreConfig {
+            theta: 5.0,
+            ..CoreConfig::default()
+        }
+    }
+
+    fn state() -> ServiceState {
+        ServiceState::new(fast_config(), SvcHealthConfig::default())
+    }
+
+    fn setup(s: &mut ServiceState) {
+        s.apply(&SvcCommand::Core(CoreCommand::RegisterTrain {
+            name: "WeChat".into(),
+        }))
+        .unwrap();
+        s.apply(&SvcCommand::Core(CoreCommand::RegisterCargo {
+            profile: AppProfile::new("Mail", CostProfile::mail(300.0)),
+        }))
+        .unwrap();
+    }
+
+    fn submit(id: &str, now_s: f64) -> SvcCommand {
+        SvcCommand::SubmitIdem {
+            client_id: id.into(),
+            app: CargoAppId(0),
+            request: TransmitRequest::upload(4_000),
+            now_s,
+        }
+    }
+
+    #[test]
+    fn idempotent_submit_caches_and_replays_from_table() {
+        let mut s = state();
+        setup(&mut s);
+        let first = s.apply(&submit("c-1", 1.0)).unwrap();
+        let SvcOutcome::Submitted { summary } = first else {
+            panic!("expected first-time submission, got {first:?}");
+        };
+        let id = summary.id().unwrap();
+        let before = s.fingerprint();
+        let dup = s.apply(&submit("c-1", 2.0)).unwrap();
+        let SvcOutcome::Duplicate { summary: cached } = dup else {
+            panic!("expected duplicate, got {dup:?}");
+        };
+        assert_eq!(cached.id(), Some(id));
+        assert_eq!(s.fingerprint(), before, "a duplicate must not change state");
+        assert_eq!(s.dedup_len(), 1);
+    }
+
+    #[test]
+    fn failure_streak_walks_the_ladder_and_heartbeats_recover_it() {
+        let mut s = state();
+        setup(&mut s);
+        // Admit and decide enough requests to have things to fail.
+        let mut now = 0.0;
+        let mut req_ids = Vec::new();
+        for i in 0..6 {
+            now += 1.0;
+            let out = s.apply(&submit(&format!("c-{i}"), now)).unwrap();
+            let SvcOutcome::Submitted { summary } = out else {
+                panic!()
+            };
+            req_ids.push(summary.id().unwrap());
+        }
+        now += 1.0;
+        s.apply(&SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(0),
+            now_s: now,
+        }))
+        .unwrap();
+        // Three consecutive failures demote to Degraded, three more to
+        // Fallback.
+        for id in req_ids.iter().take(6) {
+            now += 1.0;
+            let _ = s.apply(&SvcCommand::Core(CoreCommand::ReportResult {
+                request: *id,
+                result: TxResult::Failed,
+                now_s: now,
+            }));
+        }
+        assert_eq!(s.health(), HealthState::Fallback);
+        // Ten clean heartbeats climb back to Healthy.
+        for _ in 0..10 {
+            now += 1.0;
+            s.apply(&SvcCommand::Core(CoreCommand::Heartbeat {
+                train: TrainAppId(0),
+                now_s: now,
+            }))
+            .unwrap();
+        }
+        assert_eq!(s.health(), HealthState::Healthy);
+        assert_eq!(s.transitions().len(), 4);
+        assert!(s.audit().is_empty(), "{:?}", s.audit());
+    }
+
+    #[test]
+    fn replay_reconstructs_fingerprint_bit_for_bit() {
+        let mut live = state();
+        setup(&mut live);
+        let mut log = vec![
+            SvcCommand::Core(CoreCommand::RegisterTrain {
+                name: "WeChat".into(),
+            }),
+            SvcCommand::Core(CoreCommand::RegisterCargo {
+                profile: AppProfile::new("Mail", CostProfile::mail(300.0)),
+            }),
+        ];
+        for (i, now) in [(0, 1.0), (1, 2.0), (2, 3.0)] {
+            let cmd = submit(&format!("k-{i}"), now);
+            live.apply(&cmd).unwrap();
+            log.push(cmd);
+        }
+        let hb = SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(0),
+            now_s: 10.0,
+        });
+        live.apply(&hb).unwrap();
+        log.push(hb);
+
+        let mut replayed = state();
+        for cmd in &log {
+            replayed.apply(cmd).unwrap();
+        }
+        assert_eq!(replayed.fingerprint(), live.fingerprint());
+        assert_eq!(replayed.applied(), live.applied());
+        assert_eq!(replayed.stats(), live.stats());
+    }
+
+    #[test]
+    fn erroring_commands_replay_deterministically() {
+        // An unknown-train heartbeat errors but still advances the core
+        // clock (validation happens after advance_clock) — what matters
+        // for recovery is that replay mutates and errors *identically*.
+        let mut live = state();
+        setup(&mut live);
+        let bad = SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(9),
+            now_s: 1.0,
+        });
+        assert!(live.apply(&bad).is_err());
+
+        let mut replayed = state();
+        setup(&mut replayed);
+        assert!(replayed.apply(&bad).is_err());
+        assert_eq!(replayed.fingerprint(), live.fingerprint());
+
+        // A time-went-backwards rejection fails before any mutation, so
+        // it really does leave the state untouched.
+        let before = live.fingerprint();
+        let stale = SvcCommand::Core(CoreCommand::Heartbeat {
+            train: TrainAppId(0),
+            now_s: -1.0,
+        });
+        assert!(live.apply(&stale).is_err());
+        assert_eq!(live.fingerprint(), before);
+    }
+
+    #[test]
+    fn commands_round_trip_through_json() {
+        let cmds = [
+            submit("abc", 3.5),
+            SvcCommand::Core(CoreCommand::Tick { now_s: 9.0 }),
+        ];
+        for cmd in &cmds {
+            let json = serde_json::to_string(cmd).unwrap();
+            let back: SvcCommand = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, cmd, "{json}");
+        }
+        assert_eq!(cmds[0].kind(), "submit_idem");
+        assert_eq!(cmds[1].kind(), "tick");
+    }
+}

@@ -1,0 +1,255 @@
+//! Process-level crash tests of `etrain-svcd`.
+//!
+//! These spawn the real daemon binary, drive it over the TCP line
+//! protocol, SIGKILL it at seeded points, restart it against the same
+//! WAL directory, and compare the recovered fingerprint against a
+//! never-killed in-process [`ServiceState`] reference fed the identical
+//! command stream. The fault-hook test arms `ETRAIN_WAL_FAULT` so the
+//! daemon tears its own WAL tail mid-append and proves recovery
+//! truncates rather than crashes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use etrain_core::CoreConfig;
+use etrain_svc::script::{script, ScriptStep};
+use etrain_svc::{ServiceState, SvcHealthConfig, WAL_ENV, WAL_FAULT_ENV};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "etrain-daemon-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running daemon plus one protocol connection to it.
+struct Daemon {
+    child: Child,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    recovered_line: String,
+}
+
+impl Daemon {
+    fn spawn(wal_dir: &Path, fault: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_etrain-svcd"));
+        cmd.env(WAL_ENV, wal_dir)
+            .env("ETRAIN_SVC_ADDR", "127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        match fault {
+            Some(spec) => cmd.env(WAL_FAULT_ENV, spec),
+            None => cmd.env_remove(WAL_FAULT_ENV),
+        };
+        let mut child = cmd.spawn().expect("spawn etrain-svcd");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut lines = BufReader::new(stdout);
+        let mut recovered_line = String::new();
+        lines
+            .read_line(&mut recovered_line)
+            .expect("RECOVERED line");
+        assert!(
+            recovered_line.starts_with("RECOVERED "),
+            "unexpected first line: {recovered_line:?}"
+        );
+        let mut ready = String::new();
+        lines.read_line(&mut ready).expect("READY line");
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("unexpected second line: {ready:?}"))
+            .to_string();
+        let writer = TcpStream::connect(&addr).expect("connect to daemon");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Daemon {
+            child,
+            reader,
+            writer,
+            recovered_line: recovered_line.trim().to_string(),
+        }
+    }
+
+    /// Sends one request line and waits for the acknowledging response.
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim().to_string()
+    }
+
+    /// Sends a request expected to kill the daemon (armed fault hook):
+    /// the connection drops without a response.
+    fn send_expecting_crash(&mut self, line: &str) {
+        let _ = self.writer.write_all(format!("{line}\n").as_bytes());
+        let mut response = String::new();
+        // EOF or reset either way: the daemon died before answering.
+        let got = self.reader.read_line(&mut response).unwrap_or(0);
+        assert_eq!(got, 0, "daemon answered {response:?} instead of crashing");
+    }
+
+    fn fingerprint(&mut self) -> u64 {
+        let response = self.roundtrip("FPRINT");
+        let hex = response
+            .strip_prefix("OK FPRINT ")
+            .unwrap_or_else(|| panic!("unexpected FPRINT response: {response}"));
+        u64::from_str_radix(hex, 16).expect("fingerprint hex")
+    }
+
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        let _ = self.child.wait();
+    }
+
+    fn wait_exit_code(mut self) -> i32 {
+        let status = self.child.wait().expect("wait for daemon");
+        status.code().unwrap_or(-1)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn reference() -> ServiceState {
+    ServiceState::new(CoreConfig::default(), SvcHealthConfig::default())
+}
+
+#[test]
+fn daemon_survives_seeded_kills_bit_for_bit() {
+    let steps: Vec<ScriptStep> = script(42, 40);
+    let wal_dir = tmp_dir("kills");
+    // ≥5 seeded kill points, spread over the script (in acked-command
+    // counts; the daemon is SIGKILLed right after the ack arrives).
+    let kill_points = [5usize, 11, 17, 24, 31, 38];
+
+    let mut reference = reference();
+    let mut applied = 0usize;
+    let mut daemon = Daemon::spawn(&wal_dir, None);
+    for (kill_no, &kill_at) in kill_points.iter().enumerate() {
+        while applied < kill_at {
+            let step = &steps[applied];
+            let response = daemon.roundtrip(&step.line);
+            assert!(
+                response.starts_with("OK") || response.starts_with("ERR core rejected"),
+                "step {applied} ({}) -> {response}",
+                step.line
+            );
+            let _ = reference.apply(&step.command);
+            applied += 1;
+        }
+        let live_fp = daemon.fingerprint();
+        assert_eq!(
+            live_fp,
+            reference.fingerprint(),
+            "kill {kill_no}: live daemon diverged from reference at step {applied}"
+        );
+        daemon.sigkill();
+
+        daemon = Daemon::spawn(&wal_dir, None);
+        assert_eq!(
+            daemon.fingerprint(),
+            reference.fingerprint(),
+            "kill {kill_no}: recovered daemon diverged from reference at step {applied}"
+        );
+    }
+    // Finish the script after the last restart and compare once more.
+    while applied < steps.len() {
+        let step = &steps[applied];
+        let _ = daemon.roundtrip(&step.line);
+        let _ = reference.apply(&step.command);
+        applied += 1;
+    }
+    assert_eq!(daemon.fingerprint(), reference.fingerprint());
+    daemon.sigkill();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn duplicate_submit_after_kill_is_not_double_applied() {
+    let wal_dir = tmp_dir("dup");
+    let mut daemon = Daemon::spawn(&wal_dir, None);
+    assert_eq!(daemon.roundtrip("REGTRAIN WeChat"), "OK TRAIN 0");
+    assert_eq!(daemon.roundtrip("REGCARGO Mail mail 300"), "OK CARGO 0");
+    assert_eq!(
+        daemon.roundtrip("SUBMIT once 0 up 4096 1.0"),
+        "OK SUBMITTED 0"
+    );
+    daemon.sigkill();
+
+    // The ack arrived before the kill, so the submit is durable: the
+    // retry must be answered from the recovered dedup table, not
+    // admitted a second time.
+    let mut daemon = Daemon::spawn(&wal_dir, None);
+    assert_eq!(
+        daemon.roundtrip("SUBMIT once 0 up 4096 2.0"),
+        "OK DUP SUBMITTED 0"
+    );
+    let stats = daemon.roundtrip("STATS");
+    assert!(
+        stats.contains("\"submitted\":1") || stats.contains("\"submitted\": 1"),
+        "exactly one admission expected: {stats}"
+    );
+    daemon.sigkill();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn armed_fault_hook_tears_tail_and_recovery_truncates() {
+    let wal_dir = tmp_dir("fault");
+    // Records: 0 REGTRAIN, 1 REGCARGO, 2 first SUBMIT; the fault fires
+    // on record 3 — the second SUBMIT's append is torn mid-payload and
+    // the daemon must die with the dedicated exit code.
+    let mut daemon = Daemon::spawn(&wal_dir, Some("torn@3"));
+    assert_eq!(daemon.roundtrip("REGTRAIN WeChat"), "OK TRAIN 0");
+    assert_eq!(daemon.roundtrip("REGCARGO Mail mail 300"), "OK CARGO 0");
+    assert_eq!(daemon.roundtrip("SUBMIT a 0 up 1000 1.0"), "OK SUBMITTED 0");
+    daemon.send_expecting_crash("SUBMIT b 0 up 2000 2.0");
+    assert_eq!(daemon.wait_exit_code(), etrain_svc::FAULT_EXIT_CODE);
+
+    // Restart without the fault: recovery truncates the torn frame and
+    // keeps the three acked records.
+    let mut daemon = Daemon::spawn(&wal_dir, None);
+    let recovered = daemon.recovered_line.clone();
+    assert!(
+        recovered.contains("records=3") && !recovered.contains("truncated_bytes=0"),
+        "expected 3 records and a truncated tail: {recovered}"
+    );
+    // The torn submit was never acked and never applied; resending it
+    // is a fresh admission, not a duplicate.
+    assert_eq!(daemon.roundtrip("SUBMIT b 0 up 2000 2.0"), "OK SUBMITTED 1");
+    daemon.sigkill();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn invalid_env_knobs_exit_2() {
+    for (key, value) in [
+        ("ETRAIN_SVC_ADDR", "not-an-addr"),
+        (WAL_FAULT_ENV, "maybe@later"),
+    ] {
+        let status = Command::new(env!("CARGO_BIN_EXE_etrain-svcd"))
+            .env(WAL_ENV, tmp_dir("env"))
+            .env("ETRAIN_SVC_ADDR", "127.0.0.1:0")
+            .env(key, value)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run etrain-svcd");
+        assert_eq!(status.code(), Some(2), "{key}={value}");
+    }
+}

@@ -12,7 +12,9 @@
 //!   (eTrain Algorithm 1, Baseline, PerES, eTime);
 //! - [`sim`] — the trace-driven device simulator and experiment sweeps;
 //! - [`core`] — the eTrain system runtime (monitor + scheduler + broadcast);
-//! - [`apps`] — the Mail / Weibo / Cloud cargo-app models and trace replay.
+//! - [`apps`] — the Mail / Weibo / Cloud cargo-app models and trace replay;
+//! - [`svc`] — the durable daemon: write-ahead journal, crash recovery,
+//!   and the `etrain-svcd` line-protocol server.
 //!
 //! # Quick start
 //!
@@ -34,4 +36,5 @@ pub use etrain_hb as hb;
 pub use etrain_radio as radio;
 pub use etrain_sched as sched;
 pub use etrain_sim as sim;
+pub use etrain_svc as svc;
 pub use etrain_trace as trace;
