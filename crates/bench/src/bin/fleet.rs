@@ -1,0 +1,99 @@
+//! Fleet driver: runs the throughput fleet and the paired savings fleets
+//! in one invocation and writes the machine-readable `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run -p etrain-bench --release --bin fleet            # full: 10⁶ devices
+//! cargo run -p etrain-bench --release --bin fleet -- --quick # CI tier: 10⁵
+//! cargo run -p etrain-bench --release --bin fleet -- --out other.json
+//! ```
+//!
+//! `ETRAIN_FLEET_SIZE` overrides both tiers' device counts (the savings
+//! fleets run at 1/100 of the throughput fleet, min 100 devices, so the
+//! paired comparison stays cheap next to the scale headline).
+
+use etrain_bench::experiments::fleet_savings::APP_USES_PER_DAY;
+use etrain_fleet::{run_fleet, FleetConfig, FleetSnapshot};
+use etrain_sim::SchedulerKind;
+use serde::Serialize;
+
+/// The paired-savings block of `BENCH_fleet.json`.
+#[derive(Serialize)]
+struct SavingsSummary {
+    saving_pct: f64,
+    mean_saved_j_per_use: f64,
+    app_uses_per_day: f64,
+    saved_mj_per_million_user_day: f64,
+    baseline: FleetSnapshot,
+    etrain: FleetSnapshot,
+}
+
+/// The whole `BENCH_fleet.json` document.
+#[derive(Serialize)]
+struct FleetBench {
+    quick: bool,
+    /// The headline: devices simulated per wall-clock second.
+    devices_per_s: f64,
+    throughput: FleetSnapshot,
+    savings: SavingsSummary,
+}
+
+fn main() {
+    etrain_bench::validate_env_knobs();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone())
+        .unwrap_or_else(|| "BENCH_fleet.json".to_owned());
+
+    let override_devices = etrain_fleet::try_fleet_size_from_env(
+        std::env::var(etrain_fleet::FLEET_SIZE_ENV).ok().as_deref(),
+    )
+    .expect("validated above");
+    let devices = override_devices.unwrap_or(if quick { 100_000 } else { 1_000_000 });
+
+    eprintln!("# fleet throughput: {devices} devices ...");
+    let throughput = run_fleet(&FleetConfig::paper_default(devices).seed(1));
+    eprintln!(
+        "# {} devices in {:.2} s -> {:.0} devices/s ({} shards x {} workers)",
+        throughput.fleet.devices,
+        throughput.wall_s,
+        throughput.devices_per_s,
+        throughput.shards,
+        throughput.workers
+    );
+
+    let savings_devices = (devices / 100).max(100);
+    eprintln!("# fleet savings: paired baseline/eTrain over {savings_devices} devices ...");
+    let base_config = FleetConfig::paper_default(savings_devices).seed(42);
+    let baseline = run_fleet(&base_config.clone().scheduler(SchedulerKind::Baseline));
+    let etrain = run_fleet(&base_config);
+    let saved = baseline.fleet.mean_extra_j() - etrain.fleet.mean_extra_j();
+    let saving_pct = if baseline.fleet.mean_extra_j() > 0.0 {
+        saved / baseline.fleet.mean_extra_j() * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# saving {saving_pct:.1}% ({saved:.1} J/use; {:.1} MJ per million user-days)",
+        saved * APP_USES_PER_DAY
+    );
+
+    let bench = FleetBench {
+        quick,
+        devices_per_s: throughput.devices_per_s,
+        throughput: throughput.snapshot(),
+        savings: SavingsSummary {
+            saving_pct,
+            mean_saved_j_per_use: saved,
+            app_uses_per_day: APP_USES_PER_DAY,
+            saved_mj_per_million_user_day: saved * APP_USES_PER_DAY,
+            baseline: baseline.snapshot(),
+            etrain: etrain.snapshot(),
+        },
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("fleet bench serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

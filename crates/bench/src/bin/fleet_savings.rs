@@ -1,0 +1,6 @@
+//! Fleet savings: paired baseline/eTrain population energy comparison.
+//! See `experiments::fleet_savings`.
+
+fn main() {
+    etrain_bench::run_binary("fleet_savings");
+}

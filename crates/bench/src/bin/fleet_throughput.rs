@@ -1,0 +1,6 @@
+//! Fleet throughput: devices simulated per wall-clock second.
+//! See `experiments::fleet_throughput`.
+
+fn main() {
+    etrain_bench::run_binary("fleet_throughput");
+}

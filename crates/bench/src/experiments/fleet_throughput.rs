@@ -1,0 +1,85 @@
+//! Fleet throughput: how many devices one invocation simulates per
+//! wall-clock second — the scale headline of the fleet subsystem.
+//!
+//! Quick mode runs 10⁵ devices (the CI smoke tier); full mode runs 10⁶.
+//! `ETRAIN_FLEET_SIZE` overrides both. The headline is a wall-clock
+//! measurement and therefore machine-dependent — this experiment is
+//! excluded from the golden snapshot, like the other `*_speedup`
+//! infrastructure experiments; its determinism gate (serial ≡ sharded,
+//! fleet ≡ independent runs) lives in the fleet crate's conformance
+//! tests, not here.
+
+use crate::ExperimentResult;
+use etrain_fleet::{run_fleet, FleetConfig};
+
+use super::{fleet_devices, j};
+
+/// Runs the throughput fleet and tabulates the scale measurements.
+pub fn run(quick: bool) -> ExperimentResult {
+    let devices = fleet_devices(quick, 100_000, 1_000_000);
+    let result = run_fleet(&FleetConfig::paper_default(devices).seed(1));
+    let snapshot = result.snapshot();
+
+    let mut table = etrain_sim::Table::new(
+        format!(
+            "Fleet throughput — {} on {} devices",
+            result.scheduler, devices
+        ),
+        &[
+            "devices",
+            "shards",
+            "workers",
+            "wall_s",
+            "devices_per_s",
+            "mean_extra_j",
+        ],
+    );
+    table.push_row_strings(vec![
+        snapshot.devices.to_string(),
+        snapshot.shards.to_string(),
+        snapshot.workers.to_string(),
+        format!("{:.2}", snapshot.wall_s),
+        format!("{:.0}", snapshot.devices_per_s),
+        j(snapshot.fleet.mean_extra_j()),
+    ]);
+
+    let mut classes = etrain_sim::Table::new(
+        "Per-class extra-energy distribution (J per app use)".to_owned(),
+        &["class", "devices", "mean_j", "p50_j", "p95_j", "p99_j"],
+    );
+    for class in &snapshot.classes {
+        classes.push_row_strings(vec![
+            class.class.clone(),
+            class.tally.devices.to_string(),
+            j(class.mean_extra_j),
+            j(class.p50_extra_j),
+            j(class.p95_extra_j),
+            j(class.p99_extra_j),
+        ]);
+    }
+
+    ExperimentResult::from_tables(vec![table, classes])
+        .headline("fleet_devices_per_s", snapshot.devices_per_s, "devices/s")
+        .headline("fleet_devices", snapshot.devices as f64, "count")
+        .headline("fleet_wall_s", snapshot.wall_s, "s")
+        .headline("fleet_mean_extra_j", snapshot.fleet.mean_extra_j(), "J")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke tier shrinks the fleet through `ETRAIN_FLEET_SIZE`-style
+    /// sizing by calling the sized internals directly — running the real
+    /// 10⁵-device quick tier in a debug-mode unit test would dominate the
+    /// whole suite's wall-clock.
+    #[test]
+    fn throughput_measurements_are_sane_on_a_small_fleet() {
+        let result = run_fleet(&FleetConfig::paper_default(200).seed(1));
+        let snapshot = result.snapshot();
+        assert_eq!(snapshot.devices, 200);
+        assert!(snapshot.devices_per_s > 0.0);
+        assert!(snapshot.fleet.mean_extra_j() > 0.0);
+        assert_eq!(snapshot.classes.len(), 3);
+    }
+}

@@ -28,6 +28,8 @@ pub mod fig7a;
 pub mod fig7b;
 pub mod fig8a;
 pub mod fig8b;
+pub mod fleet_savings;
+pub mod fleet_throughput;
 pub mod hotpath_speedup;
 pub mod offline_gap;
 pub mod svc_recovery;
@@ -56,4 +58,15 @@ pub(crate) fn s(value: f64) -> String {
 /// Formats a ratio as a percentage with one decimal.
 pub(crate) fn pct(value: f64) -> String {
     format!("{:.1}%", value * 100.0)
+}
+
+/// Resolves a fleet experiment's device count: the `ETRAIN_FLEET_SIZE`
+/// override when parseable, else the tier default. Lenient here (library
+/// context); bench binaries fail fast on bad values through
+/// [`crate::validate_env_knobs`].
+pub(crate) fn fleet_devices(quick: bool, quick_default: u64, full_default: u64) -> u64 {
+    let raw = std::env::var(etrain_fleet::FLEET_SIZE_ENV).ok();
+    etrain_fleet::try_fleet_size_from_env(raw.as_deref())
+        .unwrap_or(None)
+        .unwrap_or(if quick { quick_default } else { full_default })
 }

@@ -286,6 +286,18 @@ pub fn registry() -> Vec<Experiment> {
                 "Infrastructure: cached hot decision/timeline paths vs the reference recompute",
             run: experiments::hotpath_speedup::run,
         },
+        Experiment {
+            name: "fleet_savings",
+            description:
+                "Fleet: paired baseline/eTrain population savings and the million-user projection",
+            run: experiments::fleet_savings::run,
+        },
+        Experiment {
+            name: "fleet_throughput",
+            description:
+                "Fleet: devices simulated per wall-clock second at 10\u{2075}-10\u{2076} scale",
+            run: experiments::fleet_throughput::run,
+        },
     ]
 }
 
@@ -324,8 +336,8 @@ pub struct ReproRun {
 
 /// Validates every `ETRAIN_*` environment knob a bench binary honors
 /// (`ETRAIN_ORACLE`, `ETRAIN_OBS`, `ETRAIN_ENGINE`, `ETRAIN_JOBS`,
-/// `ETRAIN_REFERENCE_COST`, `ETRAIN_WAL`, `ETRAIN_SVC_ADDR`,
-/// `ETRAIN_WAL_FAULT`), exiting with status 2 and one message per
+/// `ETRAIN_REFERENCE_COST`, `ETRAIN_FLEET_SIZE`, `ETRAIN_WAL`,
+/// `ETRAIN_SVC_ADDR`, `ETRAIN_WAL_FAULT`), exiting with status 2 and one message per
 /// bad knob. Binaries call this first: a typo like `ETRAIN_ORACLE=stric`
 /// must abort the run, not silently audit nothing (library contexts keep
 /// the lenient warn-once fallback instead).
@@ -345,6 +357,10 @@ pub fn validate_env_knobs() {
     }
     let jobs_raw = std::env::var(etrain_sim::JOBS_ENV).ok();
     if let Err(reason) = etrain_sim::try_jobs_from_env(jobs_raw.as_deref()) {
+        problems.push(reason);
+    }
+    let fleet_raw = std::env::var(etrain_fleet::FLEET_SIZE_ENV).ok();
+    if let Err(reason) = etrain_fleet::try_fleet_size_from_env(fleet_raw.as_deref()) {
         problems.push(reason);
     }
     if let Err(reason) = etrain_svc::try_wal_dir_from_env() {

@@ -1,0 +1,158 @@
+//! Fleet determinism tiers.
+//!
+//! Quick tier (always on): serial-vs-sharded bit identity, fleet ≡ N
+//! independent single-device runs, and byte-identical journaled reruns.
+//! Heavy tier (`--ignored`, run by the CI conformance job): the same
+//! serial-vs-sharded identity at 100k devices — the scale the throughput
+//! experiment ships.
+
+use etrain_fleet::{run_fleet, run_fleet_journaled, run_fleet_reports, ClassMix, FleetConfig};
+
+/// Column-by-column bit equality (f64 columns compared through bits so a
+/// NaN disagreement cannot silently pass, as it would under `==`).
+fn assert_columns_bit_identical(a: &etrain_fleet::FleetColumns, b: &etrain_fleet::FleetColumns) {
+    assert_eq!(a.len(), b.len(), "row counts differ");
+    assert_eq!(a.class, b.class);
+    assert_eq!(a.packets_completed, b.packets_completed);
+    assert_eq!(a.packets_unfinished, b.packets_unfinished);
+    assert_eq!(a.heartbeats_sent, b.heartbeats_sent);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.extra_energy_j), bits(&b.extra_energy_j));
+    assert_eq!(bits(&a.total_energy_j), bits(&b.total_energy_j));
+    assert_eq!(bits(&a.normalized_delay_s), bits(&b.normalized_delay_s));
+}
+
+#[test]
+fn serial_and_sharded_fleets_are_bit_identical() {
+    let devices = 100;
+    let serial = run_fleet(
+        &FleetConfig::paper_default(devices)
+            .seed(11)
+            .shard_devices(devices as usize)
+            .jobs(1),
+    );
+    let sharded = run_fleet(
+        &FleetConfig::paper_default(devices)
+            .seed(11)
+            .shard_devices(7)
+            .jobs(4),
+    );
+    assert_eq!(serial.shards, 1);
+    assert_eq!(sharded.shards, 15);
+    assert_columns_bit_identical(&serial.columns, &sharded.columns);
+    assert_eq!(
+        serial.fleet.extra_energy_j.to_bits(),
+        sharded.fleet.extra_energy_j.to_bits(),
+        "canonical tally must be partition-independent"
+    );
+    assert_eq!(serial.fleet, sharded.fleet);
+}
+
+#[test]
+fn fleet_of_n_equals_n_independent_single_device_runs() {
+    let config = FleetConfig::paper_default(60)
+        .seed(3)
+        .shard_devices(13)
+        .jobs(3);
+    let fleet = run_fleet(&config);
+    let independent = run_fleet_reports(&config);
+    assert_eq!(fleet.columns.len(), independent.len());
+    for (i, report) in independent.iter().enumerate() {
+        assert_eq!(
+            fleet.columns.extra_energy_j[i].to_bits(),
+            report.extra_energy_j.to_bits(),
+            "device {i}: fleet fast path diverged from its reference scenario"
+        );
+        assert_eq!(
+            fleet.columns.total_energy_j[i].to_bits(),
+            report.total_energy_j.to_bits()
+        );
+        assert_eq!(
+            fleet.columns.normalized_delay_s[i].to_bits(),
+            report.normalized_delay_s.to_bits()
+        );
+        assert_eq!(
+            fleet.columns.packets_completed[i] as usize,
+            report.packets_completed
+        );
+        assert_eq!(
+            fleet.columns.packets_unfinished[i] as usize,
+            report.packets_unfinished
+        );
+        assert_eq!(
+            fleet.columns.heartbeats_sent[i] as usize,
+            report.heartbeats_sent
+        );
+    }
+}
+
+#[test]
+fn fleet_is_reproducible_across_invocations_and_mixes_matter() {
+    let a = run_fleet(&FleetConfig::paper_default(40).seed(5));
+    let b = run_fleet(&FleetConfig::paper_default(40).seed(5));
+    assert_columns_bit_identical(&a.columns, &b.columns);
+    let uniform = run_fleet(
+        &FleetConfig::paper_default(40)
+            .seed(5)
+            .mix(ClassMix::uniform()),
+    );
+    // A uniform mix has far more active users than the paper skew, so it
+    // must upload more and burn more extra energy in aggregate.
+    assert!(uniform.fleet.extra_energy_j > a.fleet.extra_energy_j);
+}
+
+#[test]
+fn journaled_fleet_reruns_are_byte_identical() {
+    let config = FleetConfig::paper_default(8).seed(2);
+    let (reports_a, journal_a) = run_fleet_journaled(&config);
+    let (reports_b, journal_b) = run_fleet_journaled(&config);
+    assert_eq!(reports_a, reports_b);
+    let jsonl_a = journal_a.to_jsonl();
+    assert!(!jsonl_a.is_empty(), "journaled fleet must record events");
+    assert_eq!(jsonl_a, journal_b.to_jsonl());
+    // Journaled reports agree with the unjournaled fast path (obs is
+    // zero-cost when on vs off by the obs crate's contract).
+    let fleet = run_fleet(&config.clone().jobs(1));
+    for (i, report) in reports_a.iter().enumerate() {
+        assert_eq!(
+            fleet.columns.extra_energy_j[i].to_bits(),
+            report.extra_energy_j.to_bits()
+        );
+    }
+}
+
+#[test]
+fn snapshot_shape_is_fixed_and_consistent() {
+    let result = run_fleet(&FleetConfig::paper_default(50).seed(9));
+    let snapshot = result.snapshot();
+    assert_eq!(snapshot.devices, 50);
+    assert_eq!(snapshot.classes.len(), 3);
+    let class_devices: u64 = snapshot.classes.iter().map(|c| c.tally.devices).sum();
+    assert_eq!(class_devices, snapshot.devices);
+    for class in &snapshot.classes {
+        if class.tally.devices > 0 {
+            assert!(class.p50_extra_j <= class.p95_extra_j);
+            assert!(class.p95_extra_j <= class.p99_extra_j);
+            assert!(class.tally.min_extra_j <= class.p50_extra_j);
+            assert!(class.p99_extra_j <= class.tally.max_extra_j);
+        }
+    }
+}
+
+/// The throughput experiment's quick-tier scale, serial vs sharded —
+/// heavy, so it rides the CI conformance job's `--ignored` pass.
+#[test]
+#[ignore = "heavy: 2x 100k-device fleets; run via --ignored (CI conformance job)"]
+fn serial_and_sharded_fleets_agree_at_one_hundred_thousand_devices() {
+    let devices = 100_000;
+    let sharded = run_fleet(&FleetConfig::paper_default(devices).seed(1));
+    assert_eq!(sharded.fleet.devices, devices);
+    let serial = run_fleet(
+        &FleetConfig::paper_default(devices)
+            .seed(1)
+            .shard_devices(devices as usize)
+            .jobs(1),
+    );
+    assert_columns_bit_identical(&serial.columns, &sharded.columns);
+    assert_eq!(serial.fleet, sharded.fleet);
+}

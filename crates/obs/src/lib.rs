@@ -36,6 +36,7 @@
 
 pub mod durable;
 mod event;
+pub mod fleet;
 mod metrics;
 mod mode;
 pub mod prof;
@@ -46,6 +47,7 @@ pub use durable::{
     SegmentScan, TailStatus, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WAL_MAGIC,
 };
 pub use event::{Event, EventRecord, Journal};
+pub use fleet::{ClassSnapshot, FleetSnapshot, FleetTally};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use mode::{ObsMode, OBS_ENV};
 pub use recorder::{JsonLinesRecorder, NullRecorder, Recorder, RingRecorder};

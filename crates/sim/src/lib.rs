@@ -68,7 +68,7 @@ pub use oracle::{
     audit_scheduler_ordering, OracleCounters, OracleMode, OracleOutcome, OracleViolation,
     OrderingAudit, ORACLE_ENV,
 };
-pub use replicate::{replicate, ReplicatedReport, Stat};
+pub use replicate::{replicate, Percentiles, ReplicatedReport, Stat};
 pub use report::{fmt_f, Table};
 pub use runner::{
     try_jobs_from_env, GridCheckpoint, RunError, RunGrid, RunSpec, TraceCache, JOBS_ENV,

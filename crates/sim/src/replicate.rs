@@ -48,6 +48,68 @@ impl Stat {
     }
 }
 
+/// The p50/p95/p99 of one metric across a sample population — the
+/// distribution view fleet experiments report next to [`Stat`]'s mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// The median (nearest-rank 50th percentile).
+    pub p50: f64,
+    /// The nearest-rank 95th percentile.
+    pub p95: f64,
+    /// The nearest-rank 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `samples`, computed **in place** via
+    /// `select_nth_unstable` — three expected-O(n) selections, no sorted
+    /// clone. `Stat::from_samples`-style hardening for huge populations:
+    /// percentiles over 10⁶ per-device energies cost three partitions of
+    /// one existing buffer, not an 8 MB copy plus an O(n log n) sort.
+    ///
+    /// `samples` is reordered (partially partitioned) on return; callers
+    /// that need the original order must not — by design — pay for a
+    /// defensive clone here, they clone at the call site where the cost is
+    /// visible.
+    ///
+    /// Nearest-rank definition: percentile `p` is the `⌈p/100 · n⌉`-th
+    /// smallest sample (1-indexed), so every reported value is an actual
+    /// sample and `p100` would be the maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice, exactly like [`Stat::from_samples`] — a
+    /// percentile of zero samples is not a number.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use etrain_sim::Percentiles;
+    ///
+    /// let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+    /// let p = Percentiles::from_samples_mut(&mut samples);
+    /// assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+    /// ```
+    pub fn from_samples_mut(samples: &mut [f64]) -> Percentiles {
+        assert!(
+            !samples.is_empty(),
+            "Percentiles::from_samples_mut requires at least one sample"
+        );
+        let mut at = |p: f64| -> f64 {
+            let rank = (p / 100.0 * samples.len() as f64).ceil() as usize;
+            let index = rank.clamp(1, samples.len()) - 1;
+            *samples
+                .select_nth_unstable_by(index, |a, b| a.total_cmp(b))
+                .1
+        };
+        Percentiles {
+            p50: at(50.0),
+            p95: at(95.0),
+            p99: at(99.0),
+        }
+    }
+}
+
 /// Aggregate of several seeded runs of the same scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicatedReport {
@@ -173,6 +235,37 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_sample_slice_rejected() {
         let _ = Stat::from_samples(&[]);
+    }
+
+    #[test]
+    fn percentiles_match_sorted_nearest_rank() {
+        // Compare the in-place selection against the obvious sorted-copy
+        // definition on a deliberately shuffled population.
+        let mut samples: Vec<f64> = (0..10_007)
+            .map(|i| f64::from((i * 7919) % 10_007))
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let expect = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let got = Percentiles::from_samples_mut(&mut samples);
+        assert_eq!(got.p50.to_bits(), expect(50.0).to_bits());
+        assert_eq!(got.p95.to_bits(), expect(95.0).to_bits());
+        assert_eq!(got.p99.to_bits(), expect(99.0).to_bits());
+    }
+
+    #[test]
+    fn percentiles_of_one_sample_are_that_sample() {
+        let p = Percentiles::from_samples_mut(&mut [3.5]);
+        assert_eq!((p.p50, p.p95, p.p99), (3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn percentiles_reject_empty_slice() {
+        let _ = Percentiles::from_samples_mut(&mut []);
     }
 
     #[test]

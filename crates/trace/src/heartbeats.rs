@@ -196,23 +196,39 @@ impl TrainAppSpec {
     /// Generates this app's heartbeats over `[0, horizon_s)` as
     /// [`TrainAppId`] `id`.
     pub fn generate(&self, id: TrainAppId, horizon_s: f64, rng: &mut impl Rng) -> Vec<Heartbeat> {
-        self.pattern
-            .departure_times(self.phase_s, horizon_s)
-            .into_iter()
-            .map(|t| {
-                let jitter = if self.jitter_s > 0.0 {
-                    rng.gen_range(-self.jitter_s..=self.jitter_s)
-                } else {
-                    0.0
-                };
-                Heartbeat {
-                    train: id,
-                    time_s: (t + jitter).max(0.0),
-                    size_bytes: self.heartbeat_size_bytes,
-                }
-            })
-            .filter(|hb| hb.time_s < horizon_s)
-            .collect()
+        let mut out = Vec::new();
+        self.generate_into(id, horizon_s, rng, &mut out);
+        out
+    }
+
+    /// [`TrainAppSpec::generate`] into a caller-owned buffer: appends this
+    /// app's heartbeats to `out` without allocating a fresh `Vec` per
+    /// call. Consumes exactly the same RNG draws as the allocating form,
+    /// so the two are bit-for-bit interchangeable — the fleet simulator
+    /// leans on this to synthesize per-device traces into reusable
+    /// per-worker scratch buffers.
+    pub fn generate_into(
+        &self,
+        id: TrainAppId,
+        horizon_s: f64,
+        rng: &mut impl Rng,
+        out: &mut Vec<Heartbeat>,
+    ) {
+        for t in self.pattern.departure_times(self.phase_s, horizon_s) {
+            let jitter = if self.jitter_s > 0.0 {
+                rng.gen_range(-self.jitter_s..=self.jitter_s)
+            } else {
+                0.0
+            };
+            let hb = Heartbeat {
+                train: id,
+                time_s: (t + jitter).max(0.0),
+                size_bytes: self.heartbeat_size_bytes,
+            };
+            if hb.time_s < horizon_s {
+                out.push(hb);
+            }
+        }
     }
 }
 
@@ -230,13 +246,39 @@ impl TrainAppSpec {
 /// assert!(beats.windows(2).all(|w| w[0].time_s <= w[1].time_s));
 /// ```
 pub fn synthesize(specs: &[TrainAppSpec], horizon_s: f64, seed: u64) -> Vec<Heartbeat> {
-    let mut rng = seeded(seed);
     let mut all = Vec::new();
-    for (i, spec) in specs.iter().enumerate() {
-        all.extend(spec.generate(TrainAppId(i), horizon_s, &mut rng));
-    }
-    all.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+    synthesize_into(specs, horizon_s, seed, &mut all);
     all
+}
+
+/// [`synthesize`] into a caller-owned buffer: clears `out` and fills it
+/// with the merged, time-sorted heartbeat stream, bit-for-bit identical to
+/// the allocating form (same seeding, same RNG draw order across specs,
+/// same sort). Lets a population simulator synthesize one device's
+/// heartbeats after another into the same scratch `Vec` — no per-device
+/// trace materialization.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::heartbeats::{synthesize, synthesize_into, TrainAppSpec};
+///
+/// let mut scratch = Vec::new();
+/// synthesize_into(&TrainAppSpec::paper_trio(), 3600.0, 1, &mut scratch);
+/// assert_eq!(scratch, synthesize(&TrainAppSpec::paper_trio(), 3600.0, 1));
+/// ```
+pub fn synthesize_into(
+    specs: &[TrainAppSpec],
+    horizon_s: f64,
+    seed: u64,
+    out: &mut Vec<Heartbeat>,
+) {
+    let mut rng = seeded(seed);
+    out.clear();
+    for (i, spec) in specs.iter().enumerate() {
+        spec.generate_into(TrainAppId(i), horizon_s, &mut rng, out);
+    }
+    out.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
 }
 
 #[cfg(test)]
@@ -324,6 +366,31 @@ mod tests {
         // All three apps contribute.
         for i in 0..3 {
             assert!(beats.iter().any(|h| h.train == TrainAppId(i)));
+        }
+    }
+
+    #[test]
+    fn synthesize_into_matches_allocating_form_bitwise() {
+        // Jitter makes the RNG draw order observable: the buffer form must
+        // consume draws in exactly the same sequence as the allocating one.
+        let specs: Vec<TrainAppSpec> = TrainAppSpec::paper_trio()
+            .into_iter()
+            .map(|s| s.with_jitter(3.0))
+            .collect();
+        let mut scratch = vec![Heartbeat {
+            train: TrainAppId(9),
+            time_s: -1.0,
+            size_bytes: 0,
+        }]; // stale content must be cleared, not merged
+        for seed in [0u64, 7, 991] {
+            synthesize_into(&specs, 2700.0, seed, &mut scratch);
+            let fresh = synthesize(&specs, 2700.0, seed);
+            assert_eq!(scratch.len(), fresh.len());
+            for (a, b) in scratch.iter().zip(&fresh) {
+                assert_eq!(a.train, b.train);
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(a.size_bytes, b.size_bytes);
+            }
         }
     }
 

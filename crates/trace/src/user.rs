@@ -16,7 +16,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::packets::Packet;
 use crate::rng::{seeded, TruncatedNormal};
+use crate::CargoAppId;
 
 /// User activeness category (paper Sec. VI-D-4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -194,6 +196,79 @@ pub fn generate_app_use(user_id: u32, activeness: Activeness, seed: u64) -> AppU
     }
 }
 
+/// Lazy per-class packet synthesis: streams the upload packets of one
+/// synthetic app use straight into `out`, skipping the [`AppUseTrace`]
+/// materialization entirely.
+///
+/// Produces **bit-for-bit** the packets of the reference pipeline
+///
+/// ```text
+/// generate_app_use(user_id, activeness, seed)
+///     .normalized_to(target_s)            // drop records past the target
+///   → keep uploads, sort by arrival, assign dense ids   (replay layer)
+/// ```
+///
+/// because [`generate_app_use`] draws every upload record *before* any
+/// browse record — skipping browse generation consumes no shared RNG
+/// state — and both pipelines order tied arrivals by draw order (stable
+/// sorts). The fleet simulator calls this once per device into a reusable
+/// per-worker scratch buffer, so simulating 10⁶ devices never builds 10⁶
+/// record vectors.
+///
+/// `out` is cleared first; on return it is sorted by `arrival_s` with ids
+/// dense from 0, ready for the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use etrain_trace::user::{upload_packets_into, Activeness};
+/// use etrain_trace::CargoAppId;
+///
+/// let mut scratch = Vec::new();
+/// upload_packets_into(3, Activeness::Active, 42, 600.0, CargoAppId(0), &mut scratch);
+/// assert!(scratch.len() > 20);
+/// assert!(scratch.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+/// ```
+pub fn upload_packets_into(
+    user_id: u32,
+    activeness: Activeness,
+    seed: u64,
+    target_s: f64,
+    app: CargoAppId,
+    out: &mut Vec<Packet>,
+) {
+    let mut rng = seeded(seed ^ u64::from(user_id).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let duration_s = rng.gen_range(300.0..=600.0);
+    let (lo, hi) = activeness.upload_range();
+    let uploads = rng.gen_range(lo..=hi);
+    let text = TruncatedNormal::from_mean_min(2_000.0, 100.0);
+    let picture = TruncatedNormal::from_mean_min(80_000.0, 10_000.0);
+
+    out.clear();
+    for _ in 0..uploads {
+        let is_picture = rng.gen_bool(0.15);
+        let size = if is_picture {
+            picture.sample(&mut rng)
+        } else {
+            text.sample(&mut rng)
+        };
+        let time_s = rng.gen_range(0.0..duration_s);
+        // normalized_to() truncation, applied at draw time.
+        if time_s < target_s {
+            out.push(Packet {
+                id: 0,
+                app,
+                arrival_s: time_s,
+                size_bytes: (size.round().max(1.0) as u64).max(1),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    for (i, p) in out.iter_mut().enumerate() {
+        p.id = i as u64;
+    }
+}
+
 /// Generates a cohort of users: `per_category` users in each activeness
 /// category, each with one app use, ids assigned densely from 0.
 pub fn generate_cohort(per_category: u32, seed: u64) -> Vec<AppUseTrace> {
@@ -277,6 +352,47 @@ mod tests {
         let short = trace.normalized_to(100.0);
         assert_eq!(short.duration_s, 100.0);
         assert!(short.records.iter().all(|r| r.time_s < 100.0));
+    }
+
+    #[test]
+    fn lazy_upload_packets_match_materialized_pipeline_bitwise() {
+        // Reference pipeline: materialize the full trace, normalize,
+        // filter uploads, sort, assign dense ids — exactly what the replay
+        // layer's `to_packets(generate_app_use(..).normalized_to(..))`
+        // does (re-stated here because the replay layer lives upstack).
+        let reference = |user: u32, cat: Activeness, seed: u64, target: f64| -> Vec<Packet> {
+            let trace = generate_app_use(user, cat, seed).normalized_to(target);
+            let mut packets: Vec<Packet> = trace
+                .records
+                .iter()
+                .filter(|r| r.behavior == BehaviorType::Upload)
+                .map(|r| Packet {
+                    id: 0,
+                    app: CargoAppId(0),
+                    arrival_s: r.time_s,
+                    size_bytes: r.size_bytes.max(1),
+                })
+                .collect();
+            packets.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+            for (i, p) in packets.iter_mut().enumerate() {
+                p.id = i as u64;
+            }
+            packets
+        };
+        let mut scratch = Vec::new();
+        for cat in Activeness::all() {
+            for (user, seed, target) in [(0u32, 42u64, 600.0), (17, 7, 600.0), (3, 99, 450.0)] {
+                upload_packets_into(user, cat, seed, target, CargoAppId(0), &mut scratch);
+                let expected = reference(user, cat, seed, target);
+                assert_eq!(scratch.len(), expected.len(), "{cat} user {user}");
+                for (a, b) in scratch.iter().zip(&expected) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.app, b.app);
+                    assert_eq!(a.arrival_s.to_bits(), b.arrival_s.to_bits());
+                    assert_eq!(a.size_bytes, b.size_bytes);
+                }
+            }
+        }
     }
 
     #[test]
